@@ -1,0 +1,163 @@
+package leanconsensus_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"leanconsensus"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/harness"
+	"leanconsensus/internal/renewal"
+)
+
+// The benchmarks below regenerate, at reduced trial counts, every
+// experiment of DESIGN.md's index (one bench per figure/table row source).
+// Run cmd/leanbench for the full-scale versions with rendered tables.
+
+// runExperiment is the shared driver: one harness experiment per b.N loop.
+func runExperiment(b *testing.B, key string) {
+	b.Helper()
+	exp, err := harness.Lookup(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(harness.ScaleBench); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates E1 (Figure 1) at bench scale.
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkTailTheorem12 regenerates E2.
+func BenchmarkTailTheorem12(b *testing.B) { runExperiment(b, "tail") }
+
+// BenchmarkRenewalRaceTheorem10 regenerates E2b.
+func BenchmarkRenewalRaceTheorem10(b *testing.B) { runExperiment(b, "race") }
+
+// BenchmarkLowerBoundTheorem13 regenerates E3.
+func BenchmarkLowerBoundTheorem13(b *testing.B) { runExperiment(b, "lower-bound") }
+
+// BenchmarkHybridTheorem14 regenerates E4.
+func BenchmarkHybridTheorem14(b *testing.B) { runExperiment(b, "hybrid") }
+
+// BenchmarkBoundedSpaceTheorem15 regenerates E5.
+func BenchmarkBoundedSpaceTheorem15(b *testing.B) { runExperiment(b, "bounded") }
+
+// BenchmarkFailures regenerates E6.
+func BenchmarkFailures(b *testing.B) { runExperiment(b, "failures") }
+
+// BenchmarkUnfairnessTheorem1 regenerates E7.
+func BenchmarkUnfairnessTheorem1(b *testing.B) { runExperiment(b, "unfairness") }
+
+// BenchmarkCrashFailures regenerates E8.
+func BenchmarkCrashFailures(b *testing.B) { runExperiment(b, "crash") }
+
+// BenchmarkValidityFastPath regenerates E9.
+func BenchmarkValidityFastPath(b *testing.B) { runExperiment(b, "validity") }
+
+// BenchmarkAblationOptimized regenerates E10.
+func BenchmarkAblationOptimized(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkMessagePassing regenerates E11 (Section 10 extension).
+func BenchmarkMessagePassing(b *testing.B) { runExperiment(b, "message-passing") }
+
+// BenchmarkStatisticalAdversary regenerates E12 (Section 10 extension).
+func BenchmarkStatisticalAdversary(b *testing.B) { runExperiment(b, "statistical") }
+
+// BenchmarkElection regenerates E13 (footnote 2 extension).
+func BenchmarkElection(b *testing.B) { runExperiment(b, "election") }
+
+// BenchmarkContention regenerates E14 (Section 10 extension).
+func BenchmarkContention(b *testing.B) { runExperiment(b, "contention") }
+
+// BenchmarkSimulate measures single noisy-scheduling executions across
+// sizes and distributions (the engine's core loop).
+func BenchmarkSimulate(b *testing.B) {
+	for _, n := range []int{8, 64, 512, 4096} {
+		for _, d := range []dist.Distribution{
+			dist.Exponential{MeanVal: 1},
+			dist.TwoPoint{A: 2.0 / 3.0, B: 4.0 / 3.0},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := leanconsensus.Simulate(n,
+						leanconsensus.WithDistribution(d),
+						leanconsensus.WithSeed(uint64(i)),
+					); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimulateBounded measures the combined (Section 8) protocol.
+func BenchmarkSimulateBounded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := leanconsensus.Simulate(64,
+			leanconsensus.WithBoundedSpace(4),
+			leanconsensus.WithDistribution(leanconsensus.TwoPoint(1, 2)),
+			leanconsensus.WithSeed(uint64(i)),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHybridRun measures hybrid-scheduled executions.
+func BenchmarkHybridRun(b *testing.B) {
+	inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := leanconsensus.SimulateHybrid(leanconsensus.HybridConfig{
+			Inputs:    inputs,
+			Quantum:   8,
+			Randomize: true,
+			Seed:      uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveGoroutines measures real-concurrency consensus.
+func BenchmarkLiveGoroutines(b *testing.B) {
+	inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := leanconsensus.Live(ctx, leanconsensus.LiveConfig{
+			Inputs: inputs,
+			Seed:   uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenewalRace measures the bare renewal-race simulation.
+func BenchmarkRenewalRace(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := renewal.Run(renewal.Config{
+					N:     n,
+					Noise: dist.Exponential{MeanVal: 1},
+					Lead:  2,
+					Seed:  uint64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

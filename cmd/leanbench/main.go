@@ -1,0 +1,96 @@
+// Command leanbench regenerates the evaluation of the paper: Figure 1 and
+// the table for every quantitative theorem (see DESIGN.md's experiment
+// index E1-E14).
+//
+// Usage:
+//
+//	leanbench [-scale bench|default|full] [-out DIR] [-markdown FILE] [experiment ...]
+//
+// With no experiment arguments every experiment runs in order. Experiments
+// are named by ID (E1, E2, ...) or by mnemonic (fig1, tail, race,
+// lower-bound, hybrid, bounded, failures, unfairness, crash, validity,
+// ablation).
+//
+// -out writes each table as CSV into DIR; -markdown appends every report
+// as a markdown fragment to FILE (used to build EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leanconsensus/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leanbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleFlag := flag.String("scale", "default", "experiment scale: bench, default or full")
+	outDir := flag.String("out", "", "directory for CSV output (empty: no CSV)")
+	mdFile := flag.String("markdown", "", "file to append markdown reports to (empty: no markdown)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-4s %-12s %s\n", e.ID, e.Name, e.Brief)
+		}
+		return nil
+	}
+
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+
+	var todo []harness.Experiment
+	if args := flag.Args(); len(args) > 0 {
+		for _, a := range args {
+			e, err := harness.Lookup(a)
+			if err != nil {
+				return err
+			}
+			todo = append(todo, e)
+		}
+	} else {
+		todo = harness.Experiments()
+	}
+
+	var md strings.Builder
+	for _, e := range todo {
+		start := time.Now()
+		rep, err := e.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+		}
+		fmt.Print(rep.Text())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			if err := rep.WriteCSV(*outDir); err != nil {
+				return err
+			}
+		}
+		if *mdFile != "" {
+			md.WriteString(rep.Markdown())
+		}
+	}
+	if *mdFile != "" {
+		f, err := os.OpenFile(*mdFile, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(md.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

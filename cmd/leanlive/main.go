@@ -1,0 +1,86 @@
+// Command leanlive runs lean-consensus on real goroutines with
+// sync/atomic shared registers — the "real system" counterpart of the
+// simulator, where the Go runtime and the operating system supply the
+// scheduling noise.
+//
+// Usage:
+//
+//	leanlive -n 8 [-runs 100] [-noise exponential] [-unit 1us] [-yield]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"leanconsensus"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/stats"
+	"leanconsensus/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leanlive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 8, "number of goroutines")
+	runs := flag.Int("runs", 50, "number of consensus runs")
+	noiseName := flag.String("noise", "", "injected sleep-noise distribution (empty: none, pure runtime noise)")
+	unit := flag.Duration("unit", time.Microsecond, "sleep-noise unit")
+	yield := flag.Bool("yield", false, "call runtime.Gosched between operations")
+	seed := flag.Uint64("seed", 1, "seed for injected noise and input assignment")
+	timeout := flag.Duration("timeout", time.Minute, "per-run timeout")
+	flag.Parse()
+
+	var noise leanconsensus.Distribution
+	if *noiseName != "" {
+		d, err := dist.ByName(*noiseName)
+		if err != nil {
+			return err
+		}
+		noise = d
+	}
+
+	var rounds, ops stats.Acc
+	var elapsed stats.Acc
+	backups := 0
+	rng := xrand.New(*seed, 0x6c6c)
+	for r := 0; r < *runs; r++ {
+		inputs := make([]int, *n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		res, err := leanconsensus.Live(ctx, leanconsensus.LiveConfig{
+			Inputs:     inputs,
+			SleepNoise: noise,
+			SleepUnit:  *unit,
+			Seed:       xrand.Mix(*seed, uint64(r)),
+			Yield:      *yield,
+		})
+		cancel()
+		if err != nil {
+			return fmt.Errorf("run %d: %w", r, err)
+		}
+		rounds.Add(float64(res.Rounds))
+		var total int64
+		for _, c := range res.OpsPerProcess {
+			total += c
+		}
+		ops.Add(float64(total) / float64(*n))
+		elapsed.Add(float64(res.Elapsed.Microseconds()))
+		backups += res.BackupUsed
+	}
+	fmt.Printf("live consensus, n=%d goroutines, %d runs\n", *n, *runs)
+	fmt.Printf("  max round:   %s\n", rounds.String())
+	fmt.Printf("  ops/proc:    %s\n", ops.String())
+	fmt.Printf("  elapsed µs:  %s\n", elapsed.String())
+	fmt.Printf("  backup used: %d times across all runs\n", backups)
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command leansim runs a single simulated lean-consensus execution and
+// reports (optionally traces) it. It is the debugging companion to
+// leanbench: one run, fully deterministic given -seed, with every knob of
+// the noisy scheduling model exposed.
+//
+// Usage:
+//
+//	leansim -n 8 -dist exponential -seed 42 [-trace] [-failures 0.01]
+//	        [-adversary none|constant|stagger|anti-leader|half-split]
+//	        [-bounded RMAX] [-m BOUND]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/harness"
+	"leanconsensus/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leansim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 8, "number of processes")
+	distName := flag.String("dist", "exponential", "noise distribution (see dist.ByName)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	failures := flag.Float64("failures", 0, "per-operation halting probability h(n)")
+	advName := flag.String("adversary", "none", "delay adversary: none, constant, stagger, anti-leader, half-split")
+	m := flag.Float64("m", 1, "adversary delay bound M")
+	bounded := flag.Int("bounded", 0, "run the bounded-space protocol with this rmax (0: unbounded)")
+	trace := flag.Bool("trace", false, "print the full operation trace")
+	optimized := flag.Bool("optimized", false, "run the elided-operations ablation variant")
+	flag.Parse()
+
+	d, err := dist.ByName(*distName)
+	if err != nil {
+		return err
+	}
+	var adv sched.Adversary
+	switch *advName {
+	case "none":
+		adv = nil
+	case "constant":
+		adv = sched.Constant{D: *m}
+	case "stagger":
+		adv = sched.Stagger{Gap: *m}
+	case "anti-leader":
+		adv = sched.AntiLeader{M: *m}
+	case "half-split":
+		adv = sched.HalfSplit{M: *m}
+	default:
+		return fmt.Errorf("unknown adversary %q", *advName)
+	}
+
+	variant := harness.VariantLean
+	switch {
+	case *bounded > 0:
+		variant = harness.VariantCombined
+	case *optimized:
+		variant = harness.VariantLeanOptimized
+	}
+
+	run, err := harness.RunSim(harness.SimConfig{
+		N:           *n,
+		ReadNoise:   d,
+		Adversary:   adv,
+		FailureProb: *failures,
+		Seed:        *seed,
+		Variant:     variant,
+		RMax:        *bounded,
+		Record:      true,
+	})
+	if err != nil {
+		return err
+	}
+	res := run.Res
+
+	if *trace {
+		for _, ev := range run.History.Events {
+			b, r, isLean := run.Layout.DecodeA(ev.Reg)
+			loc := fmt.Sprintf("reg[%d]", ev.Reg)
+			if isLean {
+				loc = fmt.Sprintf("a%d[%d]", b, r)
+			}
+			fmt.Printf("%12.6f  P%-3d %-5s %-8s = %d\n", ev.Time, ev.Proc, ev.Kind, loc, ev.Val)
+		}
+	}
+
+	fmt.Printf("n=%d dist=%s seed=%d\n", *n, d, *seed)
+	if v, ok := res.Agreement(); ok && v >= 0 {
+		fmt.Printf("decision: %d\n", v)
+	} else if res.AllHalted {
+		fmt.Printf("decision: none (all processes halted; last round %d)\n", res.MaxRound)
+	}
+	fmt.Printf("first decision: proc %d at round %d (t=%.4f)\n",
+		res.FirstDecisionProc, res.FirstDecisionRound, res.FirstDecisionTime)
+	fmt.Printf("last decision round: %d   total ops: %d   simulated time: %.4f\n",
+		res.LastDecisionRound, res.TotalOps, res.Time)
+	if res.BackupUsed > 0 {
+		fmt.Printf("backup protocol used by %d processes\n", res.BackupUsed)
+	}
+	halted := 0
+	for _, h := range res.Halted {
+		if h {
+			halted++
+		}
+	}
+	if halted > 0 {
+		fmt.Printf("halted processes: %d\n", halted)
+	}
+	if err := run.CheckRun(); err != nil {
+		return fmt.Errorf("INVARIANT VIOLATION: %w", err)
+	}
+	fmt.Println("invariants: agreement, validity, Lemma 2, Lemma 4 all hold")
+	return nil
+}

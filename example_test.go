@@ -1,0 +1,85 @@
+package leanconsensus_test
+
+import (
+	"fmt"
+	"log"
+
+	"leanconsensus"
+)
+
+// The simplest use: run one simulated consensus with the paper's default
+// setup (exponential(1) noise, half the processes per input).
+func ExampleSimulate() {
+	res, err := leanconsensus.Simulate(4, leanconsensus.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decided a single bit:", res.Value == 0 || res.Value == 1)
+	fmt.Println("spread within one round:", res.LastRound <= res.FirstRound+1)
+	// Output:
+	// decided a single bit: true
+	// spread within one round: true
+}
+
+// Unanimous inputs decide in exactly 8 operations (Lemma 3), whatever the
+// noise does.
+func ExampleSimulate_unanimous() {
+	res, err := leanconsensus.Simulate(3,
+		leanconsensus.WithInputs([]int{1, 1, 1}),
+		leanconsensus.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("value:", res.Value)
+	fmt.Println("ops:", res.OpsPerProcess)
+	// Output:
+	// value: 1
+	// ops: [8 8 8]
+}
+
+// The bounded-space combined protocol (Section 8) bounds the registers
+// and falls back to the backup when the racing counters hit rmax.
+func ExampleSimulate_boundedSpace() {
+	res, err := leanconsensus.Simulate(8,
+		leanconsensus.WithBoundedSpace(16),
+		leanconsensus.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("agreed:", res.Value == 0 || res.Value == 1)
+	// With a generous rmax the backup almost never runs.
+	fmt.Println("backup used by:", res.BackupUsed)
+	// Output:
+	// agreed: true
+	// backup used by: 0
+}
+
+// Under hybrid quantum/priority scheduling with quantum >= 8, consensus is
+// deterministic constant time: at most 12 operations per process
+// (Theorem 14).
+func ExampleSimulateHybrid() {
+	res, err := leanconsensus.SimulateHybrid(leanconsensus.HybridConfig{
+		Inputs:  []int{0, 1, 0, 1},
+		Quantum: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("within Theorem 14's bound:", res.MaxOps <= 12)
+	// Output:
+	// within Theorem 14's bound: true
+}
+
+// Id consensus (footnote 2): elect one process id via a tournament of
+// binary instances.
+func ExampleElect() {
+	res, err := leanconsensus.Elect(8, leanconsensus.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("winner is a valid id:", res.Winner >= 0 && res.Winner < 8)
+	// Output:
+	// winner is a valid id: true
+}

@@ -1,0 +1,76 @@
+// Hybrid scheduler: deterministic constant-time consensus on a
+// uniprocessor (Section 7, Theorem 14).
+//
+// Under quantum/priority scheduling with a quantum of at least 8
+// operations, lean-consensus needs no randomness at all: every process
+// decides within 12 operations, whatever the scheduler does. The example
+// sweeps the quantum and pits several adversarial schedulers against the
+// algorithm.
+//
+//	go run ./examples/hybridscheduler
+package main
+
+import (
+	"fmt"
+
+	"leanconsensus"
+)
+
+func main() {
+	schedulers := []struct {
+		name string
+		cfg  func(c *leanconsensus.HybridConfig)
+	}{
+		{"round-robin", func(c *leanconsensus.HybridConfig) {}},
+		{"randomized", func(c *leanconsensus.HybridConfig) { c.Randomize = true }},
+		{"laggard (keeps the race tight)", func(c *leanconsensus.HybridConfig) {
+			c.Scheduler = leanconsensus.SchedulerLaggard
+		}},
+	}
+
+	fmt.Println("max operations per process, 8 processes, mixed inputs:")
+	fmt.Printf("%-34s", "scheduler \\ quantum")
+	quanta := []int{2, 4, 8, 16}
+	for _, q := range quanta {
+		fmt.Printf("  q=%-3d", q)
+	}
+	fmt.Println()
+
+	inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	for _, s := range schedulers {
+		fmt.Printf("%-34s", s.name)
+		for _, q := range quanta {
+			worst := int64(0)
+			stuck := false
+			for seed := uint64(0); seed < 200 && !stuck; seed++ {
+				cfg := leanconsensus.HybridConfig{
+					Inputs:  inputs,
+					Quantum: q,
+					Seed:    seed,
+				}
+				s.cfg(&cfg)
+				res, err := leanconsensus.SimulateHybrid(cfg)
+				if err != nil {
+					// Small quanta admit perfectly symmetric schedules on
+					// which the deterministic algorithm never decides —
+					// the behavior Theorem 14's quantum >= 8 rules out.
+					stuck = true
+					continue
+				}
+				if res.MaxOps > worst {
+					worst = res.MaxOps
+				}
+			}
+			if stuck {
+				fmt.Printf("  %-5s", "stuck")
+			} else {
+				fmt.Printf("  %-5d", worst)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nTheorem 14: with quantum >= 8 no process ever exceeds 12 operations;")
+	fmt.Println("below it, schedules exist that loop forever (\"stuck\") or blow the bound.")
+	fmt.Println("(internal/modelcheck verifies the bound over EVERY schedule for small n,")
+	fmt.Println("not just the adversaries sampled here.)")
+}

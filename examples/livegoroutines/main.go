@@ -1,0 +1,66 @@
+// Live goroutines: the same algorithm on real concurrency.
+//
+// lean-consensus runs unchanged on goroutines over sync/atomic registers;
+// the Go scheduler and the OS play the role of the noisy environment. The
+// example runs many consensus instances, with and without injected sleep
+// noise, and reports rounds and operation counts.
+//
+//	go run ./examples/livegoroutines
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"leanconsensus"
+)
+
+func main() {
+	const n = 8
+	const runs = 200
+
+	configs := []struct {
+		name  string
+		noise leanconsensus.Distribution
+		yield bool
+	}{
+		{"pure runtime scheduling", nil, false},
+		{"with Gosched yields", nil, true},
+		{"with exponential sleep noise", leanconsensus.Exponential(1), false},
+	}
+
+	for _, cfg := range configs {
+		var maxRound, totalOps, backups int
+		for r := 0; r < runs; r++ {
+			inputs := make([]int, n)
+			for i := range inputs {
+				inputs[i] = (r + i) % 2 // alternate mixed inputs
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			res, err := leanconsensus.Live(ctx, leanconsensus.LiveConfig{
+				Inputs:     inputs,
+				SleepNoise: cfg.noise,
+				SleepUnit:  100 * time.Nanosecond,
+				Seed:       uint64(r),
+				Yield:      cfg.yield,
+			})
+			cancel()
+			if err != nil {
+				log.Fatalf("%s run %d: %v", cfg.name, r, err)
+			}
+			if res.Rounds > maxRound {
+				maxRound = res.Rounds
+			}
+			for _, ops := range res.OpsPerProcess {
+				totalOps += int(ops)
+			}
+			backups += res.BackupUsed
+		}
+		fmt.Printf("%-30s  worst round %2d   mean ops/proc %5.1f   backup used %d\n",
+			cfg.name, maxRound, float64(totalOps)/float64(runs*n), backups)
+	}
+	fmt.Println("\nreal schedulers are noisy enough: the race disperses in a handful of")
+	fmt.Println("rounds, and the bounded-space backup is almost never touched (Theorem 15).")
+}

@@ -1,0 +1,63 @@
+// Message passing: the Section 10 extension, answered constructively.
+//
+// The paper asks whether noisy scheduling can solve consensus quickly in
+// an asynchronous message-passing model. This example runs the unchanged
+// lean-consensus machines over ABD-emulated registers (majority quorums):
+// message-delay noise perturbs the schedule exactly the way operation
+// noise does in shared memory — and a crashed minority changes nothing.
+//
+//	go run ./examples/messagepassing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leanconsensus"
+)
+
+func main() {
+	const trials = 50
+
+	fmt.Printf("%4s  %8s  %12s  %14s\n", "n", "crashes", "mean rounds", "messages/proc")
+	for _, tc := range []struct {
+		n       int
+		crashes []int
+	}{
+		{3, nil},
+		{5, nil},
+		{5, []int{1, 2}}, // two of five crashed (one of each input): live majority
+		{9, nil},
+		{9, []int{1, 2, 5, 6}}, // four of nine crashed, inputs still mixed
+	} {
+		var rounds, msgs float64
+		for t := 0; t < trials; t++ {
+			inputs := make([]int, tc.n)
+			for i := range inputs {
+				inputs[i] = i % 2
+			}
+			res, err := leanconsensus.SimulateMessagePassing(leanconsensus.MessagePassingConfig{
+				Inputs: inputs,
+				Crash:  tc.crashes,
+				Seed:   uint64(1000*tc.n + t),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds += float64(res.Rounds)
+			msgs += float64(res.Messages) / float64(tc.n-len(tc.crashes))
+		}
+		fmt.Printf("%4d  %8d  %12.2f  %14.0f\n",
+			tc.n, len(tc.crashes), rounds/trials, msgs/trials)
+	}
+
+	fmt.Println("\neach emulated register operation costs two quorum phases (~4n messages);")
+	fmt.Println("rounds stay logarithmic, and a crashed minority only removes voters.")
+
+	// Leader election over the same machinery (footnote 2's tournament).
+	res, err := leanconsensus.Elect(8, leanconsensus.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbonus: id consensus among 8 processes elected process %d\n", res.Winner)
+}

@@ -1,0 +1,136 @@
+package leanconsensus
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/idconsensus"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/msgnet"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/xrand"
+)
+
+// This file exposes the Section 10 extensions: consensus over message
+// passing and id consensus (leader election).
+
+// MessagePassingConfig describes a consensus run over an asynchronous
+// message-passing network: the registers of lean-consensus are emulated
+// with ABD majority quorums, and message-delay noise plays the role the
+// operation noise plays in shared memory.
+type MessagePassingConfig struct {
+	// Inputs holds one input bit per process.
+	Inputs []int
+	// Delay is the message-delay distribution (default Exponential(1)).
+	Delay Distribution
+	// Crash lists process ids crashed from the start; must leave a live
+	// majority.
+	Crash []int
+	// RMax, when positive, runs the bounded-space combined protocol.
+	RMax int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// MessagePassingResult reports such a run.
+type MessagePassingResult struct {
+	// Value is the agreed bit.
+	Value int
+	// Decisions per process (-1 for crashed processes).
+	Decisions []int
+	// Rounds is the largest racing-counters round reached.
+	Rounds int
+	// Messages is the total number of messages sent.
+	Messages int64
+	// Time is the simulated duration.
+	Time float64
+}
+
+// SimulateMessagePassing runs lean-consensus over emulated registers in
+// an asynchronous message-passing network.
+func SimulateMessagePassing(cfg MessagePassingConfig) (*MessagePassingResult, error) {
+	d := cfg.Delay
+	if d == nil {
+		d = Exponential(1)
+	}
+	res, err := msgnet.Consensus(msgnet.ConsensusConfig{
+		Inputs: cfg.Inputs,
+		Delay:  d,
+		Crash:  cfg.Crash,
+		RMax:   cfg.RMax,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MessagePassingResult{
+		Value:     res.Value,
+		Decisions: res.Decisions,
+		Rounds:    res.Rounds,
+		Messages:  res.Messages,
+		Time:      res.Time,
+	}, nil
+}
+
+// ElectionResult reports an id-consensus run.
+type ElectionResult struct {
+	// Winner is the elected process id; every process agrees on it.
+	Winner int
+	// OpsPerProcess holds per-process operation counts.
+	OpsPerProcess []int64
+}
+
+// Elect runs id consensus (leader election) among n simulated processes
+// under the noisy scheduling model: a ⌈lg n⌉-depth tournament of binary
+// lean-consensus instances, as the paper's footnote 2 suggests. Options
+// WithDistribution and WithSeed apply; input- and failure-related options
+// are not meaningful for elections and are rejected.
+func Elect(n int, opts ...Option) (*ElectionResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("leanconsensus: n must be positive, got %d", n)
+	}
+	o := options{dist: Exponential(1), seed: 1}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.inputs != nil || o.failureProb != 0 || o.bounded {
+		return nil, fmt.Errorf("leanconsensus: Elect supports only WithDistribution and WithSeed")
+	}
+	p := idconsensus.Params{N: n}
+	mem := register.NewSimMem(p.Registers())
+	p.InitMem(mem)
+	ms := make([]machine.Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = idconsensus.New(p, i, xrand.Mix(o.seed, uint64(i)))
+	}
+	eng, err := sched.NewEngine(sched.Config{
+		N: n, Machines: ms, Mem: mem,
+		ReadNoise: o.dist,
+		Seed:      o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.CapHit {
+		return nil, fmt.Errorf("leanconsensus: election hit the operation cap")
+	}
+	winner := res.Decisions[0]
+	for i, d := range res.Decisions {
+		if d != winner {
+			return nil, fmt.Errorf("leanconsensus: split election: process %d elected %d, process 0 elected %d", i, d, winner)
+		}
+	}
+	return &ElectionResult{Winner: winner, OpsPerProcess: res.OpCounts}, nil
+}
+
+// StatisticalAdversary returns the Section 10 "statistical" burst
+// adversary for use with WithAdversary: it respects only the cumulative
+// constraint Σ Δ_ij <= j·M, banking budget and releasing it on unique
+// leaders.
+func StatisticalAdversary(m float64) Adversary { return sched.NewBudgetAntiLeader(m) }

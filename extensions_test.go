@@ -1,0 +1,83 @@
+package leanconsensus_test
+
+import (
+	"testing"
+
+	"leanconsensus"
+)
+
+func TestElectBasic(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		res, err := leanconsensus.Elect(n, leanconsensus.WithSeed(3))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Winner < 0 || res.Winner >= n {
+			t.Errorf("n=%d: winner %d out of range", n, res.Winner)
+		}
+		if len(res.OpsPerProcess) != n {
+			t.Errorf("n=%d: ops slice length %d", n, len(res.OpsPerProcess))
+		}
+	}
+}
+
+func TestElectRejectsIrrelevantOptions(t *testing.T) {
+	if _, err := leanconsensus.Elect(4, leanconsensus.WithInputs([]int{0, 1, 0, 1})); err == nil {
+		t.Error("Elect accepted WithInputs")
+	}
+	if _, err := leanconsensus.Elect(4, leanconsensus.WithFailures(0.1)); err == nil {
+		t.Error("Elect accepted WithFailures")
+	}
+	if _, err := leanconsensus.Elect(0); err == nil {
+		t.Error("Elect accepted n=0")
+	}
+}
+
+func TestSimulateMessagePassingBasic(t *testing.T) {
+	res, err := leanconsensus.SimulateMessagePassing(leanconsensus.MessagePassingConfig{
+		Inputs: []int{0, 1, 0},
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 && res.Value != 1 {
+		t.Errorf("value %d", res.Value)
+	}
+	if res.Messages == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestSimulateMessagePassingCrashes(t *testing.T) {
+	res, err := leanconsensus.SimulateMessagePassing(leanconsensus.MessagePassingConfig{
+		Inputs: []int{0, 1, 0, 1, 0},
+		Crash:  []int{1, 2},
+		Seed:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[1] != -1 || res.Decisions[2] != -1 {
+		t.Error("crashed processes reported decisions")
+	}
+	if _, err := leanconsensus.SimulateMessagePassing(leanconsensus.MessagePassingConfig{
+		Inputs: []int{0, 1},
+		Crash:  []int{0},
+	}); err == nil {
+		t.Error("majority crash accepted")
+	}
+}
+
+func TestStatisticalAdversaryViaPublicAPI(t *testing.T) {
+	res, err := leanconsensus.Simulate(16,
+		leanconsensus.WithAdversary(leanconsensus.StatisticalAdversary(2)),
+		leanconsensus.WithSeed(9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 && res.Value != 1 {
+		t.Errorf("value %d", res.Value)
+	}
+}

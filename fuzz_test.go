@@ -1,0 +1,57 @@
+package leanconsensus_test
+
+import (
+	"testing"
+
+	"leanconsensus"
+)
+
+// FuzzSimulateSafety fuzzes the public simulation entry point over seeds,
+// input patterns, sizes and distribution choices, checking the full
+// invariant battery (agreement, validity, Lemma 2, Lemma 4) on recorded
+// histories. Run with `go test -fuzz FuzzSimulateSafety` for continuous
+// fuzzing; the seed corpus below runs as part of the normal test suite.
+func FuzzSimulateSafety(f *testing.F) {
+	f.Add(uint64(1), uint8(0b0101), uint8(6), uint8(0))
+	f.Add(uint64(42), uint8(0b1100), uint8(4), uint8(1))
+	f.Add(uint64(7), uint8(0b1111), uint8(8), uint8(2))
+	f.Add(uint64(99), uint8(0b0001), uint8(2), uint8(3))
+	f.Add(uint64(3), uint8(0b1010), uint8(5), uint8(4))
+
+	dists := []leanconsensus.Distribution{
+		leanconsensus.Exponential(1),
+		leanconsensus.Uniform(0, 2),
+		leanconsensus.Geometric(0.5),
+		leanconsensus.TwoPoint(1, 2),
+		leanconsensus.Normal(1, 0.2, 0, 2),
+	}
+
+	f.Fuzz(func(t *testing.T, seed uint64, pattern uint8, nRaw uint8, distIdx uint8) {
+		n := int(nRaw)%8 + 1
+		inputs := make([]int, n)
+		ones := 0
+		for i := range inputs {
+			inputs[i] = int(pattern>>(i%8)) & 1
+			ones += inputs[i]
+		}
+		d := dists[int(distIdx)%len(dists)]
+		res, err := leanconsensus.Simulate(n,
+			leanconsensus.WithInputs(inputs),
+			leanconsensus.WithDistribution(d),
+			leanconsensus.WithSeed(seed),
+			leanconsensus.WithRecording(),
+		)
+		if err != nil {
+			t.Fatalf("seed=%d inputs=%v dist=%v: %v", seed, inputs, d, err)
+		}
+		if err := res.CheckInvariants(); err != nil {
+			t.Fatalf("INVARIANT VIOLATION seed=%d inputs=%v dist=%v: %v", seed, inputs, d, err)
+		}
+		if ones == 0 && res.Value != 0 {
+			t.Fatalf("validity: all-zero inputs decided %d", res.Value)
+		}
+		if ones == n && res.Value != 1 {
+			t.Fatalf("validity: all-one inputs decided %d", res.Value)
+		}
+	})
+}

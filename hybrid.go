@@ -1,0 +1,107 @@
+package leanconsensus
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// HybridConfig describes a run under the hybrid quantum- and
+// priority-based uniprocessor scheduling model of Section 7.
+type HybridConfig struct {
+	// Inputs holds one input bit per process.
+	Inputs []int
+	// Quantum is the scheduling quantum in operations. Theorem 14
+	// guarantees at most 12 operations per process when it is >= 8.
+	Quantum int
+	// Priorities optionally assigns scheduling priorities (higher value
+	// pre-empts lower). Defaults to all equal.
+	Priorities []int
+	// InitialQuantumUsed is how much of the first quantum the process
+	// holding the CPU at time zero has already consumed on other work
+	// (Section 7). At most one process may have a nonzero value.
+	InitialQuantumUsed []int
+	// Scheduler picks among legal scheduling choices; nil is round-robin.
+	// See internal/hybrid for the available adversaries.
+	Scheduler hybrid.Adversary
+	// Seed seeds the default randomized scheduler when Scheduler is nil
+	// and Randomize is true.
+	Seed uint64
+	// Randomize selects a uniformly random legal schedule instead of
+	// round-robin when no Scheduler is given.
+	Randomize bool
+}
+
+// HybridResult reports a hybrid-scheduled execution.
+type HybridResult struct {
+	// Value is the agreed bit.
+	Value int
+	// OpsPerProcess holds per-process operation counts; Theorem 14 bounds
+	// each by 12 when the quantum is at least 8.
+	OpsPerProcess []int64
+	// MaxOps is the largest per-process count.
+	MaxOps int64
+	// Preemptions counts scheduler switches away from a live process.
+	Preemptions int
+}
+
+// SimulateHybrid runs one consensus under the hybrid scheduling model.
+func SimulateHybrid(cfg HybridConfig) (*HybridResult, error) {
+	n := len(cfg.Inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("leanconsensus: need at least one input")
+	}
+	for _, b := range cfg.Inputs {
+		if b != 0 && b != 1 {
+			return nil, fmt.Errorf("leanconsensus: input bits must be 0 or 1, got %d", b)
+		}
+	}
+	layout := register.Layout{}
+	mem := register.NewSimMem(64)
+	layout.InitMem(mem)
+	machines := make([]machine.Machine, n)
+	for i, b := range cfg.Inputs {
+		machines[i] = core.NewLean(layout, b)
+	}
+	adv := cfg.Scheduler
+	if adv == nil && cfg.Randomize {
+		adv = hybrid.NewRandom(cfg.Seed)
+	}
+	res, err := hybrid.Run(hybrid.Config{
+		N:           n,
+		Machines:    machines,
+		Mem:         mem,
+		Priorities:  cfg.Priorities,
+		Quantum:     cfg.Quantum,
+		InitialUsed: cfg.InitialQuantumUsed,
+		Adversary:   adv,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HybridResult{
+		Value:         res.Decisions[0],
+		OpsPerProcess: res.OpCounts,
+		MaxOps:        res.MaxOps,
+		Preemptions:   res.Preemptions,
+	}
+	for _, d := range res.Decisions[1:] {
+		if d != out.Value {
+			return nil, fmt.Errorf("leanconsensus: agreement violated: %v", res.Decisions)
+		}
+	}
+	return out, nil
+}
+
+// HybridScheduler re-exports the scheduler strategies for use in
+// HybridConfig.Scheduler.
+var (
+	// SchedulerSticky keeps the running process scheduled whenever legal.
+	SchedulerSticky hybrid.Adversary = hybrid.Sticky{}
+	// SchedulerLaggard always runs the process with the fewest completed
+	// operations — the most adversarial heuristic for a racing protocol.
+	SchedulerLaggard hybrid.Adversary = hybrid.Laggard{}
+)

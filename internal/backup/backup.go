@@ -1,0 +1,308 @@
+// Package backup implements the bounded-space consensus protocol that the
+// combined algorithm of Section 8 falls back to when lean-consensus has
+// not decided by round rmax.
+//
+// The paper only requires the backup to be a consensus protocol with the
+// validity property, bounded space, and polynomial expected work (it cites
+// the O(n^4) protocol of [6]). This implementation uses the classic
+// round-based composition of a conciliator with a commit-adopt object:
+//
+//	for round q = 0, 1, 2, ...:
+//	    v <- conciliator_q(v)   // randomized convergence helper
+//	    (status, v) <- commitAdopt_q(v)
+//	    if status == commit: decide v
+//
+// Commit-adopt guarantees, under every schedule:
+//
+//   - coherence: if any process commits v in round q, every process that
+//     completes round q leaves it with value v;
+//   - convergence: if all processes enter round q with the same v, all
+//     commit v in round q;
+//   - at most one value is ever proposed (phase-2 written) per round.
+//
+// Together with conciliator validity (unanimous input implies unanimous
+// output) these give agreement and validity of the whole protocol under
+// any scheduler; the proofs are exercised exhaustively by
+// internal/modelcheck and statistically by this package's tests. The
+// conciliator ends a round in unanimity with constant probability under
+// the oblivious (noisy) schedulers used throughout this repository, giving
+// O(1) expected rounds; see DESIGN.md ("Substitutions") for the honest
+// comparison with the paper's reference [6].
+package backup
+
+import (
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// Register encodings. Registers are zero-initialized; 0 always means
+// "never written".
+const (
+	// encValue encodes a bit b as b+1 in conciliator and phase-1 registers.
+	encValueBase uint32 = 1
+	// Phase-2 (proposal) registers: 1 encodes the null proposal, 2 and 3
+	// encode proposals of 0 and 1.
+	encPropBot uint32 = 1
+)
+
+func encValue(b int) uint32 { return encValueBase + uint32(b) }
+
+func decValue(v uint32) (bit int, written bool) {
+	if v == 0 {
+		return 0, false
+	}
+	return int(v - encValueBase), true
+}
+
+func encProp(bit int, bot bool) uint32 {
+	if bot {
+		return encPropBot
+	}
+	return encPropBot + 1 + uint32(bit)
+}
+
+// bphase enumerates the steps of one backup round.
+type bphase uint8
+
+const (
+	phConcRead   bphase = iota + 1 // read c[q]
+	phConcReread                   // read c[q] back after writing it
+	phConcWrite                    // write c[q] (pseudo-phase, folded into transitions)
+	phCA1Write                     // write r1[q][me]
+	phCA1Read                      // read r1[q][j] for each j != me
+	phCA2Write                     // write r2[q][me]
+	phCA2Read                      // read r2[q][j] for each j != me
+)
+
+// Backup is the backup-consensus state machine for one process.
+type Backup struct {
+	layout   register.Layout
+	me, n    int
+	coinSeed uint64
+
+	v    int // current preference
+	q    int // current round, 0-based
+	ph   bphase
+	dec  int
+	done bool
+
+	// Per-round scratch state.
+	readIdx  int  // next peer index to read in CA read phases
+	prop     int  // this round's proposal value (valid when propBot false)
+	propBot  bool // this round's proposal is the null proposal
+	sawBot   bool // saw a written null proposal in phase 2
+	sawVal   int  // a non-null proposal value seen in phase 2
+	haveVal  bool // sawVal is valid
+	mismatch bool // phase 1 saw a written value different from v
+}
+
+// New returns a backup machine for process me of n with the given input
+// bit. The coin seed drives the conciliator's local coin: the coin for
+// round q is the deterministic bit Mix(coinSeed, q), so distinct seeds
+// give independent-looking coin tapes while the machine itself stays a
+// pure (cloneable, hashable) state machine — which is what lets the model
+// checker explore the combined protocol exhaustively for fixed tapes.
+func New(layout register.Layout, me, n, input int, coinSeed uint64) *Backup {
+	if input != 0 && input != 1 {
+		panic("backup: input must be 0 or 1")
+	}
+	return &Backup{layout: layout, me: me, n: n, coinSeed: coinSeed, v: input, ph: phConcRead}
+}
+
+// Begin implements machine.Machine.
+func (m *Backup) Begin() machine.Op {
+	return machine.Op{Kind: register.OpRead, Reg: m.layout.Conciliator(m.q)}
+}
+
+// Step implements machine.Machine.
+func (m *Backup) Step(result uint32) (machine.Op, machine.Status) {
+	switch m.ph {
+	case phConcRead:
+		if bit, written := decValue(result); written {
+			m.mix(bit)
+			return m.startCA()
+		}
+		// Register empty: bid our own value, then read back.
+		m.ph = phConcReread
+		return machine.Op{
+			Kind: register.OpWrite,
+			Reg:  m.layout.Conciliator(m.q),
+			Val:  encValue(m.v),
+		}, machine.Running
+
+	case phConcReread:
+		// The write completed; read the register back. Reuse phConcWrite
+		// as the "awaiting re-read result" state.
+		m.ph = phConcWrite
+		return machine.Op{Kind: register.OpRead, Reg: m.layout.Conciliator(m.q)}, machine.Running
+
+	case phConcWrite:
+		// result is the re-read value; it is non-empty because our own
+		// write precedes this read.
+		bit, _ := decValue(result)
+		m.mix(bit)
+		return m.startCA()
+
+	case phCA1Write:
+		m.readIdx = 0
+		m.mismatch = false
+		m.ph = phCA1Read
+		return m.nextCA1Read()
+
+	case phCA1Read:
+		if bit, written := decValue(result); written && bit != m.v {
+			m.mismatch = true
+		}
+		return m.nextCA1Read()
+
+	case phCA2Write:
+		m.readIdx = 0
+		m.sawBot = false
+		m.haveVal = false
+		m.ph = phCA2Read
+		return m.nextCA2Read()
+
+	case phCA2Read:
+		switch {
+		case result == encPropBot:
+			m.sawBot = true
+		case result > encPropBot:
+			m.sawVal = int(result - encPropBot - 1)
+			m.haveVal = true
+		}
+		return m.nextCA2Read()
+
+	default:
+		panic("backup: Step called before Begin")
+	}
+}
+
+// mix applies the conciliator's coin: keep our value if the register
+// agrees with it, otherwise flip a fair local coin between the register's
+// value and our own. Unanimous executions never reach the coin, which
+// gives the conciliator its validity property.
+func (m *Backup) mix(bit int) {
+	if bit != m.v && xrand.Mix(m.coinSeed, uint64(m.q))&1 == 0 {
+		m.v = bit
+	}
+}
+
+// startCA begins the commit-adopt object for the current round by writing
+// our phase-1 register.
+func (m *Backup) startCA() (machine.Op, machine.Status) {
+	m.ph = phCA1Write
+	return machine.Op{
+		Kind: register.OpWrite,
+		Reg:  m.layout.R1(m.q, m.me),
+		Val:  encValue(m.v),
+	}, machine.Running
+}
+
+// nextCA1Read issues the next phase-1 peer read, or moves to phase 2 when
+// all peers have been read.
+func (m *Backup) nextCA1Read() (machine.Op, machine.Status) {
+	if m.readIdx == m.me {
+		m.readIdx++
+	}
+	if m.readIdx < m.n {
+		op := machine.Op{Kind: register.OpRead, Reg: m.layout.R1(m.q, m.readIdx)}
+		m.readIdx++
+		return op, machine.Running
+	}
+	// Phase 1 complete: propose v if no written disagreement was seen,
+	// otherwise propose the null value.
+	m.prop = m.v
+	m.propBot = m.mismatch
+	m.ph = phCA2Write
+	return machine.Op{
+		Kind: register.OpWrite,
+		Reg:  m.layout.R2(m.q, m.me),
+		Val:  encProp(m.prop, m.propBot),
+	}, machine.Running
+}
+
+// nextCA2Read issues the next phase-2 peer read, or finishes the round
+// when all peers have been read.
+func (m *Backup) nextCA2Read() (machine.Op, machine.Status) {
+	if m.readIdx == m.me {
+		m.readIdx++
+	}
+	if m.readIdx < m.n {
+		op := machine.Op{Kind: register.OpRead, Reg: m.layout.R2(m.q, m.readIdx)}
+		m.readIdx++
+		return op, machine.Running
+	}
+	return m.finishRound()
+}
+
+// finishRound applies the commit-adopt decision rule and either decides or
+// advances to the next round.
+func (m *Backup) finishRound() (machine.Op, machine.Status) {
+	if !m.propBot && !m.sawBot {
+		// Our proposal is concrete and no null proposal was visible: by
+		// the coherence argument every other process leaves this round
+		// with our value. Commit.
+		m.dec = m.prop
+		m.done = true
+		return machine.Op{}, machine.Decided
+	}
+	// Adopt: at most one concrete value is ever proposed per round, so if
+	// we saw one (from a peer, or our own), it is the value to carry.
+	switch {
+	case m.haveVal:
+		m.v = m.sawVal
+	case !m.propBot:
+		m.v = m.prop
+	}
+	m.q++
+	if m.q >= m.layout.BackupRounds {
+		// Register budget exhausted. This cannot happen under the
+		// schedulers in this repository with the default budget; it is
+		// surfaced as an explicit failure rather than unbounded growth.
+		return machine.Op{}, machine.Failed
+	}
+	m.ph = phConcRead
+	return machine.Op{Kind: register.OpRead, Reg: m.layout.Conciliator(m.q)}, machine.Running
+}
+
+// Decision implements machine.Machine.
+func (m *Backup) Decision() int { return m.dec }
+
+// Decided reports whether the machine has decided.
+func (m *Backup) Decided() bool { return m.done }
+
+// Round reports the current backup round (0-based).
+func (m *Backup) Round() int { return m.q }
+
+// Clone implements machine.Cloner.
+func (m *Backup) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+// StateKey implements machine.Keyer: the state fits one word because the
+// per-round scratch fields are all small (readIdx <= n < 2^16, rounds
+// bounded by the register budget).
+func (m *Backup) StateKey() uint64 {
+	k := uint64(m.q) << 32
+	k |= uint64(m.readIdx&0xffff) << 16
+	k |= uint64(m.ph) << 8
+	k |= uint64(m.v) << 7
+	k |= uint64(m.prop) << 6
+	k |= boolBit(m.propBot) << 5
+	k |= boolBit(m.mismatch) << 4
+	k |= boolBit(m.sawBot) << 3
+	k |= uint64(m.sawVal) << 2
+	k |= boolBit(m.haveVal) << 1
+	k |= boolBit(m.done)
+	// dec is determined by v at decision time; coinSeed is fixed per run.
+	return k
+}
+
+// Interface compliance checks.
+var (
+	_ machine.Machine = (*Backup)(nil)
+	_ machine.Cloner  = (*Backup)(nil)
+	_ machine.Keyer   = (*Backup)(nil)
+)

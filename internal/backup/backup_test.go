@@ -1,0 +1,185 @@
+package backup_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/backup"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+func layoutFor(n int) (register.Layout, *register.SimMem) {
+	layout := register.Layout{N: n, BackupRounds: 64}
+	mem := register.NewSimMem(layout.Registers(1))
+	layout.InitMem(mem)
+	return layout, mem
+}
+
+func TestSoloBackupDecidesOwnInput(t *testing.T) {
+	for _, input := range []int{0, 1} {
+		layout, mem := layoutFor(1)
+		m := backup.New(layout, 0, 1, input, xrand.Mix(1))
+		dec, ops, err := machine.Run(m, mem, 1000)
+		if err != nil {
+			t.Fatalf("input %d: %v", input, err)
+		}
+		if dec != input {
+			t.Errorf("input %d: decided %d (validity)", input, dec)
+		}
+		if ops == 0 {
+			t.Error("no operations executed")
+		}
+	}
+}
+
+func TestSequentialBackupAgreement(t *testing.T) {
+	// First process runs alone and decides; laggards with the opposite
+	// input must adopt its value.
+	layout, mem := layoutFor(3)
+	first := backup.New(layout, 0, 3, 1, xrand.Mix(7, 0))
+	dec, _, err := machine.Run(first, mem, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 1 {
+		t.Fatalf("solo first process decided %d, want its input 1 (validity)", dec)
+	}
+	for i := 1; i < 3; i++ {
+		m := backup.New(layout, i, 3, 0, xrand.Mix(7, uint64(i)))
+		got, _, err := machine.Run(m, mem, 10000)
+		if err != nil {
+			t.Fatalf("proc %d: %v", i, err)
+		}
+		if got != 1 {
+			t.Errorf("proc %d decided %d, want 1 (agreement)", i, got)
+		}
+	}
+}
+
+func TestSameInputsCommitFirstRound(t *testing.T) {
+	// Unanimous inputs must decide without any conciliator coin flips, in
+	// the very first round, under a sequential schedule.
+	layout, mem := layoutFor(4)
+	for i := 0; i < 4; i++ {
+		m := backup.New(layout, i, 4, 1, xrand.Mix(9, uint64(i)))
+		dec, _, err := machine.Run(m, mem, 10000)
+		if err != nil {
+			t.Fatalf("proc %d: %v", i, err)
+		}
+		if dec != 1 {
+			t.Errorf("proc %d decided %d, want 1 (validity)", i, dec)
+		}
+		if m.Round() != 0 {
+			t.Errorf("proc %d finished in round %d, want 0", i, m.Round())
+		}
+	}
+}
+
+// TestInterleavedBackupManySchedules drives mixed-input backup machines
+// under many random interleavings and checks agreement and validity every
+// time.
+func TestInterleavedBackupManySchedules(t *testing.T) {
+	const n = 4
+	for seed := uint64(0); seed < 300; seed++ {
+		layout, mem := layoutFor(n)
+		rng := xrand.New(seed, 0xabc)
+		ms := make([]*backup.Backup, n)
+		ops := make([]machine.Op, n)
+		done := make([]bool, n)
+		inputs := make([]int, n)
+		for i := range ms {
+			inputs[i] = rng.Intn(2)
+			ms[i] = backup.New(layout, i, n, inputs[i], xrand.Mix(seed, uint64(i)))
+			ops[i] = ms[i].Begin()
+		}
+		live := n
+		for steps := 0; live > 0 && steps < 100000; steps++ {
+			i := rng.Intn(n)
+			if done[i] {
+				continue
+			}
+			var res uint32
+			if ops[i].Kind == register.OpRead {
+				res = mem.Read(ops[i].Reg)
+			} else {
+				mem.Write(ops[i].Reg, ops[i].Val)
+			}
+			next, st := ms[i].Step(res)
+			switch st {
+			case machine.Decided:
+				done[i] = true
+				live--
+			case machine.Failed:
+				t.Fatalf("seed %d: backup budget exhausted", seed)
+			default:
+				ops[i] = next
+			}
+		}
+		if live > 0 {
+			t.Fatalf("seed %d: no termination", seed)
+		}
+		dec := ms[0].Decision()
+		same := true
+		for i, m := range ms {
+			if m.Decision() != dec {
+				t.Fatalf("seed %d: disagreement %v", seed, decisions(ms))
+			}
+			_ = i
+		}
+		if inputs[0] == inputs[1] && inputs[1] == inputs[2] && inputs[2] == inputs[3] && dec != inputs[0] {
+			t.Fatalf("seed %d: validity violated: inputs %v decision %d", seed, inputs, dec)
+		}
+		_ = same
+	}
+}
+
+func decisions(ms []*backup.Backup) []int {
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		out[i] = m.Decision()
+	}
+	return out
+}
+
+func TestCASoloCommits(t *testing.T) {
+	layout, mem := layoutFor(1)
+	m := backup.NewCA(layout, 0, 1, 1)
+	dec, _, err := machine.Run(m, mem, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 1 || !m.Committed() {
+		t.Errorf("solo CA: decided %d committed %t, want 1 true", dec, m.Committed())
+	}
+}
+
+func TestCASequentialOppositeAdopts(t *testing.T) {
+	// P0 commits 0 alone; P1 with input 1 must adopt 0.
+	layout, mem := layoutFor(2)
+	p0 := backup.NewCA(layout, 0, 2, 0)
+	if dec, _, err := machine.Run(p0, mem, 100); err != nil || dec != 0 || !p0.Committed() {
+		t.Fatalf("p0: dec=%d committed=%t err=%v", dec, p0.Committed(), err)
+	}
+	p1 := backup.NewCA(layout, 1, 2, 1)
+	dec, _, err := machine.Run(p1, mem, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 0 {
+		t.Errorf("p1 left with %d, want 0 (coherence)", dec)
+	}
+	if p1.Committed() {
+		t.Error("p1 committed despite conflict evidence")
+	}
+}
+
+func TestBadInputPanics(t *testing.T) {
+	layout, _ := layoutFor(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backup.New with input 2 did not panic")
+		}
+	}()
+	backup.New(layout, 0, 1, 2, xrand.Mix(1))
+}

@@ -1,0 +1,178 @@
+package backup
+
+import (
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// CA is a standalone commit-adopt object expressed as a machine, used to
+// verify the safety core of the backup protocol in isolation (including
+// exhaustively, by internal/modelcheck — the CA machine is deterministic,
+// so the full interleaving space can be explored).
+//
+// CA runs a single commit-adopt instance on backup round 0's registers:
+//
+//	phase 1: write own value to r1[0][me]; read all peers' r1.
+//	         Propose the value if no written disagreement was seen,
+//	         otherwise propose null.
+//	phase 2: write the proposal to r2[0][me]; read all peers' r2.
+//	         Commit the value if own proposal is concrete and no written
+//	         null proposal was seen; otherwise adopt the unique concrete
+//	         proposal seen (or keep own value if none).
+//
+// Guarantees (checked by modelcheck and tests):
+//
+//   - at most one concrete value is proposed per instance;
+//   - if any process commits v, every process leaves with v;
+//   - if all inputs are v, every process commits v.
+type CA struct {
+	layout register.Layout
+	me, n  int
+
+	v       int
+	ph      bphase
+	readIdx int
+
+	prop      int
+	propBot   bool
+	mismatch  bool
+	sawBot    bool
+	sawVal    int
+	haveVal   bool
+	committed bool
+	done      bool
+}
+
+// NewCA returns a commit-adopt machine for process me of n with the given
+// input bit. layout must have BackupRounds >= 1 and N == n.
+func NewCA(layout register.Layout, me, n, input int) *CA {
+	if input != 0 && input != 1 {
+		panic("backup: input must be 0 or 1")
+	}
+	return &CA{layout: layout, me: me, n: n, v: input, ph: phCA1Write}
+}
+
+// Begin implements machine.Machine.
+func (m *CA) Begin() machine.Op {
+	return machine.Op{Kind: register.OpWrite, Reg: m.layout.R1(0, m.me), Val: encValue(m.v)}
+}
+
+// Step implements machine.Machine.
+func (m *CA) Step(result uint32) (machine.Op, machine.Status) {
+	switch m.ph {
+	case phCA1Write:
+		m.readIdx = 0
+		m.ph = phCA1Read
+		return m.next1()
+
+	case phCA1Read:
+		if bit, written := decValue(result); written && bit != m.v {
+			m.mismatch = true
+		}
+		return m.next1()
+
+	case phCA2Write:
+		m.readIdx = 0
+		m.ph = phCA2Read
+		return m.next2()
+
+	case phCA2Read:
+		switch {
+		case result == encPropBot:
+			m.sawBot = true
+		case result > encPropBot:
+			m.sawVal = int(result - encPropBot - 1)
+			m.haveVal = true
+		}
+		return m.next2()
+
+	default:
+		panic("backup: CA.Step called before Begin")
+	}
+}
+
+func (m *CA) next1() (machine.Op, machine.Status) {
+	if m.readIdx == m.me {
+		m.readIdx++
+	}
+	if m.readIdx < m.n {
+		op := machine.Op{Kind: register.OpRead, Reg: m.layout.R1(0, m.readIdx)}
+		m.readIdx++
+		return op, machine.Running
+	}
+	m.prop = m.v
+	m.propBot = m.mismatch
+	m.ph = phCA2Write
+	return machine.Op{
+		Kind: register.OpWrite,
+		Reg:  m.layout.R2(0, m.me),
+		Val:  encProp(m.prop, m.propBot),
+	}, machine.Running
+}
+
+func (m *CA) next2() (machine.Op, machine.Status) {
+	if m.readIdx == m.me {
+		m.readIdx++
+	}
+	if m.readIdx < m.n {
+		op := machine.Op{Kind: register.OpRead, Reg: m.layout.R2(0, m.readIdx)}
+		m.readIdx++
+		return op, machine.Running
+	}
+	// Decision rule — identical to Backup.finishRound.
+	m.done = true
+	if !m.propBot && !m.sawBot {
+		m.committed = true
+		m.v = m.prop
+	} else {
+		switch {
+		case m.haveVal:
+			m.v = m.sawVal
+		case !m.propBot:
+			m.v = m.prop
+		}
+	}
+	return machine.Op{}, machine.Decided
+}
+
+// Decision implements machine.Machine: the adopted or committed value.
+func (m *CA) Decision() int { return m.v }
+
+// Committed reports whether the machine committed (as opposed to adopted).
+func (m *CA) Committed() bool { return m.committed }
+
+// Clone implements machine.Cloner.
+func (m *CA) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+// StateKey implements machine.Keyer.
+func (m *CA) StateKey() uint64 {
+	k := uint64(m.readIdx) << 16
+	k |= uint64(m.ph) << 8
+	k |= uint64(m.v) << 7
+	k |= uint64(m.prop) << 6
+	k |= boolBit(m.propBot) << 5
+	k |= boolBit(m.mismatch) << 4
+	k |= boolBit(m.sawBot) << 3
+	k |= uint64(m.sawVal) << 2
+	k |= boolBit(m.haveVal) << 1
+	k |= boolBit(m.done)
+	// committed is a function of the rest at decision time.
+	return k
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Interface compliance checks.
+var (
+	_ machine.Machine = (*CA)(nil)
+	_ machine.Cloner  = (*CA)(nil)
+	_ machine.Keyer   = (*CA)(nil)
+)

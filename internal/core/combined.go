@@ -1,0 +1,114 @@
+package core
+
+import (
+	"leanconsensus/internal/backup"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// Combined is the bounded-space protocol of Section 8: run lean-consensus
+// through round rmax, then switch to the backup protocol using the
+// preference at the end of round rmax as the backup input.
+//
+// With rmax = Θ(log² n) the backup runs with probability at most n^{-c}
+// under noisy scheduling (Theorem 12's exponential tail), so the combined
+// protocol keeps O(log n) expected work while using only
+// 2·(rmax+1) + O(n · backupRounds) bounded registers (Theorem 15).
+type Combined struct {
+	lean *Lean
+	bk   *backup.Backup
+
+	layout   register.Layout
+	me, n    int
+	rmax     int
+	coinSeed uint64
+
+	inBackup bool
+}
+
+// NewCombined returns the combined machine for process me of n with the
+// given input bit. rmax is the lean-consensus cutoff round; layout must
+// have been built with the same n and a positive backup-round budget. The
+// coin seed drives the backup's conciliator coin (see backup.New).
+func NewCombined(layout register.Layout, me, n, input, rmax int, coinSeed uint64) *Combined {
+	if rmax < 1 {
+		panic("core: rmax must be at least 1")
+	}
+	return &Combined{
+		lean:     NewLean(layout, input),
+		layout:   layout,
+		me:       me,
+		n:        n,
+		rmax:     rmax,
+		coinSeed: coinSeed,
+	}
+}
+
+// Begin implements machine.Machine.
+func (m *Combined) Begin() machine.Op { return m.lean.Begin() }
+
+// Step implements machine.Machine.
+func (m *Combined) Step(result uint32) (machine.Op, machine.Status) {
+	if m.inBackup {
+		return m.bk.Step(result)
+	}
+	op, st := m.lean.Step(result)
+	if st != machine.Running || m.lean.Round() <= m.rmax {
+		return op, st
+	}
+	// lean-consensus has completed round rmax without deciding: switch to
+	// the backup protocol with the current preference as input.
+	m.inBackup = true
+	m.bk = backup.New(m.layout, m.me, m.n, m.lean.Preference(), m.coinSeed)
+	return m.bk.Begin(), machine.Running
+}
+
+// Decision implements machine.Machine.
+func (m *Combined) Decision() int {
+	if m.inBackup {
+		return m.bk.Decision()
+	}
+	return m.lean.Decision()
+}
+
+// Round implements machine.Rounder. Rounds spent in the backup protocol
+// count on from rmax so that round numbers remain monotone.
+func (m *Combined) Round() int {
+	if m.inBackup {
+		return m.rmax + 1 + m.bk.Round()
+	}
+	return m.lean.Round()
+}
+
+// BackupUsed reports whether this process entered the backup protocol.
+func (m *Combined) BackupUsed() bool { return m.inBackup }
+
+// Clone implements machine.Cloner.
+func (m *Combined) Clone() machine.Machine {
+	cp := *m
+	cp.lean = m.lean.Clone().(*Lean)
+	if m.bk != nil {
+		cp.bk = m.bk.Clone().(*backup.Backup)
+	}
+	return &cp
+}
+
+// StateKey implements machine.Keyer by combining the sub-machines' keys.
+func (m *Combined) StateKey() uint64 {
+	k := m.lean.StateKey()
+	if m.inBackup {
+		// The lean machine is frozen once the backup starts; fold the
+		// backup's key in via the mixing function to avoid bit overlap.
+		k = xrand.Mix(k, m.bk.StateKey(), 1)
+	}
+	return k
+}
+
+// Interface compliance checks.
+var (
+	_ machine.Machine = (*Combined)(nil)
+	_ machine.Rounder = (*Combined)(nil)
+	_ machine.Cloner  = (*Combined)(nil)
+	_ machine.Keyer   = (*Combined)(nil)
+)

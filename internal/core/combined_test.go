@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+func combinedSetup(n, rmax int) (register.Layout, *register.SimMem) {
+	layout := register.Layout{N: n, BackupRounds: 16}
+	mem := register.NewSimMem(layout.Registers(rmax + 2))
+	layout.InitMem(mem)
+	return layout, mem
+}
+
+func TestCombinedSoloStaysInLean(t *testing.T) {
+	layout, mem := combinedSetup(1, 8)
+	m := core.NewCombined(layout, 0, 1, 1, 8, xrand.Mix(1))
+	dec, ops, err := machine.Run(m, mem, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 1 || ops != 8 {
+		t.Errorf("solo combined: dec=%d ops=%d, want 1, 8", dec, ops)
+	}
+	if m.BackupUsed() {
+		t.Error("solo run entered the backup")
+	}
+	if m.Round() != 2 {
+		t.Errorf("round %d, want 2", m.Round())
+	}
+}
+
+// TestCombinedSwitchesAtRMax drives two combined machines in lockstep so
+// the lean race never resolves; both must enter the backup after rmax
+// rounds and still decide a common value there.
+func TestCombinedSwitchesAtRMax(t *testing.T) {
+	const rmax = 3
+	layout, mem := combinedSetup(2, rmax)
+	ms := []*core.Combined{
+		core.NewCombined(layout, 0, 2, 0, rmax, xrand.Mix(5, 0)),
+		core.NewCombined(layout, 1, 2, 1, rmax, xrand.Mix(5, 1)),
+	}
+	ops := []machine.Op{ms[0].Begin(), ms[1].Begin()}
+	done := []bool{false, false}
+	for steps := 0; steps < 10000 && (!done[0] || !done[1]); steps++ {
+		for i, m := range ms {
+			if done[i] {
+				continue
+			}
+			var res uint32
+			if ops[i].Kind == register.OpRead {
+				res = mem.Read(ops[i].Reg)
+			} else {
+				mem.Write(ops[i].Reg, ops[i].Val)
+			}
+			next, st := m.Step(res)
+			switch st {
+			case machine.Decided:
+				done[i] = true
+			case machine.Failed:
+				t.Fatal("backup budget exhausted in lockstep test")
+			default:
+				ops[i] = next
+			}
+		}
+	}
+	if !done[0] || !done[1] {
+		t.Fatal("lockstep combined run did not terminate via backup")
+	}
+	if !ms[0].BackupUsed() || !ms[1].BackupUsed() {
+		t.Error("lockstep race should have pushed both machines into the backup")
+	}
+	if ms[0].Decision() != ms[1].Decision() {
+		t.Errorf("disagreement: %d vs %d", ms[0].Decision(), ms[1].Decision())
+	}
+	if ms[0].Round() <= rmax {
+		t.Errorf("round %d should exceed rmax after backup entry", ms[0].Round())
+	}
+}
+
+func TestCombinedRoundMonotone(t *testing.T) {
+	layout, mem := combinedSetup(1, 2)
+	m := core.NewCombined(layout, 0, 1, 0, 2, xrand.Mix(2))
+	last := m.Round()
+	op := m.Begin()
+	for i := 0; i < 100; i++ {
+		var res uint32
+		if op.Kind == register.OpRead {
+			res = mem.Read(op.Reg)
+		} else {
+			mem.Write(op.Reg, op.Val)
+		}
+		next, st := m.Step(res)
+		if r := m.Round(); r < last {
+			t.Fatalf("round went backwards: %d -> %d", last, r)
+		} else {
+			last = r
+		}
+		if st == machine.Decided {
+			return
+		}
+		op = next
+	}
+	t.Fatal("no decision")
+}
+
+func TestCombinedRMaxValidation(t *testing.T) {
+	layout, _ := combinedSetup(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("rmax=0 accepted")
+		}
+	}()
+	core.NewCombined(layout, 0, 1, 0, 0, xrand.Mix(1))
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/register"
+)
+
+// This file checks the paper's safety lemmas against recorded execution
+// histories. The checks are schedule-independent: they must hold for every
+// interleaving, so any history produced by any driver in this repository
+// can be fed to them.
+
+// CheckLemma2 verifies Lemma 2 against a history: no process sets a_b[r]
+// unless r == 1 and b was some process's input, or r > 1 and a_b[r-1] had
+// already been set. inputs[i] is process i's input bit.
+func CheckLemma2(layout register.Layout, h *register.History, inputs []int) error {
+	sawInput := [2]bool{}
+	for _, b := range inputs {
+		sawInput[b] = true
+	}
+	// set[b] tracks the highest round marked in column b via a write
+	// event; Lemma 2 says columns fill bottom-up from an input value.
+	written := make(map[register.ID]bool)
+	for _, ev := range h.Events {
+		if ev.Kind != register.OpWrite {
+			continue
+		}
+		b, r, ok := layout.DecodeA(ev.Reg)
+		if !ok {
+			continue // backup-region register
+		}
+		if ev.Val != 1 {
+			return fmt.Errorf("lemma 2: write of %d (not 1) to a%d[%d] at seq %d", ev.Val, b, r, ev.Seq)
+		}
+		switch {
+		case r == 1:
+			if !sawInput[b] {
+				return fmt.Errorf("lemma 2: a%d[1] set at seq %d but %d is not an input value", b, ev.Seq, b)
+			}
+		case r > 1:
+			if !written[layout.A(b, r-1)] {
+				return fmt.Errorf("lemma 2: a%d[%d] set at seq %d before a%d[%d]", b, r, ev.Seq, b, r-1)
+			}
+		default:
+			return fmt.Errorf("lemma 2: write to prefix location a%d[0] at seq %d", b, ev.Seq)
+		}
+		written[ev.Reg] = true
+	}
+	return nil
+}
+
+// Decision records one process's decision for invariant checking.
+type Decision struct {
+	Proc  int
+	Value int
+	Round int
+	// Seq is the global sequence number of the operation that triggered
+	// the decision (the round-r read of a_{1-b}[r-1]); -1 when unknown.
+	Seq int64
+}
+
+// CheckLemma4 verifies Lemma 4 against a history and the decisions made in
+// it: if some process decides b at round r, no process ever writes
+// a_{1-b}[r], and every process decides at or before round r+1 with the
+// same value.
+func CheckLemma4(layout register.Layout, h *register.History, decisions []Decision) error {
+	for _, d := range decisions {
+		for _, ev := range h.Events {
+			if ev.Kind != register.OpWrite {
+				continue
+			}
+			b, r, ok := layout.DecodeA(ev.Reg)
+			if !ok {
+				continue
+			}
+			if b == 1-d.Value && r == d.Round {
+				return fmt.Errorf(
+					"lemma 4: process %d decided %d at round %d, but a%d[%d] was written at seq %d",
+					d.Proc, d.Value, d.Round, b, r, ev.Seq)
+			}
+		}
+	}
+	if len(decisions) == 0 {
+		return nil
+	}
+	minRound := decisions[0].Round
+	for _, d := range decisions[1:] {
+		if d.Round < minRound {
+			minRound = d.Round
+		}
+	}
+	for _, d := range decisions {
+		if d.Round > minRound+1 {
+			return fmt.Errorf(
+				"lemma 4: process %d decided at round %d, more than one round after the earliest decision round %d",
+				d.Proc, d.Round, minRound)
+		}
+	}
+	return CheckAgreement(decisions)
+}
+
+// CheckAgreement verifies that all decisions carry the same value.
+func CheckAgreement(decisions []Decision) error {
+	for i := 1; i < len(decisions); i++ {
+		if decisions[i].Value != decisions[0].Value {
+			return fmt.Errorf(
+				"agreement violated: process %d decided %d but process %d decided %d",
+				decisions[0].Proc, decisions[0].Value, decisions[i].Proc, decisions[i].Value)
+		}
+	}
+	return nil
+}
+
+// CheckValidity verifies that if all inputs were equal, every decision is
+// that common input.
+func CheckValidity(inputs []int, decisions []Decision) error {
+	if len(inputs) == 0 {
+		return nil
+	}
+	common := inputs[0]
+	for _, b := range inputs[1:] {
+		if b != common {
+			return nil // mixed inputs: any common decision is valid
+		}
+	}
+	for _, d := range decisions {
+		if d.Value != common {
+			return fmt.Errorf(
+				"validity violated: all inputs were %d but process %d decided %d",
+				common, d.Proc, d.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/register"
+)
+
+// These tests validate the invariant checkers themselves against
+// hand-built histories: checkers that cannot flag violations are
+// worthless as evidence.
+
+func histOf(events ...register.Event) *register.History {
+	h := &register.History{}
+	for _, ev := range events {
+		h.Append(ev)
+	}
+	return h
+}
+
+func TestLemma2AcceptsLegalHistory(t *testing.T) {
+	l := register.Layout{}
+	h := histOf(
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(0, 1), Val: 1},
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(0, 2), Val: 1},
+		register.Event{Proc: 1, Kind: register.OpWrite, Reg: l.A(1, 1), Val: 1},
+	)
+	if err := core.CheckLemma2(l, h, []int{0, 1}); err != nil {
+		t.Errorf("legal history rejected: %v", err)
+	}
+}
+
+func TestLemma2RejectsSkippedRound(t *testing.T) {
+	l := register.Layout{}
+	h := histOf(
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(0, 1), Val: 1},
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(0, 3), Val: 1}, // skips round 2
+	)
+	if err := core.CheckLemma2(l, h, []int{0}); err == nil {
+		t.Error("column gap not detected")
+	}
+}
+
+func TestLemma2RejectsNonInputColumn(t *testing.T) {
+	l := register.Layout{}
+	h := histOf(
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(1, 1), Val: 1},
+	)
+	if err := core.CheckLemma2(l, h, []int{0, 0}); err == nil {
+		t.Error("write to non-input column at round 1 not detected")
+	}
+}
+
+func TestLemma2RejectsPrefixWrite(t *testing.T) {
+	l := register.Layout{}
+	h := histOf(
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(0, 0), Val: 1},
+	)
+	if err := core.CheckLemma2(l, h, []int{0}); err == nil || !strings.Contains(err.Error(), "prefix") {
+		t.Errorf("prefix write not detected: %v", err)
+	}
+}
+
+func TestLemma4RejectsOppositeWrite(t *testing.T) {
+	l := register.Layout{}
+	h := histOf(
+		register.Event{Proc: 1, Kind: register.OpWrite, Reg: l.A(1, 3), Val: 1},
+	)
+	decs := []core.Decision{{Proc: 0, Value: 0, Round: 3}}
+	if err := core.CheckLemma4(l, h, decs); err == nil {
+		t.Error("opposite-column write at the decision round not detected")
+	}
+}
+
+func TestLemma4RejectsWideSpread(t *testing.T) {
+	l := register.Layout{}
+	decs := []core.Decision{
+		{Proc: 0, Value: 0, Round: 3},
+		{Proc: 1, Value: 0, Round: 5},
+	}
+	if err := core.CheckLemma4(l, histOf(), decs); err == nil {
+		t.Error("two-round decision spread not detected")
+	}
+}
+
+func TestAgreementChecker(t *testing.T) {
+	good := []core.Decision{{Proc: 0, Value: 1}, {Proc: 1, Value: 1}}
+	if err := core.CheckAgreement(good); err != nil {
+		t.Errorf("agreeing decisions rejected: %v", err)
+	}
+	bad := []core.Decision{{Proc: 0, Value: 1}, {Proc: 1, Value: 0}}
+	if err := core.CheckAgreement(bad); err == nil {
+		t.Error("disagreement not detected")
+	}
+	if err := core.CheckAgreement(nil); err != nil {
+		t.Error("empty decisions rejected")
+	}
+}
+
+func TestValidityChecker(t *testing.T) {
+	if err := core.CheckValidity([]int{1, 1}, []core.Decision{{Value: 0}}); err == nil {
+		t.Error("validity violation not detected")
+	}
+	if err := core.CheckValidity([]int{0, 1}, []core.Decision{{Value: 0}, {Value: 0}}); err != nil {
+		t.Errorf("mixed-input decision rejected: %v", err)
+	}
+	if err := core.CheckValidity(nil, nil); err != nil {
+		t.Errorf("empty case: %v", err)
+	}
+}
+
+func TestLemma2RejectsNonOneWrite(t *testing.T) {
+	l := register.Layout{}
+	h := histOf(
+		register.Event{Proc: 0, Kind: register.OpWrite, Reg: l.A(0, 1), Val: 2},
+	)
+	if err := core.CheckLemma2(l, h, []int{0}); err == nil {
+		t.Error("write of a non-1 value not detected")
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements lean-consensus, the deterministic racing-counters
+// consensus algorithm of the paper (Section 4), together with its bounded
+// and combined (Section 8) variants and checkers for the agreement and
+// validity invariants (Section 5, Lemmas 2-4).
+//
+// The algorithm races processes preferring 0 against processes preferring
+// 1 over two arrays a0 and a1 of multi-writer atomic bits. At round r a
+// process with preference p executes exactly four operations:
+//
+//  1. read a0[r]          (switch preference if the rival column is
+//  2. read a1[r]           marked and its own is not)
+//  3. write a_p[r] := 1
+//  4. read a_{1-p}[r-1]    (decide p if this is 0)
+//
+// Agreement and validity hold under every schedule; termination comes from
+// the environment (noisy scheduling, Section 6, or hybrid quantum/priority
+// scheduling, Section 7).
+package core
+
+import (
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// phase enumerates the four operations of a round. The zero value is not a
+// valid phase so that an uninitialized machine is detectable.
+type phase uint8
+
+const (
+	phaseReadA0 phase = iota + 1 // about to read a0[r]
+	phaseReadA1                  // about to read a1[r]
+	phaseWrite                   // about to write a_p[r]
+	phaseCheck                   // about to read a_{1-p}[r-1]
+)
+
+// Lean is the lean-consensus state machine for one process.
+//
+// The zero value is not usable; construct with NewLean.
+type Lean struct {
+	layout register.Layout
+	p      int // current preference, 0 or 1
+	r      int // current round, starting at 1
+	ph     phase
+	v0     uint32 // value read from a0[r] in the current round
+	dec    int
+	done   bool
+
+	// skipRedundant enables the "optimization" the paper warns against in
+	// Section 4: skip the write when step 1-2 already showed a_p[r] set,
+	// and skip the final read when the value of a_{1-p}[r] implies
+	// a_{1-p}[r-1] is set (Lemma 2: bits are set bottom-up). Used only by
+	// the E10 ablation.
+	skipRedundant bool
+	v1            uint32 // value read from a1[r] in the current round
+}
+
+// NewLean returns a lean-consensus machine with the given input bit,
+// using layout to locate the a0/a1 arrays. Input must be 0 or 1.
+func NewLean(layout register.Layout, input int) *Lean {
+	if input != 0 && input != 1 {
+		panic("core: input must be 0 or 1")
+	}
+	return &Lean{layout: layout, p: input, r: 1, ph: phaseReadA0}
+}
+
+// NewLeanOptimized returns the ablation variant that elides operations the
+// paper deliberately keeps (Section 4): eliding them reduces the work done
+// by slow processes while leaving fast processes at the same per-round
+// cost, which hurts dispersal. Agreement and validity are unaffected.
+func NewLeanOptimized(layout register.Layout, input int) *Lean {
+	m := NewLean(layout, input)
+	m.skipRedundant = true
+	return m
+}
+
+// Begin implements machine.Machine.
+func (m *Lean) Begin() machine.Op {
+	return machine.Op{Kind: register.OpRead, Reg: m.layout.A(0, m.r)}
+}
+
+// Step implements machine.Machine.
+func (m *Lean) Step(result uint32) (machine.Op, machine.Status) {
+	switch m.ph {
+	case phaseReadA0:
+		m.v0 = result
+		m.ph = phaseReadA1
+		return machine.Op{Kind: register.OpRead, Reg: m.layout.A(1, m.r)}, machine.Running
+
+	case phaseReadA1:
+		m.v1 = result
+		// If exactly one column is marked at this round, adopt its value:
+		// the faster team has pulled ahead (paper, step 1).
+		switch {
+		case m.v0 == 1 && m.v1 == 0:
+			m.p = 0
+		case m.v0 == 0 && m.v1 == 1:
+			m.p = 1
+		}
+		m.ph = phaseWrite
+		if m.skipRedundant && ((m.p == 0 && m.v0 == 1) || (m.p == 1 && m.v1 == 1)) {
+			// Ablation only: a_p[r] is already set, skip the write.
+			return m.afterWrite()
+		}
+		return machine.Op{Kind: register.OpWrite, Reg: m.layout.A(m.p, m.r), Val: 1}, machine.Running
+
+	case phaseWrite:
+		return m.afterWrite()
+
+	case phaseCheck:
+		if result == 0 {
+			// No rival reached round r-1: every process that catches up
+			// will adopt p before overtaking (Lemma 4). Decide.
+			m.dec = m.p
+			m.done = true
+			return machine.Op{}, machine.Decided
+		}
+		return m.nextRound()
+
+	default:
+		panic("core: Step called before Begin")
+	}
+}
+
+// afterWrite advances to the round's final read of a_{1-p}[r-1].
+func (m *Lean) afterWrite() (machine.Op, machine.Status) {
+	if m.skipRedundant {
+		// Ablation only: if the rival column was already marked at this
+		// round, Lemma 2 implies a_{1-p}[r-1] is set, so the final read's
+		// result (1) is known without performing it.
+		rival := m.v1
+		if m.p == 1 {
+			rival = m.v0
+		}
+		if rival == 1 {
+			return m.nextRound()
+		}
+	}
+	m.ph = phaseCheck
+	return machine.Op{Kind: register.OpRead, Reg: m.layout.A(1-m.p, m.r-1)}, machine.Running
+}
+
+// nextRound advances to round r+1.
+func (m *Lean) nextRound() (machine.Op, machine.Status) {
+	m.r++
+	m.ph = phaseReadA0
+	return machine.Op{Kind: register.OpRead, Reg: m.layout.A(0, m.r)}, machine.Running
+}
+
+// Decision implements machine.Machine.
+func (m *Lean) Decision() int { return m.dec }
+
+// Decided reports whether the machine has decided.
+func (m *Lean) Decided() bool { return m.done }
+
+// Round implements machine.Rounder: the round the process is at (the paper
+// says a process "is at round r" when its round number is r).
+func (m *Lean) Round() int { return m.r }
+
+// Preference returns the machine's current preference; the combined
+// protocol uses the preference at the cutoff round as the backup input.
+func (m *Lean) Preference() int { return m.p }
+
+// Clone implements machine.Cloner.
+func (m *Lean) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+// StateKey implements machine.Keyer: the machine's complete state packed
+// into one word (rounds above 2^48 would alias, far beyond any
+// model-checked horizon).
+func (m *Lean) StateKey() uint64 {
+	k := uint64(m.r) << 16
+	k |= uint64(m.ph) << 8
+	k |= uint64(m.p) << 7
+	k |= uint64(m.v0&1) << 6
+	k |= uint64(m.v1&1) << 5
+	if m.done {
+		k |= 1 << 4
+	}
+	k |= uint64(m.dec) << 3
+	if m.skipRedundant {
+		k |= 1 << 2
+	}
+	return k
+}
+
+// Interface compliance checks.
+var (
+	_ machine.Machine = (*Lean)(nil)
+	_ machine.Rounder = (*Lean)(nil)
+	_ machine.Cloner  = (*Lean)(nil)
+	_ machine.Keyer   = (*Lean)(nil)
+)

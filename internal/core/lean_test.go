@@ -1,0 +1,246 @@
+package core_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// newMem returns an initialized lean-only memory.
+func newMem(t *testing.T) (*register.SimMem, register.Layout) {
+	t.Helper()
+	layout := register.Layout{}
+	mem := register.NewSimMem(16)
+	layout.InitMem(mem)
+	return mem, layout
+}
+
+func TestSoloRunDecidesOwnInputAtRoundTwo(t *testing.T) {
+	for _, input := range []int{0, 1} {
+		mem, layout := newMem(t)
+		m := core.NewLean(layout, input)
+		dec, ops, err := machine.Run(m, mem, 100)
+		if err != nil {
+			t.Fatalf("input %d: %v", input, err)
+		}
+		if dec != input {
+			t.Errorf("input %d: decided %d", input, dec)
+		}
+		if ops != 8 {
+			t.Errorf("input %d: %d ops, want 8 (Lemma 3)", input, ops)
+		}
+		if m.Round() != 2 {
+			t.Errorf("input %d: decided at round %d, want 2", input, m.Round())
+		}
+	}
+}
+
+// TestLemma3SequentialSameInputs runs several same-input processes one
+// after another: each must decide the common input after exactly 8
+// operations (Lemma 3 holds for every schedule; here the schedule is
+// sequential).
+func TestLemma3SequentialSameInputs(t *testing.T) {
+	for _, input := range []int{0, 1} {
+		mem, layout := newMem(t)
+		for i := 0; i < 5; i++ {
+			m := core.NewLean(layout, input)
+			dec, ops, err := machine.Run(m, mem, 100)
+			if err != nil {
+				t.Fatalf("proc %d: %v", i, err)
+			}
+			if dec != input || ops != 8 {
+				t.Errorf("proc %d: decided %d after %d ops, want %d after 8", i, dec, ops, input)
+			}
+		}
+	}
+}
+
+// TestSequentialMixedInputsAdoptFirst runs processes with different inputs
+// sequentially: the first process decides its own input, and every later
+// process must adopt it.
+func TestSequentialMixedInputsAdoptFirst(t *testing.T) {
+	mem, layout := newMem(t)
+	first := core.NewLean(layout, 0)
+	dec, _, err := machine.Run(first, mem, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 0 {
+		t.Fatalf("first process decided %d, want its own input 0", dec)
+	}
+	for i := 0; i < 4; i++ {
+		m := core.NewLean(layout, 1) // opposite input
+		dec, _, err := machine.Run(m, mem, 200)
+		if err != nil {
+			t.Fatalf("late proc %d: %v", i, err)
+		}
+		if dec != 0 {
+			t.Errorf("late process decided %d, want 0 (agreement with first)", dec)
+		}
+	}
+}
+
+// stepAll interleaves a set of machines in lockstep (one op each, round
+// robin) and returns decisions once all have decided.
+func stepAll(t *testing.T, mem register.Mem, ms []*core.Lean, maxSteps int) []int {
+	t.Helper()
+	type st struct {
+		op      machine.Op
+		decided bool
+	}
+	states := make([]st, len(ms))
+	for i, m := range ms {
+		states[i].op = m.Begin()
+	}
+	for step := 0; step < maxSteps; step++ {
+		alldone := true
+		for i, m := range ms {
+			if states[i].decided {
+				continue
+			}
+			alldone = false
+			var res uint32
+			if states[i].op.Kind == register.OpRead {
+				res = mem.Read(states[i].op.Reg)
+			} else {
+				mem.Write(states[i].op.Reg, states[i].op.Val)
+			}
+			next, status := m.Step(res)
+			if status == machine.Decided {
+				states[i].decided = true
+			} else {
+				states[i].op = next
+			}
+		}
+		if alldone {
+			out := make([]int, len(ms))
+			for i, m := range ms {
+				out[i] = m.Decision()
+			}
+			return out
+		}
+	}
+	t.Fatalf("no decision within %d lockstep steps", maxSteps)
+	return nil
+}
+
+// TestLockstepSameInputs: even a perfectly synchronized round-robin
+// schedule terminates when inputs agree (Lemma 3).
+func TestLockstepSameInputs(t *testing.T) {
+	mem, layout := newMem(t)
+	ms := []*core.Lean{core.NewLean(layout, 1), core.NewLean(layout, 1), core.NewLean(layout, 1)}
+	decs := stepAll(t, mem, ms, 1000)
+	for i, d := range decs {
+		if d != 1 {
+			t.Errorf("proc %d decided %d, want 1", i, d)
+		}
+	}
+}
+
+// TestStaggeredMixedRace: one process running 2 rounds ahead decides, the
+// laggards adopt its value.
+func TestStaggeredMixedRace(t *testing.T) {
+	mem, layout := newMem(t)
+	fast := core.NewLean(layout, 1)
+	slow := core.NewLean(layout, 0)
+
+	// Let fast run to decision alone.
+	dec, ops, err := machine.Run(fast, mem, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 1 || ops != 8 {
+		t.Fatalf("fast: decided %d after %d ops", dec, ops)
+	}
+	// Slow must adopt 1 (Lemma 4: decides at or before round 3).
+	dec2, _, err := machine.Run(slow, mem, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2 != 1 {
+		t.Errorf("slow decided %d, want 1", dec2)
+	}
+	if slow.Round() > 3 {
+		t.Errorf("slow decided at round %d, want <= 3 (Lemma 4)", slow.Round())
+	}
+}
+
+func TestRoundAndPreferenceAccessors(t *testing.T) {
+	_, layout := newMem(t)
+	m := core.NewLean(layout, 1)
+	if m.Round() != 1 {
+		t.Errorf("fresh machine at round %d, want 1", m.Round())
+	}
+	if m.Preference() != 1 {
+		t.Errorf("fresh machine prefers %d, want 1", m.Preference())
+	}
+	if m.Decided() {
+		t.Error("fresh machine claims to be decided")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	mem, layout := newMem(t)
+	m := core.NewLean(layout, 0)
+	op := m.Begin()
+	res := mem.Read(op.Reg)
+	m.Step(res)
+
+	clone := m.Clone().(*core.Lean)
+	if clone.StateKey() != m.StateKey() {
+		t.Fatal("clone state differs from original")
+	}
+	// Advancing the original must not affect the clone.
+	m.Step(0)
+	if clone.StateKey() == m.StateKey() {
+		t.Fatal("clone tracked the original after stepping")
+	}
+}
+
+func TestStateKeyDistinguishesStates(t *testing.T) {
+	_, layout := newMem(t)
+	a := core.NewLean(layout, 0)
+	b := core.NewLean(layout, 1)
+	if a.StateKey() == b.StateKey() {
+		t.Error("different preferences produced identical state keys")
+	}
+	c := core.NewLeanOptimized(layout, 0)
+	if a.StateKey() == c.StateKey() {
+		t.Error("optimized variant not distinguished in state key")
+	}
+}
+
+func TestBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLean(2) did not panic")
+		}
+	}()
+	core.NewLean(register.Layout{}, 2)
+}
+
+// TestOptimizedVariantFewerOps: a process running after a decided rival
+// executes fewer than 4 ops in rounds where the elisions apply, while the
+// standard variant always executes 4 per round.
+func TestOptimizedVariantFewerOps(t *testing.T) {
+	mem, layout := newMem(t)
+	if _, _, err := machine.Run(core.NewLean(layout, 1), mem, 100); err != nil {
+		t.Fatal(err)
+	}
+	// A laggard with the opposite input, standard variant.
+	memStd := mem.Clone()
+	_, opsStd, err := machine.Run(core.NewLean(layout, 0), memStd, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memOpt := mem.Clone()
+	_, opsOpt, err := machine.Run(core.NewLeanOptimized(layout, 0), memOpt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opsOpt >= opsStd {
+		t.Errorf("optimized laggard used %d ops, standard %d: elision had no effect", opsOpt, opsStd)
+	}
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/stats"
+	"leanconsensus/internal/xrand"
+)
+
+// ContentionConfig parameterizes experiment E14 (Section 10,
+// "Synchronization and contention"): does load-dependent delay on busy
+// registers help or hurt the race? The paper speculates it helps — hot
+// early-round registers slow the laggards fighting over them while
+// leaders run on cold late-round registers.
+type ContentionConfig struct {
+	// Penalties are the per-load extra delays to sweep (0 = the baseline
+	// contention-free model).
+	Penalties []float64
+	// HalfLife is the load decay half-life.
+	HalfLife float64
+	// Ns are process counts.
+	Ns []int
+	// Trials per point.
+	Trials int
+	// Seed fixes randomness.
+	Seed uint64
+}
+
+// ContentionDefaults returns the E14 configuration for a scale.
+func ContentionDefaults(scale Scale) ContentionConfig {
+	cfg := ContentionConfig{
+		Penalties: []float64{0, 0.05, 0.2, 1},
+		HalfLife:  2,
+		Seed:      14,
+	}
+	switch scale {
+	case ScaleBench:
+		cfg.Ns = []int{16}
+		cfg.Trials = 100
+	case ScaleFull:
+		cfg.Ns = []int{16, 64, 256, 1024}
+		cfg.Trials = 4000
+	default:
+		cfg.Ns = []int{16, 64, 256}
+		cfg.Trials = 800
+	}
+	return cfg
+}
+
+// ContentionExperiment runs experiment E14.
+func ContentionExperiment(cfg ContentionConfig) (*Report, error) {
+	table := stats.NewTable("n", "penalty", "trials",
+		"mean round (first termination)", "ci95", "mean simulated time")
+	base := map[int]float64{}
+	for _, n := range cfg.Ns {
+		for _, pen := range cfg.Penalties {
+			var rounds, times stats.Acc
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := xrand.Mix(cfg.Seed, 0xe14, uint64(n), uint64(trial))
+				sim := SimConfig{
+					N:         n,
+					ReadNoise: dist.Exponential{MeanVal: 1},
+					Seed:      seed,
+				}
+				if pen > 0 {
+					sim.Contention = &sched.Contention{HalfLife: cfg.HalfLife, Penalty: pen}
+				}
+				run, err := RunSim(sim)
+				if err != nil {
+					return nil, fmt.Errorf("contention n=%d penalty=%g: %w", n, pen, err)
+				}
+				rounds.Add(float64(run.Res.FirstDecisionRound))
+				times.Add(run.Res.Time)
+			}
+			if pen == 0 {
+				base[n] = rounds.Mean()
+			}
+			table.AddRow(n, pen, cfg.Trials, rounds.Mean(), rounds.CI95(), times.Mean())
+		}
+	}
+	rep := &Report{
+		ID:     "E14",
+		Title:  "Section 10 extension: memory contention (load-dependent register delays)",
+		Tables: []*stats.Table{table},
+	}
+	rep.Notes = append(rep.Notes,
+		"the paper's hypothesis: contention disperses processes (laggards crowd hot early-round registers, leaders run on cold ones) and should reduce the round count, at the cost of wall-clock time per operation. Compare each penalty row against the penalty=0 baseline.")
+	return rep, nil
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/stats"
+	"leanconsensus/internal/xrand"
+)
+
+// Fig1Config parameterizes the reproduction of the paper's Figure 1:
+// "Results of simulating lean-consensus with various interarrival
+// distributions" — mean round of first termination vs number of processes,
+// six distributions, half the processes starting with each input, start
+// times dithered by U(0, 1e-8), no failures.
+type Fig1Config struct {
+	// Ns are the process counts (the paper's x axis runs 1..100000,
+	// log-scaled).
+	Ns []int
+	// Trials maps a process count to the number of trials (the paper uses
+	// 10,000 everywhere; that is ScaleFull here).
+	Trials func(n int) int
+	// Dists are the interarrival distributions (default: the paper's six).
+	Dists []dist.Distribution
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// Fig1Defaults returns the configuration for a scale.
+func Fig1Defaults(scale Scale) Fig1Config {
+	cfg := Fig1Config{
+		Dists: dist.Figure1(),
+		Seed:  1,
+	}
+	switch scale {
+	case ScaleBench:
+		cfg.Ns = []int{1, 10, 100}
+		cfg.Trials = func(n int) int { return 50 }
+	case ScaleFull:
+		cfg.Ns = []int{1, 10, 100, 1000, 10000, 100000}
+		cfg.Trials = func(n int) int {
+			switch {
+			case n <= 1000:
+				return 10000
+			case n <= 10000:
+				return 1000
+			default:
+				return 100
+			}
+		}
+	default:
+		cfg.Ns = []int{1, 10, 100, 1000, 10000}
+		cfg.Trials = func(n int) int {
+			switch {
+			case n <= 100:
+				return 2000
+			case n <= 1000:
+				return 400
+			default:
+				return 40
+			}
+		}
+	}
+	return cfg
+}
+
+// Fig1 runs experiment E1 and renders the reproduction of Figure 1.
+func Fig1(cfg Fig1Config) (*Report, error) {
+	if cfg.Dists == nil {
+		cfg.Dists = dist.Figure1()
+	}
+	table := stats.NewTable("distribution", "n", "trials", "mean round of first termination", "ci95", "mean ops/proc")
+	var series []stats.Series
+
+	for _, d := range cfg.Dists {
+		s := stats.Series{Name: d.String()}
+		for _, n := range cfg.Ns {
+			trials := cfg.Trials(n)
+			var rounds, ops stats.Acc
+			for trial := 0; trial < trials; trial++ {
+				seed := xrand.Mix(cfg.Seed, 0xf1601, uint64(n), uint64(trial))
+				run, err := RunSim(SimConfig{
+					N:         n,
+					ReadNoise: d,
+					Seed:      seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig1 %v n=%d trial %d: %w", d, n, trial, err)
+				}
+				if run.Res.FirstDecisionProc < 0 {
+					return nil, fmt.Errorf("fig1 %v n=%d trial %d: no decision", d, n, trial)
+				}
+				rounds.Add(float64(run.Res.FirstDecisionRound))
+				ops.Add(float64(run.Res.TotalOps) / float64(n))
+			}
+			table.AddRow(d.String(), n, trials, rounds.Mean(), rounds.CI95(), ops.Mean())
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, rounds.Mean())
+		}
+		series = append(series, s)
+	}
+
+	rep := &Report{
+		ID:     "E1",
+		Title:  "Figure 1: mean round of first termination vs n, six interarrival distributions",
+		Tables: []*stats.Table{table},
+		Charts: []string{stats.Chart(series, 72, 18, true)},
+	}
+	rep.Notes = append(rep.Notes,
+		"paper's qualitative claims: logarithmic growth with small constants for most distributions; normal(1,0.04) is inverted (decreases with n).",
+		"curve ordering tracks the coefficient of variation: low-noise distributions (normal, two-point) disperse the race slowly and sit high; exponential(1), the noisiest relative to its mean, sits lowest.")
+
+	// Quantify the shapes: slope of mean round against log2 n.
+	fits := stats.NewTable("distribution", "slope per log2(n)", "intercept", "r2")
+	for _, s := range series {
+		ns := make([]int, len(s.X))
+		for i, x := range s.X {
+			ns[i] = int(x)
+		}
+		fit, err := stats.FitLogN(ns, s.Y)
+		if err != nil {
+			return nil, err
+		}
+		fits.AddRow(s.Name, fit.Slope, fit.Intercept, fit.R2)
+	}
+	rep.Tables = append(rep.Tables, fits)
+	return rep, nil
+}

@@ -1,0 +1,210 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/harness"
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/xrand"
+)
+
+// TestAllExperimentsBenchScale smoke-runs every registered experiment at
+// bench scale and sanity-checks the reports.
+func TestAllExperimentsBenchScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke suite in -short mode")
+	}
+	for _, exp := range harness.Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			rep, err := exp.Run(harness.ScaleBench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != exp.ID {
+				t.Errorf("report ID %q, want %q", rep.ID, exp.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Error("report has no tables")
+			}
+			for _, tbl := range rep.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Error("report table has no rows")
+				}
+			}
+			text := rep.Text()
+			if !strings.Contains(text, exp.ID) {
+				t.Error("text rendering missing the experiment ID")
+			}
+			if md := rep.Markdown(); !strings.Contains(md, "|") {
+				t.Error("markdown rendering has no table")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, key := range []string{"E1", "fig1", "E10", "ablation", "race"} {
+		if _, err := harness.Lookup(key); err != nil {
+			t.Errorf("Lookup(%q): %v", key, err)
+		}
+	}
+	if _, err := harness.Lookup("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]harness.Scale{
+		"bench":   harness.ScaleBench,
+		"default": harness.ScaleDefault,
+		"":        harness.ScaleDefault,
+		"full":    harness.ScaleFull,
+	} {
+		got, err := harness.ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := harness.ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestHalfInputs(t *testing.T) {
+	// HalfInputs gives the first floor(n/2) processes input 0 and the rest
+	// input 1.
+	cases := map[int][]int{
+		1: {1},
+		2: {0, 1},
+		5: {0, 0, 1, 1, 1},
+	}
+	for n, want := range cases {
+		got := harness.HalfInputs(n)
+		if len(got) != len(want) {
+			t.Fatalf("HalfInputs(%d) = %v", n, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("HalfInputs(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestInvariantsAcrossConfigurations runs recorded simulations over a grid
+// of distributions, adversaries, failure rates and variants, checking
+// agreement, validity, Lemma 2 and Lemma 4 on every run. This is the
+// highest-volume safety net in the repository.
+func TestInvariantsAcrossConfigurations(t *testing.T) {
+	advs := []sched.Adversary{
+		nil,
+		sched.Constant{D: 0.5},
+		sched.Stagger{Gap: 3},
+		sched.AntiLeader{M: 1},
+		sched.HalfSplit{M: 1},
+	}
+	dists := []dist.Distribution{
+		dist.Exponential{MeanVal: 1},
+		dist.TwoPoint{A: 1, B: 2},
+		dist.Geometric{P: 0.5},
+	}
+	variants := []harness.Variant{
+		harness.VariantLean,
+		harness.VariantLeanOptimized,
+		harness.VariantCombined,
+		harness.VariantBackup,
+	}
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for _, variant := range variants {
+		for _, adv := range advs {
+			for _, d := range dists {
+				for _, h := range []float64{0, 0.02} {
+					for trial := 0; trial < trials; trial++ {
+						seed := xrand.Mix(99, uint64(variant), uint64(trial), uint64(h*100))
+						run, err := harness.RunSim(harness.SimConfig{
+							N:           8,
+							ReadNoise:   d,
+							Adversary:   adv,
+							FailureProb: h,
+							Seed:        seed,
+							Variant:     variant,
+							RMax:        3, // small, to exercise the backup path
+							Record:      true,
+						})
+						if err != nil {
+							t.Fatalf("variant=%d adv=%T dist=%v h=%v: %v", variant, adv, d, h, err)
+						}
+						if run.Res.CapHit {
+							t.Fatalf("variant=%d adv=%T dist=%v: cap hit", variant, adv, d)
+						}
+						if err := run.CheckRun(); err != nil {
+							t.Fatalf("INVARIANT VIOLATION variant=%d adv=%T dist=%v h=%v seed=%d: %v",
+								variant, adv, d, h, seed, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWriteDistSeparate exercises the per-op-type noise channel.
+func TestWriteDistSeparate(t *testing.T) {
+	run, err := harness.RunSim(harness.SimConfig{
+		N:          4,
+		ReadNoise:  dist.Constant{V: 0.001},
+		WriteNoise: dist.Exponential{MeanVal: 5},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes dominate the time: a run of r rounds spends roughly r writes
+	// x mean 5 per process; simulated time must reflect the write noise.
+	if run.Res.Time < 5 {
+		t.Errorf("simulated time %.3f too small for write-noise mean 5", run.Res.Time)
+	}
+}
+
+// TestCrashAdversary checks the E8 leader-killer wiring: f crashes halt
+// exactly f processes (when the race lasts long enough to produce
+// leaders).
+func TestCrashAdversary(t *testing.T) {
+	crashes := 0
+	run, err := harness.RunSim(harness.SimConfig{
+		N:         16,
+		ReadNoise: dist.Exponential{MeanVal: 1},
+		Seed:      17,
+		Crasher: func(i int, j int64, v sched.View) bool {
+			if crashes < 2 {
+				if leader, round := v.Leader(); leader == i && round >= 2 {
+					crashes++
+					return true
+				}
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halted := 0
+	for _, h := range run.Res.Halted {
+		if h {
+			halted++
+		}
+	}
+	if halted != crashes {
+		t.Errorf("halted %d processes, crasher fired %d times", halted, crashes)
+	}
+	if _, ok := run.Res.Agreement(); !ok {
+		t.Error("survivors disagree after crashes")
+	}
+}

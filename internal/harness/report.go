@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leanconsensus/internal/stats"
+)
+
+// Report is the rendered result of one experiment.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title describes the experiment and its source in the paper.
+	Title string
+	// Tables holds the quantitative results.
+	Tables []*stats.Table
+	// Charts holds pre-rendered ASCII charts.
+	Charts []string
+	// Notes holds commentary comparing against the paper's claims.
+	Notes []string
+}
+
+// Text renders the report for a terminal.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, tbl := range r.Tables {
+		b.WriteString(tbl.Text())
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Charts {
+		b.WriteString(c)
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a markdown fragment (used to build
+// EXPERIMENTS.md).
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, tbl := range r.Tables {
+		b.WriteString(tbl.Markdown())
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Charts {
+		b.WriteString("```\n")
+		b.WriteString(c)
+		b.WriteString("```\n\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "*%s*\n\n", n)
+	}
+	return b.String()
+}
+
+// WriteCSV writes each table of the report as <dir>/<id>-<k>.csv.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("harness: creating %s: %w", dir, err)
+	}
+	for k, tbl := range r.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", strings.ToLower(r.ID), k))
+		if err := os.WriteFile(name, []byte(tbl.CSV()), 0o644); err != nil {
+			return fmt.Errorf("harness: writing %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Scale tunes how much work the experiments do. The paper's full protocol
+// (10,000 trials per Figure 1 point up to n = 100,000) takes hours on one
+// core; the default scale reproduces every shape in minutes and the bench
+// scale in seconds.
+type Scale int
+
+// Scales.
+const (
+	// ScaleBench: smallest runs, for go test -bench smoke and CI.
+	ScaleBench Scale = iota + 1
+	// ScaleDefault: minutes on a laptop core; the EXPERIMENTS.md numbers.
+	ScaleDefault
+	// ScaleFull: the paper's trial counts where feasible.
+	ScaleFull
+)
+
+// ParseScale maps a command-line string onto a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "bench":
+		return ScaleBench, nil
+	case "default", "":
+		return ScaleDefault, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown scale %q (want bench, default or full)", s)
+	}
+}

@@ -1,0 +1,71 @@
+package harness_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/harness"
+	"leanconsensus/internal/stats"
+)
+
+func TestReportWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := stats.NewTable("a", "b")
+	tbl.AddRow(1, 2.5)
+	rep := &harness.Report{ID: "E99", Title: "test", Tables: []*stats.Table{tbl, tbl}}
+	if err := rep.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e99-0.csv", "e99-1.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "a,b\n") {
+			t.Errorf("%s content %q", name, data)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	tbl := stats.NewTable("x")
+	tbl.AddRow(42)
+	rep := &harness.Report{
+		ID:     "E0",
+		Title:  "rendering test",
+		Tables: []*stats.Table{tbl},
+		Charts: []string{"CHART\n"},
+		Notes:  []string{"a note"},
+	}
+	text := rep.Text()
+	for _, want := range []string{"E0", "rendering test", "42", "CHART", "a note"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q", want)
+		}
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"### E0", "| x |", "```", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown() missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range harness.Experiments() {
+		if seen[e.ID] || seen[e.Name] {
+			t.Errorf("duplicate experiment key %s/%s", e.ID, e.Name)
+		}
+		seen[e.ID] = true
+		seen[e.Name] = true
+		if e.Run == nil || e.Brief == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(harness.Experiments()) < 14 {
+		t.Errorf("expected at least 14 experiments, got %d", len(harness.Experiments()))
+	}
+}

@@ -1,0 +1,229 @@
+// Package harness assembles complete experiments: it wires machines,
+// memory layouts, schedulers and statistics into the reproductions of the
+// paper's Figure 1 and of each quantitative theorem (see DESIGN.md's
+// experiment index E1-E14), and renders their results as tables, charts
+// and CSV.
+package harness
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/backup"
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/xrand"
+)
+
+// Variant selects which algorithm the simulated processes run.
+type Variant int
+
+// Algorithm variants.
+const (
+	// VariantLean is the paper's lean-consensus with unbounded arrays.
+	VariantLean Variant = iota + 1
+	// VariantLeanOptimized is the E10 ablation (elided "redundant" ops).
+	VariantLeanOptimized
+	// VariantCombined is the Section 8 bounded-space protocol.
+	VariantCombined
+	// VariantBackup runs the backup protocol alone.
+	VariantBackup
+)
+
+// SimConfig describes one simulated consensus execution.
+type SimConfig struct {
+	// N is the number of processes.
+	N int
+	// Inputs holds the input bits; nil selects the paper's Figure 1 setup
+	// (half the processes start with each input).
+	Inputs []int
+	// ReadNoise is the interarrival noise distribution (required).
+	// WriteNoise defaults to ReadNoise.
+	ReadNoise, WriteNoise dist.Distribution
+	// Adversary defaults to sched.Zero (the Figure 1 configuration).
+	Adversary sched.Adversary
+	// FailureProb is h(n).
+	FailureProb float64
+	// Seed fixes all randomness.
+	Seed uint64
+	// Variant selects the algorithm (default VariantLean).
+	Variant Variant
+	// RMax and BackupRounds configure VariantCombined (defaults 32 / 64).
+	RMax, BackupRounds int
+	// Record captures a full operation history for invariant checking.
+	Record bool
+	// MaxOpsPerProc overrides the engine safety valve.
+	MaxOpsPerProc int64
+	// DitherScale overrides the engine's start dithering.
+	DitherScale float64
+	// Crasher, when non-nil, is the adaptive crash adversary (see
+	// sched.Config.Crasher).
+	Crasher func(i int, j int64, v sched.View) bool
+	// Contention, when non-nil, enables the load-dependent delay model.
+	Contention *sched.Contention
+}
+
+// SimRun bundles the engine result with the artifacts needed for
+// invariant checking.
+type SimRun struct {
+	Res     *sched.Result
+	History *register.History
+	Layout  register.Layout
+	Inputs  []int
+	Variant Variant
+	RMax    int
+}
+
+// HalfInputs returns the Figure 1 input assignment: the first half of the
+// processes start with 0, the rest with 1.
+func HalfInputs(n int) []int {
+	in := make([]int, n)
+	for i := n / 2; i < n; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+// RunSim executes one simulated consensus run.
+func RunSim(cfg SimConfig) (*SimRun, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("harness: N must be positive")
+	}
+	inputs := cfg.Inputs
+	if inputs == nil {
+		inputs = HalfInputs(cfg.N)
+	}
+	if len(inputs) != cfg.N {
+		return nil, fmt.Errorf("harness: %d inputs for %d processes", len(inputs), cfg.N)
+	}
+	variant := cfg.Variant
+	if variant == 0 {
+		variant = VariantLean
+	}
+	rmax := cfg.RMax
+	if rmax == 0 {
+		rmax = 32
+	}
+	backupRounds := cfg.BackupRounds
+	if backupRounds == 0 {
+		backupRounds = 64
+	}
+
+	var layout register.Layout
+	switch variant {
+	case VariantCombined, VariantBackup:
+		layout = register.Layout{N: cfg.N, BackupRounds: backupRounds}
+	default:
+		layout = register.Layout{}
+	}
+	mem := register.NewSimMem(layout.Registers(8))
+	layout.InitMem(mem)
+
+	machines := make([]machine.Machine, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		switch variant {
+		case VariantLean:
+			machines[i] = core.NewLean(layout, inputs[i])
+		case VariantLeanOptimized:
+			machines[i] = core.NewLeanOptimized(layout, inputs[i])
+		case VariantCombined:
+			machines[i] = core.NewCombined(layout, i, cfg.N, inputs[i], rmax,
+				xrand.Mix(cfg.Seed, 0x636f6d62, uint64(i)))
+		case VariantBackup:
+			machines[i] = backup.New(layout, i, cfg.N, inputs[i],
+				xrand.Mix(cfg.Seed, 0x6261636b, uint64(i)))
+		default:
+			return nil, fmt.Errorf("harness: unknown variant %d", variant)
+		}
+	}
+
+	var hist *register.History
+	if cfg.Record {
+		hist = &register.History{}
+	}
+	eng, err := sched.NewEngine(sched.Config{
+		N:             cfg.N,
+		Machines:      machines,
+		Mem:           mem,
+		ReadNoise:     cfg.ReadNoise,
+		WriteNoise:    cfg.WriteNoise,
+		Adversary:     cfg.Adversary,
+		FailureProb:   cfg.FailureProb,
+		Seed:          cfg.Seed,
+		DitherScale:   cfg.DitherScale,
+		MaxOpsPerProc: cfg.MaxOpsPerProc,
+		History:       hist,
+		Crasher:       cfg.Crasher,
+		Contention:    cfg.Contention,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &SimRun{
+		Res: res, History: hist, Layout: layout, Inputs: inputs,
+		Variant: variant, RMax: rmax,
+	}, nil
+}
+
+// CheckRun verifies every schedule-independent invariant that applies to a
+// recorded run: agreement, validity, Lemma 2, and Lemma 4 (including the
+// one-round decision spread). Lemma 2/4 need cfg.Record to have been set;
+// the Lemma 4 clauses apply to decisions made inside the racing counters,
+// so for the combined protocol only lean-round decisions are held to them,
+// and the backup-only variant skips them (its registers are not the a0/a1
+// arrays).
+func (r *SimRun) CheckRun() error {
+	if err := core.CheckValidity(r.Inputs, r.decisions()); err != nil {
+		return err
+	}
+	if err := core.CheckAgreement(r.decisions()); err != nil {
+		return err
+	}
+	if r.History == nil {
+		return nil
+	}
+	if err := core.CheckLemma2(r.Layout, r.History, r.Inputs); err != nil {
+		return err
+	}
+	if r.Variant == VariantBackup {
+		return nil
+	}
+	return core.CheckLemma4(r.Layout, r.History, r.leanDecisions())
+}
+
+// decisions converts the engine result into invariant-checker decisions.
+func (r *SimRun) decisions() []core.Decision {
+	var out []core.Decision
+	for i, v := range r.Res.Decisions {
+		if v < 0 {
+			continue
+		}
+		out = append(out, core.Decision{
+			Proc:  i,
+			Value: v,
+			Round: r.Res.DecisionRounds[i],
+			Seq:   r.Res.DecisionSeqs[i],
+		})
+	}
+	return out
+}
+
+// leanDecisions filters decisions to those made inside lean-consensus
+// rounds: for the combined protocol, a decision with round > RMax was made
+// by the backup and is exempt from the racing-counters lemma.
+func (r *SimRun) leanDecisions() []core.Decision {
+	var out []core.Decision
+	for _, d := range r.decisions() {
+		if r.Variant == VariantCombined && d.Round > r.RMax {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"sort"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/stats"
+	"leanconsensus/internal/xrand"
+)
+
+// UnfairConfig parameterizes experiment E7 (Theorem 1): under the
+// pathological distribution X = 2^(k^2) w.p. 2^(-k), the expected number
+// of operations one process completes between two consecutive operations
+// of another is infinite — noisy scheduling does not imply fairness.
+//
+// An infinite expectation cannot be measured directly; the experiment
+// exhibits it the standard way, through quantiles that explode and
+// truncated means that grow without bound as the truncation cap rises.
+type UnfairConfig struct {
+	// Trials is the number of gaps sampled.
+	Trials int
+	// Caps are the truncation points for the truncated means.
+	Caps []float64
+	// Seed fixes randomness.
+	Seed uint64
+}
+
+// UnfairDefaults returns the E7 configuration for a scale. The largest
+// cap bounds the per-trial counting loop, so caps are kept modest: the
+// divergence shows in the growth of the truncated mean across caps, not
+// in the absolute cap size.
+func UnfairDefaults(scale Scale) UnfairConfig {
+	cfg := UnfairConfig{
+		Caps: []float64{1e2, 1e3, 1e4, 1e5},
+		Seed: 7,
+	}
+	switch scale {
+	case ScaleBench:
+		cfg.Trials = 1000
+		cfg.Caps = []float64{1e2, 1e3, 1e4}
+	case ScaleFull:
+		cfg.Trials = 100000
+	default:
+		cfg.Trials = 20000
+	}
+	return cfg
+}
+
+// Unfair runs experiment E7: it samples the gap X between two consecutive
+// operations of process A and counts how many operations process B
+// completes inside the gap (B's operations also being pathological draws).
+func Unfair(cfg UnfairConfig) (*Report, error) {
+	d := dist.Pathological{}
+	rngA := xrand.New(cfg.Seed, 0xe7a)
+	rngB := xrand.New(cfg.Seed, 0xe7b)
+
+	counts := make([]float64, 0, cfg.Trials)
+	for t := 0; t < cfg.Trials; t++ {
+		gap := d.Sample(rngA)
+		// Count B's operations inside A's gap. The count is capped at the
+		// largest cap to keep the loop finite (the same truncation the
+		// reported statistics use).
+		elapsed := 0.0
+		ops := 0.0
+		for elapsed < gap && ops < cfg.Caps[len(cfg.Caps)-1] {
+			elapsed += d.Sample(rngB)
+			if elapsed <= gap {
+				ops++
+			}
+		}
+		counts = append(counts, ops)
+	}
+	sort.Float64s(counts)
+
+	quant := stats.NewTable("quantile", "ops by B inside one A-gap")
+	for _, q := range []float64{50, 90, 99, 99.9, 99.99, 100} {
+		quant.AddRow(q, stats.Percentile(counts, q))
+	}
+
+	trunc := stats.NewTable("truncation cap", "truncated mean of ops")
+	for _, cap := range cfg.Caps {
+		var acc stats.Acc
+		for _, c := range counts {
+			if c > cap {
+				c = cap
+			}
+			acc.Add(c)
+		}
+		trunc.AddRow(cap, acc.Mean())
+	}
+
+	rep := &Report{
+		ID:     "E7",
+		Title:  "Theorem 1: unfairness of the pathological 2^(k^2) distribution",
+		Tables: []*stats.Table{quant, trunc},
+	}
+	rep.Notes = append(rep.Notes,
+		"the truncated mean keeps growing as the cap rises and the top quantiles explode: the untruncated expectation diverges, exactly the Theorem 1 claim that noisy schedules can be pathologically unfair.")
+	return rep, nil
+}

@@ -1,0 +1,272 @@
+// Package hybrid implements the hybrid quantum- and priority-based
+// uniprocessor scheduling model of Section 7 (after Anderson and Moir [5]).
+//
+// Processes time-share a single processor under a pre-emptive scheduler.
+// Each process has a priority; a running process may be pre-empted at any
+// operation boundary by a process of strictly higher priority, and by a
+// process of equal priority only once it has exhausted its quantum — a
+// minimum number of operations it completes between being scheduled and
+// becoming vulnerable to pre-emption. A process need not start the
+// protocol at the beginning of a quantum: the adversary chooses how much
+// of the first quantum was already consumed by other work.
+//
+// Theorem 14: running lean-consensus with a quantum of at least 8
+// operations, every process decides after executing at most 12 operations.
+// The engine here enforces the scheduling constraints and lets an
+// Adversary choose everything else; internal/modelcheck additionally
+// explores all adversary choices exhaustively for small configurations.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// Config describes one hybrid-scheduled execution.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Machines holds one machine per process.
+	Machines []machine.Machine
+	// Mem is the shared memory, already initialized.
+	Mem register.Mem
+	// Priorities assigns each process a priority (higher value = higher
+	// priority). nil means all equal.
+	Priorities []int
+	// Quantum is the scheduling quantum in operations; Theorem 14 requires
+	// at least 8.
+	Quantum int
+	// InitialUsed[i] is how much of process i's first quantum was already
+	// consumed by other work before it started the protocol (in [0,
+	// Quantum]). nil means zero for all.
+	InitialUsed []int
+	// Adversary picks the next process to run whenever the scheduler has a
+	// choice. nil means round-robin among the eligible.
+	Adversary Adversary
+	// MaxSteps aborts runaway executions (0 = a generous default).
+	MaxSteps int64
+}
+
+// Result summarizes a hybrid-scheduled execution.
+type Result struct {
+	// Decisions per process.
+	Decisions []int
+	// OpCounts per process: the Theorem 14 bound is OpCounts[i] <= 12.
+	OpCounts []int64
+	// MaxOps is the largest per-process op count.
+	MaxOps int64
+	// Preemptions counts scheduler switches away from a live process.
+	Preemptions int
+	// Steps is the total number of operations executed.
+	Steps int64
+}
+
+// View exposes scheduler state to adversaries.
+type View struct {
+	// Current is the running process, or -1 if none (start of execution or
+	// the previous process just decided).
+	Current int
+	// QuantumLeft is the running process's remaining pre-emption-safe
+	// operations.
+	QuantumLeft int
+	// OpCounts per process so far.
+	OpCounts []int64
+	// Decided per process.
+	Decided []bool
+	// Priorities per process.
+	Priorities []int
+	// Eligible lists the processes the adversary may legally schedule
+	// next (always includes Current when it is live).
+	Eligible []int
+}
+
+// Adversary chooses the next process to run among the eligible set.
+type Adversary interface {
+	// Choose returns the process to run next; it must be one of
+	// v.Eligible.
+	Choose(v *View) int
+}
+
+// RoundRobin cycles through eligible processes.
+type RoundRobin struct {
+	last int
+}
+
+// Choose implements Adversary.
+func (a *RoundRobin) Choose(v *View) int {
+	n := len(v.Decided)
+	for k := 1; k <= n; k++ {
+		c := (a.last + k) % n
+		for _, e := range v.Eligible {
+			if e == c {
+				a.last = c
+				return c
+			}
+		}
+	}
+	a.last = v.Eligible[0]
+	return a.last
+}
+
+// Random picks uniformly among eligible processes.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// NewRandom returns a Random adversary with a deterministic stream.
+func NewRandom(seed uint64) *Random {
+	return &Random{Rng: xrand.New(seed, 0x68796272)}
+}
+
+// Choose implements Adversary.
+func (a *Random) Choose(v *View) int {
+	return v.Eligible[a.Rng.Intn(len(v.Eligible))]
+}
+
+// Sticky keeps the current process running whenever legal (a cooperative
+// scheduler: pre-emption only by priority arrival, which Sticky never
+// exercises).
+type Sticky struct{}
+
+// Choose implements Adversary.
+func (Sticky) Choose(v *View) int {
+	if v.Current >= 0 && !v.Decided[v.Current] {
+		for _, e := range v.Eligible {
+			if e == v.Current {
+				return e
+			}
+		}
+	}
+	return v.Eligible[0]
+}
+
+// Laggard always schedules the eligible process with the fewest completed
+// operations, trying to keep the race as tight as the constraints allow —
+// the most adversarial heuristic for a racing-counters protocol.
+type Laggard struct{}
+
+// Choose implements Adversary.
+func (Laggard) Choose(v *View) int {
+	best := v.Eligible[0]
+	for _, e := range v.Eligible[1:] {
+		if v.OpCounts[e] < v.OpCounts[best] {
+			best = e
+		}
+	}
+	return best
+}
+
+// Errors returned by Run.
+var errBadConfig = errors.New("hybrid: invalid config")
+
+// Run executes the machines under the hybrid scheduling constraints until
+// every process has decided.
+func Run(cfg Config) (*Result, error) {
+	n := cfg.N
+	if n <= 0 || len(cfg.Machines) != n {
+		return nil, fmt.Errorf("%w: need N machines", errBadConfig)
+	}
+	if cfg.Quantum < 1 {
+		return nil, fmt.Errorf("%w: quantum must be >= 1", errBadConfig)
+	}
+	if cfg.Mem == nil {
+		return nil, fmt.Errorf("%w: Mem is required", errBadConfig)
+	}
+	pri := cfg.Priorities
+	if pri == nil {
+		pri = make([]int, n)
+	}
+	if len(pri) != n {
+		return nil, fmt.Errorf("%w: need N priorities", errBadConfig)
+	}
+	used := cfg.InitialUsed
+	if used == nil {
+		used = make([]int, n)
+	}
+	if len(used) != n {
+		return nil, fmt.Errorf("%w: need N initial-quantum values", errBadConfig)
+	}
+	partial := -1
+	for i, u := range used {
+		if u < 0 || u > cfg.Quantum {
+			return nil, fmt.Errorf("%w: InitialUsed[%d]=%d outside [0,%d]", errBadConfig, i, u, cfg.Quantum)
+		}
+		if u > 0 {
+			if partial >= 0 {
+				return nil, fmt.Errorf(
+					"%w: both process %d and %d start mid-quantum; a uniprocessor has one running process",
+					errBadConfig, partial, i)
+			}
+			partial = i
+		}
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = &RoundRobin{}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = int64(n) * 1 << 16
+	}
+
+	st := newState(cfg.Machines, cfg.Mem, pri, cfg.Quantum, used, false)
+	res := &Result{
+		Decisions: make([]int, n),
+		OpCounts:  make([]int64, n),
+	}
+	for i := range res.Decisions {
+		res.Decisions[i] = -1
+	}
+
+	for st.live > 0 {
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("hybrid: no termination within %d steps", maxSteps)
+		}
+		eligible := st.Eligible()
+		choice := eligible[0]
+		if len(eligible) > 1 {
+			v := &View{
+				Current:     st.current,
+				QuantumLeft: st.quantumLeft(),
+				OpCounts:    append([]int64(nil), st.ops...),
+				Decided:     append([]bool(nil), st.decided...),
+				Priorities:  append([]int(nil), pri...),
+				Eligible:    eligible,
+			}
+			choice = adv.Choose(v)
+			if !contains(eligible, choice) {
+				return nil, fmt.Errorf("hybrid: adversary chose ineligible process %d", choice)
+			}
+		}
+		preempted := st.current >= 0 && st.current != choice && !st.decided[st.current]
+		if preempted {
+			res.Preemptions++
+		}
+		st.ExecuteOne(choice)
+		res.Steps++
+	}
+
+	res.Decisions = make([]int, n)
+	for i := 0; i < n; i++ {
+		res.Decisions[i] = st.machines[i].Decision()
+		res.OpCounts[i] = st.ops[i]
+		if st.ops[i] > res.MaxOps {
+			res.MaxOps = st.ops[i]
+		}
+	}
+	return res, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

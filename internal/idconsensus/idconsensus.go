@@ -1,0 +1,249 @@
+// Package idconsensus implements id consensus — agreement on the id of
+// some active process — via the construction the paper sketches in
+// footnote 2: "id consensus can be solved in a natural way using a
+// (lg n)-depth tree of binary consensus protocols".
+//
+// The processes are leaves of a binary tournament tree. Every internal
+// node runs one binary-consensus instance (the bounded-space combined
+// protocol of Section 8) deciding which child's champion advances. A
+// process climbs its root path: at each node it announces its current
+// champion in a side register, races the binary consensus with its side
+// as input, and adopts the winning side's announced champion. Announce
+// registers hold a single value per (node, side): every process arriving
+// from the same child agrees on that child's champion by induction, and
+// the validity of the inner consensus guarantees the winning side's
+// announce register was written before anyone reads it.
+//
+// The depth is ⌈lg n⌉ binary consensus instances, each Θ(log n) expected
+// rounds under noisy scheduling, so id consensus costs O(log² n) expected
+// rounds per process.
+package idconsensus
+
+import (
+	"math/bits"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// Params sizes a tournament. All processes must use identical Params.
+type Params struct {
+	// N is the number of processes (ids 0..N-1). The tree is padded to
+	// the next power of two; missing leaves simply never show up.
+	N int
+	// RMax is the per-instance lean-consensus cutoff (default 16).
+	RMax int
+	// BackupRounds is the per-instance backup budget (default 64).
+	BackupRounds int
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.RMax == 0 {
+		p.RMax = 16
+	}
+	if p.BackupRounds == 0 {
+		p.BackupRounds = 64
+	}
+	return p
+}
+
+// Levels reports the tree depth ⌈lg N⌉.
+func (p Params) Levels() int {
+	if p.N <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p.N - 1))
+}
+
+// innerLayout is the register layout of one binary-consensus instance.
+func (p Params) innerLayout() register.Layout {
+	return register.Layout{N: p.N, BackupRounds: p.BackupRounds}
+}
+
+// bankSize is the register footprint of one tree node: two announce
+// registers followed by one combined-protocol instance.
+func (p Params) bankSize() int {
+	return 2 + p.innerLayout().Registers(p.RMax+1)
+}
+
+// nodeBase returns the first register id of the bank for the node at the
+// given level (1-based) with the given index within that level.
+func (p Params) nodeBase(level, idx int) int {
+	levels := p.Levels()
+	// Nodes per level ℓ: 2^(levels-ℓ). Banks are laid out level by level.
+	base := 0
+	for l := 1; l < level; l++ {
+		base += 1 << (levels - l)
+	}
+	return (base + idx) * p.bankSize()
+}
+
+// BankBounds reports the half-open register range [lo, hi) of the bank
+// belonging to the node at the given level (1-based) and index; it exists
+// so tests can verify the banks tile the register space without overlap.
+func (p Params) BankBounds(level, idx int) (lo, hi int) {
+	p = p.withDefaults()
+	lo = p.nodeBase(level, idx)
+	return lo, lo + p.bankSize()
+}
+
+// Registers reports the total register count, for sizing memories.
+func (p Params) Registers() int {
+	p = p.withDefaults()
+	levels := p.Levels()
+	nodes := 0
+	for l := 1; l <= levels; l++ {
+		nodes += 1 << (levels - l)
+	}
+	return nodes * p.bankSize()
+}
+
+// InitMem establishes every instance's read-only prefix.
+func (p Params) InitMem(mem register.Mem) {
+	p = p.withDefaults()
+	levels := p.Levels()
+	inner := p.innerLayout()
+	for l := 1; l <= levels; l++ {
+		for idx := 0; idx < 1<<(levels-l); idx++ {
+			base := register.ID(p.nodeBase(l, idx) + 2)
+			mem.Write(base+inner.A(0, 0), 1)
+			mem.Write(base+inner.A(1, 0), 1)
+		}
+	}
+}
+
+// phase of the per-level cycle.
+type phase uint8
+
+const (
+	phAnnounce phase = iota + 1 // writing announce[node][side]
+	phInner                     // delegating to the inner consensus
+	phAdopt                     // reading announce[node][winner]
+	phDone
+)
+
+// Machine is the id-consensus machine for one process.
+type Machine struct {
+	p    Params
+	me   int
+	seed uint64
+
+	level     int // current level, 1-based
+	champion  int
+	ph        phase
+	inner     machine.Machine
+	innerBase register.ID
+	side      int
+	dec       int
+}
+
+// New returns the id-consensus machine for process me. The seed drives
+// the inner instances' backup coins.
+func New(p Params, me int, seed uint64) *Machine {
+	p = p.withDefaults()
+	if me < 0 || me >= p.N {
+		panic("idconsensus: process id out of range")
+	}
+	return &Machine{p: p, me: me, seed: seed, champion: me, level: 1}
+}
+
+// nodeIdx is the index of me's node at the current level.
+func (m *Machine) nodeIdx() int { return m.me >> m.level }
+
+// announceReg is the announce register for a side of the current node.
+func (m *Machine) announceReg(side int) register.ID {
+	return register.ID(m.p.nodeBase(m.level, m.nodeIdx()) + side)
+}
+
+// Begin implements machine.Machine.
+func (m *Machine) Begin() machine.Op {
+	if m.p.Levels() == 0 {
+		// Solo tournament: one throwaway read, then decide.
+		m.ph = phDone
+		return machine.Op{Kind: register.OpRead, Reg: 0}
+	}
+	return m.startLevel()
+}
+
+// startLevel emits the announce write for the current level.
+func (m *Machine) startLevel() machine.Op {
+	// The champion's side of this node is the bit that distinguishes the
+	// two child subtrees.
+	m.side = (m.champion >> (m.level - 1)) & 1
+	m.ph = phAnnounce
+	return machine.Op{
+		Kind: register.OpWrite,
+		Reg:  m.announceReg(m.side),
+		Val:  uint32(m.champion) + 1,
+	}
+}
+
+// Step implements machine.Machine.
+func (m *Machine) Step(result uint32) (machine.Op, machine.Status) {
+	switch m.ph {
+	case phAnnounce:
+		// Announce done: enter the inner binary consensus with our side
+		// as input.
+		m.innerBase = register.ID(m.p.nodeBase(m.level, m.nodeIdx()) + 2)
+		m.inner = core.NewCombined(
+			m.p.innerLayout(), m.me, m.p.N, m.side, m.p.RMax,
+			xrand.Mix(m.seed, 0x696463, uint64(m.level), uint64(m.me)))
+		m.ph = phInner
+		return m.translate(m.inner.Begin()), machine.Running
+
+	case phInner:
+		op, st := m.inner.Step(result)
+		switch st {
+		case machine.Running:
+			return m.translate(op), machine.Running
+		case machine.Failed:
+			return machine.Op{}, machine.Failed
+		}
+		// Inner consensus decided a side: adopt that side's champion.
+		m.ph = phAdopt
+		return machine.Op{Kind: register.OpRead, Reg: m.announceReg(m.inner.Decision())}, machine.Running
+
+	case phAdopt:
+		if result == 0 {
+			// Cannot happen: inner validity guarantees the winning side's
+			// announce register was written before its first instance
+			// write, which precedes any decision on that side.
+			return machine.Op{}, machine.Failed
+		}
+		m.champion = int(result) - 1
+		m.level++
+		if m.level > m.p.Levels() {
+			m.dec = m.champion
+			m.ph = phDone
+			return machine.Op{}, machine.Decided
+		}
+		return m.startLevel(), machine.Running
+
+	case phDone:
+		// Solo tournament's throwaway read.
+		m.dec = m.me
+		return machine.Op{}, machine.Decided
+
+	default:
+		panic("idconsensus: Step before Begin")
+	}
+}
+
+// translate offsets an inner instance's register ids into this node's
+// bank.
+func (m *Machine) translate(op machine.Op) machine.Op {
+	op.Reg += m.innerBase
+	return op
+}
+
+// Decision implements machine.Machine: the elected process id.
+func (m *Machine) Decision() int { return m.dec }
+
+// Level reports the machine's current tree level (for progress metrics).
+func (m *Machine) Level() int { return m.level }
+
+// Interface compliance check.
+var _ machine.Machine = (*Machine)(nil)

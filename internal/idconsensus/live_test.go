@@ -1,0 +1,95 @@
+package idconsensus_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"leanconsensus/internal/idconsensus"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// TestBankDisjointness (property): the register banks of distinct tree
+// nodes never overlap, and announce registers never collide with inner
+// instance registers. A collision would corrupt unrelated consensus
+// instances.
+func TestBankDisjointness(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		p := idconsensus.Params{N: n}
+		total := p.Registers()
+		// Walk every node's bank via the exported geometry: banks are
+		// [base, base+bankSize) and must tile without overlap inside
+		// [0, total).
+		levels := p.Levels()
+		seen := make([]bool, total)
+		for l := 1; l <= levels; l++ {
+			for idx := 0; idx < 1<<(levels-l); idx++ {
+				lo, hi := p.BankBounds(l, idx)
+				if lo < 0 || hi > total || lo >= hi {
+					return false
+				}
+				for r := lo; r < hi; r++ {
+					if seen[r] {
+						return false
+					}
+					seen[r] = true
+				}
+			}
+		}
+		// Every register belongs to exactly one bank.
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestElectionOnRealGoroutines drives the tournament machines with real
+// goroutines over atomic registers — the id-consensus analogue of the
+// live runtime, exercised under the race detector.
+func TestElectionOnRealGoroutines(t *testing.T) {
+	reps := 30
+	if testing.Short() {
+		reps = 5
+	}
+	for rep := 0; rep < reps; rep++ {
+		const n = 8
+		p := idconsensus.Params{N: n}
+		mem := register.NewAtomicMem(p.Registers())
+		p.InitMem(mem)
+
+		winners := make([]int, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				m := idconsensus.New(p, i, xrand.Mix(uint64(rep), uint64(i)))
+				dec, _, err := machine.Run(m, mem, 1<<20)
+				if err != nil {
+					t.Errorf("rep %d proc %d: %v", rep, i, err)
+					winners[i] = -1
+					return
+				}
+				winners[i] = dec
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < n; i++ {
+			if winners[i] != winners[0] {
+				t.Fatalf("rep %d: split election %v", rep, winners)
+			}
+		}
+		if winners[0] < 0 || winners[0] >= n {
+			t.Fatalf("rep %d: invalid winner %d", rep, winners[0])
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package live runs the consensus machines on real goroutines against
+// sync/atomic shared registers. This is the "real system" counterpart of
+// the discrete-event simulator: the noise perturbing the schedule is the
+// Go runtime and operating system themselves (plus, optionally, injected
+// sleeps sampled from a configurable distribution), which is exactly the
+// kind of environmental randomness the noisy scheduling model abstracts.
+//
+// The same state machines (internal/core, internal/backup) execute here
+// unchanged; only the driver differs. Because real executions cannot be
+// bounded a priori, the live runtime always uses the combined bounded-space
+// protocol of Section 8: lean-consensus up to rmax rounds backed by the
+// backup protocol.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// Config describes a live consensus run.
+type Config struct {
+	// Inputs holds one input bit per process; len(Inputs) goroutines are
+	// spawned.
+	Inputs []int
+	// RMax is the lean-consensus cutoff round; 0 selects a default of
+	// max(16, ceil(log2(n)^2)) per Theorem 15's O(log^2 n) guidance.
+	RMax int
+	// BackupRounds is the backup register budget; 0 selects 64.
+	BackupRounds int
+	// SleepNoise, when non-nil, injects a sampled sleep before every
+	// shared-memory operation, scaled by SleepUnit. This reproduces the
+	// noisy scheduling model with real concurrency.
+	SleepNoise dist.Distribution
+	// SleepUnit converts a noise sample into a duration (default 1µs when
+	// SleepNoise is set).
+	SleepUnit time.Duration
+	// Seed fixes the injected noise streams (the OS scheduling remains
+	// nondeterministic, as in any real system).
+	Seed uint64
+	// Yield makes each process call runtime.Gosched between operations,
+	// increasing interleaving on few-core machines.
+	Yield bool
+}
+
+// ProcResult reports one process's outcome.
+type ProcResult struct {
+	Decision int
+	Ops      int64
+	Round    int
+	Backup   bool
+	Err      error
+}
+
+// Result reports a live run.
+type Result struct {
+	Procs []ProcResult
+	// Value is the agreed value.
+	Value int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// BackupUsed counts processes that fell back (Section 8 predicts 0 in
+	// almost every run with a generous RMax).
+	BackupUsed int
+	// MaxRound is the largest lean round reached by any process.
+	MaxRound int
+}
+
+// Errors returned by Run.
+var (
+	ErrNoProcs      = errors.New("live: need at least one process")
+	ErrBadInput     = errors.New("live: inputs must be bits")
+	ErrDisagreement = errors.New("live: processes decided different values")
+)
+
+// DefaultRMax returns the default cutoff for n processes:
+// max(16, ceil(log2(n+1)^2)), the Theorem 15 shape with a floor that keeps
+// small runs entirely inside lean-consensus.
+func DefaultRMax(n int) int {
+	l := math.Log2(float64(n) + 1)
+	r := int(math.Ceil(l * l))
+	if r < 16 {
+		r = 16
+	}
+	return r
+}
+
+// Run executes one live consensus among len(cfg.Inputs) goroutines and
+// waits for every process to decide (the protocol is wait-free, so no
+// process depends on another's progress; the wait is only so the caller
+// gets all results).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	n := len(cfg.Inputs)
+	if n == 0 {
+		return nil, ErrNoProcs
+	}
+	for _, b := range cfg.Inputs {
+		if b != 0 && b != 1 {
+			return nil, fmt.Errorf("%w: got %d", ErrBadInput, b)
+		}
+	}
+	rmax := cfg.RMax
+	if rmax == 0 {
+		rmax = DefaultRMax(n)
+	}
+	backupRounds := cfg.BackupRounds
+	if backupRounds == 0 {
+		backupRounds = 64
+	}
+	sleepUnit := cfg.SleepUnit
+	if sleepUnit == 0 {
+		sleepUnit = time.Microsecond
+	}
+
+	layout := register.Layout{N: n, BackupRounds: backupRounds}
+	mem := register.NewAtomicMem(layout.Registers(rmax + 1))
+	layout.InitMem(mem)
+
+	machines := make([]*core.Combined, n)
+	for i := 0; i < n; i++ {
+		machines[i] = core.NewCombined(layout, i, n, cfg.Inputs[i], rmax, xrand.Mix(cfg.Seed, 0x6c697665, uint64(i)))
+	}
+
+	res := &Result{Procs: make([]ProcResult, n)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res.Procs[i] = runProc(ctx, cfg, machines[i], mem, i, sleepUnit)
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	res.Value = -1
+	for i := range res.Procs {
+		p := &res.Procs[i]
+		if p.Err != nil {
+			return res, p.Err
+		}
+		if machines[i].BackupUsed() {
+			p.Backup = true
+			res.BackupUsed++
+		}
+		p.Round = machines[i].Round()
+		if p.Round > res.MaxRound {
+			res.MaxRound = p.Round
+		}
+		if res.Value < 0 {
+			res.Value = p.Decision
+		} else if res.Value != p.Decision {
+			return res, fmt.Errorf("%w: %d and %d", ErrDisagreement, res.Value, p.Decision)
+		}
+	}
+	return res, nil
+}
+
+// runProc drives one machine against the atomic memory.
+func runProc(ctx context.Context, cfg Config, m machine.Machine, mem register.Mem, i int, unit time.Duration) ProcResult {
+	var noise func()
+	if cfg.SleepNoise != nil {
+		rng := xrand.New(cfg.Seed, 0x736c6565, uint64(i))
+		noise = func() {
+			d := time.Duration(cfg.SleepNoise.Sample(rng) * float64(unit))
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+
+	var out ProcResult
+	op := m.Begin()
+	for {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			return out
+		}
+		if noise != nil {
+			noise()
+		}
+		if cfg.Yield {
+			runtime.Gosched()
+		}
+		var result uint32
+		switch op.Kind {
+		case register.OpRead:
+			result = mem.Read(op.Reg)
+		case register.OpWrite:
+			mem.Write(op.Reg, op.Val)
+		default:
+			out.Err = fmt.Errorf("live: invalid op kind %v", op.Kind)
+			return out
+		}
+		out.Ops++
+		next, st := m.Step(result)
+		switch st {
+		case machine.Decided:
+			out.Decision = m.Decision()
+			return out
+		case machine.Failed:
+			out.Err = fmt.Errorf("live: process %d exhausted the backup budget", i)
+			return out
+		}
+		op = next
+	}
+}

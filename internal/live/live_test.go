@@ -1,0 +1,151 @@
+package live_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/live"
+)
+
+func TestLiveSolo(t *testing.T) {
+	for _, input := range []int{0, 1} {
+		res, err := live.Run(context.Background(), live.Config{Inputs: []int{input}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != input {
+			t.Errorf("solo decided %d, want %d (validity)", res.Value, input)
+		}
+		if res.Procs[0].Ops != 8 {
+			t.Errorf("solo used %d ops, want 8", res.Procs[0].Ops)
+		}
+	}
+}
+
+func TestLiveUnanimous(t *testing.T) {
+	inputs := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	res, err := live.Run(context.Background(), live.Config{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Errorf("decided %d, want 1 (validity)", res.Value)
+	}
+	for i, p := range res.Procs {
+		if p.Ops != 8 {
+			t.Errorf("proc %d used %d ops, want 8 (Lemma 3)", i, p.Ops)
+		}
+	}
+}
+
+func TestLiveMixedManyRunsAgree(t *testing.T) {
+	// Agreement is checked inside live.Run (it returns ErrDisagreement);
+	// run many mixed-input instances under the race detector.
+	reps := 200
+	if testing.Short() {
+		reps = 50
+	}
+	for r := 0; r < reps; r++ {
+		inputs := []int{0, 1, 1, 0, 1, 0}
+		res, err := live.Run(context.Background(), live.Config{
+			Inputs: inputs,
+			Seed:   uint64(r),
+			Yield:  r%2 == 0,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		if res.Value != 0 && res.Value != 1 {
+			t.Fatalf("run %d: impossible value %d", r, res.Value)
+		}
+	}
+}
+
+func TestLiveWithInjectedNoise(t *testing.T) {
+	inputs := []int{0, 1, 0, 1}
+	res, err := live.Run(context.Background(), live.Config{
+		Inputs:     inputs,
+		SleepNoise: dist.Exponential{MeanVal: 1},
+		SleepUnit:  100 * time.Nanosecond,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackupUsed > 0 {
+		t.Logf("backup used by %d processes (rare but legitimate)", res.BackupUsed)
+	}
+}
+
+func TestLiveSmallRMaxFallsBackSafely(t *testing.T) {
+	// With rmax = 1 under real contention the backup may engage; whatever
+	// happens, the processes must agree and no error may surface.
+	for r := 0; r < 50; r++ {
+		inputs := []int{0, 1, 0, 1}
+		res, err := live.Run(context.Background(), live.Config{
+			Inputs: inputs,
+			RMax:   1,
+			Seed:   uint64(r),
+			Yield:  true,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		_ = res
+	}
+}
+
+func TestLiveContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := live.Run(ctx, live.Config{
+		Inputs: []int{0, 1},
+		// Force slow progress so cancellation lands first.
+		SleepNoise: dist.Constant{V: 1000},
+		SleepUnit:  time.Millisecond,
+	})
+	if err == nil {
+		t.Error("cancelled run reported success")
+	}
+}
+
+func TestLiveInputValidation(t *testing.T) {
+	if _, err := live.Run(context.Background(), live.Config{}); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, err := live.Run(context.Background(), live.Config{Inputs: []int{2}}); err == nil {
+		t.Error("non-bit input accepted")
+	}
+}
+
+func TestDefaultRMax(t *testing.T) {
+	if got := live.DefaultRMax(1); got != 16 {
+		t.Errorf("DefaultRMax(1) = %d, want the floor 16", got)
+	}
+	if got := live.DefaultRMax(1000); got < 16 || got > 200 {
+		t.Errorf("DefaultRMax(1000) = %d looks wrong", got)
+	}
+	if live.DefaultRMax(100000) <= live.DefaultRMax(100) {
+		t.Error("DefaultRMax not growing with n")
+	}
+}
+
+func TestLiveManyGoroutines(t *testing.T) {
+	n := 64
+	if testing.Short() {
+		n = 16
+	}
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	res, err := live.Run(context.Background(), live.Config{Inputs: inputs, Yield: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRound < 2 {
+		t.Errorf("max round %d < 2", res.MaxRound)
+	}
+}

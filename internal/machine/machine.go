@@ -1,0 +1,127 @@
+// Package machine defines the execution interface for consensus
+// algorithms. An algorithm is expressed as an explicit state machine that
+// emits one shared-memory operation at a time; the surrounding driver (the
+// noisy discrete-event simulator, the hybrid uniprocessor scheduler, the
+// exhaustive model checker, or a live goroutine) executes the operation
+// against a register.Mem and feeds the result back.
+//
+// Expressing algorithms at operation granularity is what lets a single
+// implementation of lean-consensus run unchanged under every scheduler in
+// this repository, which is the point of the paper: the algorithm is
+// fixed, only the environment changes.
+package machine
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/register"
+)
+
+// Op is one shared-memory operation.
+type Op struct {
+	Kind register.OpKind
+	Reg  register.ID
+	// Val is the value to store when Kind == register.OpWrite.
+	Val uint32
+}
+
+// Status reports whether a machine is still running after a step.
+type Status uint8
+
+// Machine statuses.
+const (
+	// Running means the machine emitted another operation.
+	Running Status = iota + 1
+	// Decided means the machine has decided; Decision is now valid and the
+	// machine takes no further steps.
+	Decided
+	// Failed means the machine aborted (only the combined protocol can
+	// fail, and only by exhausting its backup register budget).
+	Failed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Decided:
+		return "decided"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Machine is a consensus process at operation granularity.
+//
+// The driver protocol is: call Begin once to obtain the first operation;
+// execute it; call Step with the result (the value read, or 0 for a
+// write); if Step returns Running, execute the returned operation and
+// repeat. When Step returns Decided, Decision reports the output bit.
+type Machine interface {
+	// Begin returns the machine's first operation. It must be called
+	// exactly once, before any Step.
+	Begin() Op
+	// Step consumes the result of the previously issued operation and
+	// returns the next one. The returned Op is meaningful only when the
+	// status is Running.
+	Step(result uint32) (Op, Status)
+	// Decision returns the decided bit (0 or 1). It is valid only after
+	// Step has returned Decided.
+	Decision() int
+}
+
+// Rounder is implemented by machines that track the round number of the
+// underlying racing-counters protocol; the simulators use it to report the
+// round at which decisions happen (the Figure 1 metric).
+type Rounder interface {
+	Round() int
+}
+
+// Cloner is implemented by machines that can be duplicated mid-execution;
+// the exhaustive model checker requires it to branch executions.
+type Cloner interface {
+	Clone() Machine
+}
+
+// Keyer is implemented by machines whose full state can be serialized into
+// a single word; the exhaustive model checker uses it to deduplicate
+// visited states.
+type Keyer interface {
+	StateKey() uint64
+}
+
+// Runner drives a single machine to completion against a memory. It is
+// the trivial single-process scheduler, used by unit tests and as a
+// building block by the live runtime.
+//
+// It returns the decision and the number of operations executed. If the
+// machine does not decide within maxOps operations, or fails, Run reports
+// an error.
+func Run(m Machine, mem register.Mem, maxOps int64) (decision int, ops int64, err error) {
+	op := m.Begin()
+	for {
+		var res uint32
+		switch op.Kind {
+		case register.OpRead:
+			res = mem.Read(op.Reg)
+		case register.OpWrite:
+			mem.Write(op.Reg, op.Val)
+		default:
+			return 0, ops, fmt.Errorf("machine: invalid op kind %v", op.Kind)
+		}
+		ops++
+		next, st := m.Step(res)
+		switch st {
+		case Decided:
+			return m.Decision(), ops, nil
+		case Failed:
+			return 0, ops, fmt.Errorf("machine: failed after %d ops", ops)
+		}
+		if ops >= maxOps {
+			return 0, ops, fmt.Errorf("machine: no decision within %d ops", maxOps)
+		}
+		op = next
+	}
+}

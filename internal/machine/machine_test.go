@@ -1,0 +1,119 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// fixedMachine performs a scripted sequence of operations and then
+// decides; used to test the Run driver in isolation.
+type fixedMachine struct {
+	script  []machine.Op
+	results []uint32
+	idx     int
+	dec     int
+}
+
+func (m *fixedMachine) Begin() machine.Op { return m.script[0] }
+
+func (m *fixedMachine) Step(result uint32) (machine.Op, machine.Status) {
+	m.results = append(m.results, result)
+	m.idx++
+	if m.idx >= len(m.script) {
+		return machine.Op{}, machine.Decided
+	}
+	return m.script[m.idx], machine.Running
+}
+
+func (m *fixedMachine) Decision() int { return m.dec }
+
+func TestRunDrivesScript(t *testing.T) {
+	mem := register.NewSimMem(4)
+	m := &fixedMachine{
+		script: []machine.Op{
+			{Kind: register.OpWrite, Reg: 0, Val: 7},
+			{Kind: register.OpRead, Reg: 0},
+			{Kind: register.OpRead, Reg: 1},
+		},
+		dec: 1,
+	}
+	dec, ops, err := machine.Run(m, mem, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != 1 || ops != 3 {
+		t.Errorf("dec=%d ops=%d, want 1, 3", dec, ops)
+	}
+	// The write's result is 0; the first read sees the write; the second
+	// read sees an untouched register.
+	want := []uint32{0, 7, 0}
+	for i, r := range m.results {
+		if r != want[i] {
+			t.Errorf("result[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+}
+
+func TestRunMaxOps(t *testing.T) {
+	mem := register.NewSimMem(1)
+	// A machine that never decides.
+	m := &loopMachine{}
+	_, ops, err := machine.Run(m, mem, 10)
+	if err == nil {
+		t.Fatal("Run terminated a non-terminating machine")
+	}
+	if ops != 10 {
+		t.Errorf("ran %d ops before giving up, want 10", ops)
+	}
+}
+
+type loopMachine struct{}
+
+func (loopMachine) Begin() machine.Op { return machine.Op{Kind: register.OpRead, Reg: 0} }
+func (loopMachine) Step(uint32) (machine.Op, machine.Status) {
+	return machine.Op{Kind: register.OpRead, Reg: 0}, machine.Running
+}
+func (loopMachine) Decision() int { return 0 }
+
+type failingMachine struct{}
+
+func (failingMachine) Begin() machine.Op { return machine.Op{Kind: register.OpRead, Reg: 0} }
+func (failingMachine) Step(uint32) (machine.Op, machine.Status) {
+	return machine.Op{}, machine.Failed
+}
+func (failingMachine) Decision() int { return 0 }
+
+func TestRunFailedStatus(t *testing.T) {
+	mem := register.NewSimMem(1)
+	_, _, err := machine.Run(failingMachine{}, mem, 10)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Errorf("want failure error, got %v", err)
+	}
+}
+
+func TestRunInvalidOpKind(t *testing.T) {
+	mem := register.NewSimMem(1)
+	m := &fixedMachine{script: []machine.Op{{Kind: 0, Reg: 0}}}
+	if _, _, err := machine.Run(m, mem, 10); err == nil {
+		t.Error("invalid op kind accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[machine.Status]string{
+		machine.Running: "running",
+		machine.Decided: "decided",
+		machine.Failed:  "failed",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if got := machine.Status(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown status string %q", got)
+	}
+}

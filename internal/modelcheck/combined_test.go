@@ -1,0 +1,71 @@
+package modelcheck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/modelcheck"
+	"leanconsensus/internal/register"
+)
+
+// combinedConfig builds a fresh combined-protocol (Section 8)
+// configuration: lean-consensus cut off at rmax, backed by the backup
+// protocol with the given conciliator coin tapes (one seed per process).
+func combinedConfig(inputs []int, rmax int, coinSeeds []uint64) func() ([]machine.Machine, *register.SimMem) {
+	return func() ([]machine.Machine, *register.SimMem) {
+		n := len(inputs)
+		layout := register.Layout{N: n, BackupRounds: 2}
+		mem := register.NewSimMem(layout.Registers(rmax + 2))
+		layout.InitMem(mem)
+		ms := make([]machine.Machine, n)
+		for i, b := range inputs {
+			ms[i] = core.NewCombined(layout, i, n, b, rmax, coinSeeds[i])
+		}
+		return ms, mem
+	}
+}
+
+// TestCombinedExhaustiveTwoProcs explores every asynchronous interleaving
+// of the full Section 8 protocol — racing counters, the rmax cutoff, the
+// conciliator, and commit-adopt — for two processes and a spread of coin
+// tapes. Agreement and validity must hold in every reachable state,
+// including the states where one process decides inside lean-consensus
+// and the other inside the backup.
+//
+// With a fixed coin tape per process the machines are deterministic, so
+// this is a complete reachability analysis per tape; the tape sweep
+// covers both agreeing and disagreeing coin patterns. The deliberately
+// tiny backup budget (two rounds) bounds every execution AND pushes the
+// exploration through budget-exhaustion (Failed) branches, verifying that
+// deciders still agree when other processes run out of backup registers.
+func TestCombinedExhaustiveTwoProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive combined-protocol exploration in -short mode")
+	}
+	for _, inputs := range [][]int{{0, 1}, {1, 1}} {
+		for _, seeds := range [][]uint64{{1, 2}, {3, 3}, {7, 11}, {42, 99}} {
+			inputs, seeds := inputs, seeds
+			t.Run(fmt.Sprintf("inputs=%v/seeds=%v", inputs, seeds), func(t *testing.T) {
+				rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+					NewMachines: combinedConfig(inputs, 2, seeds),
+					Inputs:      inputs,
+					// The combined machine's Round() grows through the
+					// backup too; the tiny backup budget (2 rounds) keeps
+					// every execution finite, so no horizon is needed and
+					// budget-exhaustion (Failed) branches are explored.
+					RoundCap:  0,
+					MaxStates: 8_000_000,
+				})
+				if !rep.Ok() {
+					t.Fatalf("violations: %v", rep.Violations)
+				}
+				if rep.Terminals == 0 {
+					t.Fatal("no terminal states reached")
+				}
+				t.Logf("states=%d terminals=%d pruned=%d", rep.States, rep.Terminals, rep.Pruned)
+			})
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// HybridConfig configures an exhaustive exploration of the hybrid
+// quantum/priority scheduling model (Section 7): all legal scheduler
+// choices, all initial quantum offsets, and all priority assignments are
+// enumerated for one fixed input vector.
+type HybridConfig struct {
+	// NewMachines produces a fresh machine set and initialized memory.
+	NewMachines func() ([]machine.Machine, *register.SimMem)
+	// Inputs are the input bits, for the validity check.
+	Inputs []int
+	// Quantum is the scheduling quantum (Theorem 14 needs >= 8).
+	Quantum int
+	// OpBound is the per-process operation bound to verify (12 for
+	// Theorem 14). Exceeding it is reported as a violation.
+	OpBound int64
+	// Priorities enumerates the priority assignments to explore; nil means
+	// the canonical set for n <= 3 (all distinct up to order, plus ties).
+	Priorities [][]int
+	// MaxStates bounds each exploration (0 = default).
+	MaxStates int
+	// Liberal explores the physically inconsistent quantum reading in
+	// which several processes start the protocol mid-quantum at once (see
+	// hybrid.NewStateLiberal). Under it the 12-op bound of Theorem 14 is
+	// violated (13-op executions exist for n = 2, quantum 8), which is why
+	// the consistent semantics are the default everywhere else.
+	Liberal bool
+}
+
+// CheckHybrid explores every hybrid schedule for every combination of
+// initial quantum offsets and priority assignments. Because the op bound
+// is enforced as a violation, the state space is finite and the
+// exploration is complete whenever no violation is found.
+func CheckHybrid(cfg HybridConfig) *Report {
+	total := &Report{}
+	ms0, _ := cfg.NewMachines()
+	n := len(ms0)
+	pris := cfg.Priorities
+	if pris == nil {
+		pris = defaultPriorities(n)
+	}
+	var offsets [][]int
+	if cfg.Liberal {
+		offsets = enumerateOffsetsLiberal(n, cfg.Quantum)
+	} else {
+		offsets = enumerateOffsets(n, cfg.Quantum)
+	}
+	for _, pri := range pris {
+		for _, used := range offsets {
+			rep := checkHybridOne(cfg, pri, used)
+			total.States += rep.States
+			total.Terminals += rep.Terminals
+			total.Pruned += rep.Pruned
+			for _, v := range rep.Violations {
+				total.Violations = append(total.Violations,
+					fmt.Sprintf("pri=%v used=%v: %s", pri, used, v))
+			}
+		}
+	}
+	return total
+}
+
+// defaultPriorities returns representative priority assignments: all
+// processes tied, and every "level" pattern over {0,1} (which covers all
+// relative orders for n = 2 and the interesting tie structures for n = 3).
+func defaultPriorities(n int) [][]int {
+	var out [][]int
+	for mask := 0; mask < 1<<n; mask++ {
+		pri := make([]int, n)
+		for i := 0; i < n; i++ {
+			pri[i] = (mask >> i) & 1
+		}
+		out = append(out, pri)
+	}
+	if n == 2 {
+		// Also a three-level sanity case is meaningless for n=2; the mask
+		// set already covers {00,01,10,11}.
+		return out
+	}
+	// For n >= 3, add one all-distinct assignment in each direction.
+	asc := make([]int, n)
+	desc := make([]int, n)
+	for i := 0; i < n; i++ {
+		asc[i] = i
+		desc[i] = n - i
+	}
+	return append(out, asc, desc)
+}
+
+// enumerateOffsets lists the initial-quantum-consumption vectors under the
+// consistent uniprocessor semantics: at most one process (the one holding
+// the CPU at time zero) starts mid-quantum, with every possible amount of
+// its quantum already consumed.
+func enumerateOffsets(n, quantum int) [][]int {
+	out := [][]int{make([]int, n)}
+	for i := 0; i < n; i++ {
+		for v := 1; v <= quantum; v++ {
+			used := make([]int, n)
+			used[i] = v
+			out = append(out, used)
+		}
+	}
+	return out
+}
+
+// enumerateOffsetsLiberal lists offset vectors in [0, quantum]^n where any
+// subset of processes may start mid-quantum (the inconsistent reading).
+// Values are thinned to boundary-relevant ones to keep the product small.
+func enumerateOffsetsLiberal(n, quantum int) [][]int {
+	vals := []int{0}
+	for _, v := range []int{1, quantum / 2, quantum - 1, quantum} {
+		if v > 0 && v <= quantum && !containsInt(vals, v) {
+			vals = append(vals, v)
+		}
+	}
+	var out [][]int
+	cur := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for _, v := range vals {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHybridOne explores all scheduler choices for one (priority, offset)
+// combination.
+func checkHybridOne(cfg HybridConfig, pri, used []int) *Report {
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 2_000_000
+	}
+	rep := &Report{}
+	seenViol := make(map[string]bool)
+	violate := func(msg string) {
+		if !seenViol[msg] {
+			seenViol[msg] = true
+			rep.Violations = append(rep.Violations, msg)
+		}
+	}
+
+	allEqual := -1
+	if len(cfg.Inputs) > 0 {
+		allEqual = cfg.Inputs[0]
+		for _, b := range cfg.Inputs[1:] {
+			if b != allEqual {
+				allEqual = -1
+				break
+			}
+		}
+	}
+
+	ms, mem := cfg.NewMachines()
+	n := len(ms)
+	var root *hybrid.State
+	if cfg.Liberal {
+		root = hybrid.NewStateLiberal(ms, mem, pri, cfg.Quantum, used)
+	} else {
+		root = hybrid.NewState(ms, mem, pri, cfg.Quantum, used)
+	}
+	visited := map[string]bool{root.Key(): true}
+	stack := []*hybrid.State{root}
+
+	for len(stack) > 0 {
+		if rep.States >= maxStates {
+			violate(fmt.Sprintf("state budget %d exhausted", maxStates))
+			break
+		}
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rep.States++
+
+		// Check decisions and the op bound.
+		dec := -2
+		for i := 0; i < n; i++ {
+			if cfg.OpBound > 0 && st.Ops(i) > cfg.OpBound {
+				violate(fmt.Sprintf("machine %d executed %d > %d ops", i, st.Ops(i), cfg.OpBound))
+			}
+			if !st.Decided(i) {
+				continue
+			}
+			v := st.Decision(i)
+			if allEqual >= 0 && v != allEqual {
+				violate(fmt.Sprintf("validity: inputs all %d but machine %d decided %d", allEqual, i, v))
+			}
+			if dec == -2 {
+				dec = v
+			} else if dec != v {
+				violate(fmt.Sprintf("agreement: machines decided both %d and %d", dec, v))
+			}
+		}
+		if st.Live() == 0 {
+			rep.Terminals++
+			continue
+		}
+		// Stop expanding branches that already violate the op bound, to
+		// keep the space finite when the bound fails.
+		bounded := true
+		for i := 0; i < n; i++ {
+			if cfg.OpBound > 0 && st.Ops(i) > cfg.OpBound {
+				bounded = false
+			}
+		}
+		if !bounded {
+			rep.Pruned++
+			continue
+		}
+
+		for _, i := range st.Eligible() {
+			succ := st.Clone()
+			succ.ExecuteOne(i)
+			if k := succ.Key(); !visited[k] {
+				visited[k] = true
+				stack = append(stack, succ)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,249 @@
+// Package modelcheck explores every interleaving of small configurations
+// to verify the paper's safety claims exhaustively rather than
+// statistically:
+//
+//   - Lemmas 2-4 (agreement, validity, decision spread) hold for
+//     lean-consensus in every asynchronous schedule, up to a round horizon;
+//   - Theorem 14's 12-operation bound holds for every hybrid
+//     quantum/priority schedule with quantum >= 8;
+//   - the commit-adopt object of the backup protocol satisfies coherence,
+//     convergence, and proposal uniqueness in every schedule.
+//
+// The state space is deduplicated by hashing machine states (which must
+// implement machine.Keyer) together with memory contents, so the
+// exploration is a proper reachability analysis, not a random walk.
+package modelcheck
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// Report summarizes an exhaustive exploration.
+type Report struct {
+	// States is the number of distinct states visited.
+	States int
+	// Terminals is the number of distinct terminal states (all machines
+	// decided) visited.
+	Terminals int
+	// Pruned counts states cut off by the round/op horizon; when zero the
+	// exploration was complete.
+	Pruned int
+	// Violations lists every invariant violation found (deduplicated).
+	Violations []string
+}
+
+// Complete reports whether the state space was explored without pruning.
+func (r *Report) Complete() bool { return r.Pruned == 0 }
+
+// Ok reports whether no violations were found.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// AsyncConfig configures an asynchronous (full interleaving) exploration.
+type AsyncConfig struct {
+	// NewMachines produces a fresh initial configuration: the machines and
+	// their (already initialized) memory.
+	NewMachines func() ([]machine.Machine, *register.SimMem)
+	// Inputs are the machines' input bits, for the validity check.
+	Inputs []int
+	// RoundCap prunes branches where any machine's round exceeds the cap.
+	// Lean-consensus has unboundedly long (measure-zero) lockstep
+	// executions, so a horizon is required; 0 means no cap.
+	RoundCap int
+	// MaxStates aborts the exploration (reported as a violation) if the
+	// space exceeds this size; 0 means a generous default.
+	MaxStates int
+	// Terminal, when non-nil, is called on every distinct terminal state
+	// with the finished machines; any error is recorded as a violation.
+	Terminal func(ms []machine.Machine) error
+	// SkipBuiltinChecks disables the consensus agreement/validity checks.
+	// Objects that are not consensus (commit-adopt: mixed-input adopts may
+	// return different values) are checked via Terminal instead.
+	SkipBuiltinChecks bool
+}
+
+// asyncState is one node of the interleaving graph.
+type asyncState struct {
+	ms      []machine.Machine
+	mem     *register.SimMem
+	started []bool
+	decided []bool
+	failed  []bool
+	pending []machine.Op
+}
+
+func (s *asyncState) key() string {
+	k := make([]byte, 0, 64)
+	for i, m := range s.ms {
+		mk := m.(machine.Keyer).StateKey()
+		k = append(k, fmt.Sprintf("%x,%t,%t,%t;", mk, s.started[i], s.decided[i], s.failed[i])...)
+	}
+	k = append(k, '#')
+	for _, v := range s.mem.Snapshot() {
+		k = append(k, fmt.Sprintf("%x,", v)...)
+	}
+	return string(k)
+}
+
+func (s *asyncState) clone() *asyncState {
+	cp := &asyncState{
+		ms:      make([]machine.Machine, len(s.ms)),
+		mem:     s.mem.Clone(),
+		started: append([]bool(nil), s.started...),
+		decided: append([]bool(nil), s.decided...),
+		failed:  append([]bool(nil), s.failed...),
+		pending: append([]machine.Op(nil), s.pending...),
+	}
+	for i, m := range s.ms {
+		cp.ms[i] = m.(machine.Cloner).Clone()
+	}
+	return cp
+}
+
+// step executes one operation of machine i in place.
+func (s *asyncState) step(i int) {
+	var op machine.Op
+	if !s.started[i] {
+		op = s.ms[i].Begin()
+		s.started[i] = true
+	} else {
+		op = s.pending[i]
+	}
+	var result uint32
+	switch op.Kind {
+	case register.OpRead:
+		result = s.mem.Read(op.Reg)
+	case register.OpWrite:
+		s.mem.Write(op.Reg, op.Val)
+	default:
+		panic(fmt.Sprintf("modelcheck: invalid op kind %v", op.Kind))
+	}
+	next, status := s.ms[i].Step(result)
+	switch status {
+	case machine.Decided:
+		s.decided[i] = true
+	case machine.Failed:
+		// A legitimate terminal outcome for machines with bounded budgets
+		// (the combined protocol's backup). The machine stops; safety
+		// checks continue to apply to the deciders.
+		s.failed[i] = true
+	case machine.Running:
+		s.pending[i] = next
+	default:
+		panic(fmt.Sprintf("modelcheck: machine %d returned %v", i, status))
+	}
+}
+
+// overHorizon reports whether machine i has run past the round cap.
+func overHorizon(m machine.Machine, cap int) bool {
+	if cap <= 0 {
+		return false
+	}
+	r, ok := m.(machine.Rounder)
+	return ok && r.Round() > cap
+}
+
+// CheckAsync explores every asynchronous interleaving of the
+// configuration, checking agreement and validity at every state and
+// calling cfg.Terminal on terminal states.
+func CheckAsync(cfg AsyncConfig) *Report {
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 5_000_000
+	}
+	rep := &Report{}
+	seenViol := make(map[string]bool)
+	violate := func(msg string) {
+		if !seenViol[msg] {
+			seenViol[msg] = true
+			rep.Violations = append(rep.Violations, msg)
+		}
+	}
+
+	ms, mem := cfg.NewMachines()
+	n := len(ms)
+	root := &asyncState{
+		ms:      ms,
+		mem:     mem,
+		started: make([]bool, n),
+		decided: make([]bool, n),
+		failed:  make([]bool, n),
+		pending: make([]machine.Op, n),
+	}
+	visited := map[string]bool{root.key(): true}
+	stack := []*asyncState{root}
+
+	allEqual := -1
+	if len(cfg.Inputs) > 0 {
+		allEqual = cfg.Inputs[0]
+		for _, b := range cfg.Inputs[1:] {
+			if b != allEqual {
+				allEqual = -1
+				break
+			}
+		}
+	}
+
+	for len(stack) > 0 {
+		if rep.States >= maxStates {
+			violate(fmt.Sprintf("state budget %d exhausted", maxStates))
+			break
+		}
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rep.States++
+
+		// Safety checks on the current state.
+		dec := -2
+		terminal := true
+		for i := 0; i < n; i++ {
+			if st.failed[i] {
+				continue
+			}
+			if !st.decided[i] {
+				terminal = false
+				continue
+			}
+			if cfg.SkipBuiltinChecks {
+				continue
+			}
+			v := st.ms[i].Decision()
+			if allEqual >= 0 && v != allEqual {
+				violate(fmt.Sprintf("validity: inputs all %d but machine %d decided %d", allEqual, i, v))
+			}
+			if dec == -2 {
+				dec = v
+			} else if dec != v {
+				violate(fmt.Sprintf("agreement: machines decided both %d and %d", dec, v))
+			}
+		}
+		if terminal {
+			rep.Terminals++
+			if cfg.Terminal != nil {
+				if err := cfg.Terminal(st.ms); err != nil {
+					violate("terminal: " + err.Error())
+				}
+			}
+			continue
+		}
+
+		for i := 0; i < n; i++ {
+			if st.decided[i] || st.failed[i] {
+				continue
+			}
+			succ := st.clone()
+			succ.step(i)
+			if overHorizon(succ.ms[i], cfg.RoundCap) {
+				rep.Pruned++
+				continue
+			}
+			if k := succ.key(); !visited[k] {
+				visited[k] = true
+				stack = append(stack, succ)
+			}
+		}
+	}
+	return rep
+}

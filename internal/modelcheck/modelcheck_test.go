@@ -1,0 +1,289 @@
+package modelcheck_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/backup"
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/modelcheck"
+	"leanconsensus/internal/register"
+)
+
+// leanConfig builds a fresh lean-consensus configuration factory.
+func leanConfig(inputs []int) func() ([]machine.Machine, *register.SimMem) {
+	return func() ([]machine.Machine, *register.SimMem) {
+		layout := register.Layout{}
+		mem := register.NewSimMem(32)
+		layout.InitMem(mem)
+		ms := make([]machine.Machine, len(inputs))
+		for i, b := range inputs {
+			ms[i] = core.NewLean(layout, b)
+		}
+		return ms, mem
+	}
+}
+
+// TestLeanAsyncExhaustiveTwoProcs explores every asynchronous interleaving
+// of two lean-consensus processes (up to a round horizon) for all four
+// input combinations: agreement and validity must never be violated
+// (Lemmas 3 and 4).
+func TestLeanAsyncExhaustiveTwoProcs(t *testing.T) {
+	for _, inputs := range [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		inputs := inputs
+		t.Run(fmt.Sprintf("inputs=%v", inputs), func(t *testing.T) {
+			rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+				NewMachines: leanConfig(inputs),
+				Inputs:      inputs,
+				RoundCap:    8,
+			})
+			if !rep.Ok() {
+				t.Fatalf("violations: %v", rep.Violations)
+			}
+			if rep.States == 0 || rep.Terminals == 0 {
+				t.Fatalf("suspicious exploration: %+v", rep)
+			}
+			t.Logf("states=%d terminals=%d pruned=%d", rep.States, rep.Terminals, rep.Pruned)
+		})
+	}
+}
+
+// TestLeanAsyncExhaustiveThreeProcs does the same for three processes with
+// mixed inputs (the most interesting case), at a lower horizon to keep the
+// state space moderate.
+func TestLeanAsyncExhaustiveThreeProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 3-process exploration in -short mode")
+	}
+	for _, inputs := range [][]int{{0, 0, 1}, {0, 1, 1}, {1, 0, 1}} {
+		inputs := inputs
+		t.Run(fmt.Sprintf("inputs=%v", inputs), func(t *testing.T) {
+			rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+				NewMachines: leanConfig(inputs),
+				Inputs:      inputs,
+				RoundCap:    5,
+			})
+			if !rep.Ok() {
+				t.Fatalf("violations: %v", rep.Violations)
+			}
+			t.Logf("states=%d terminals=%d pruned=%d", rep.States, rep.Terminals, rep.Pruned)
+		})
+	}
+}
+
+// TestLeanOptimizedAsyncSafety: the ablation variant must preserve
+// agreement and validity too (the paper's warning is about performance,
+// not safety).
+func TestLeanOptimizedAsyncSafety(t *testing.T) {
+	for _, inputs := range [][]int{{0, 1}, {1, 1}} {
+		rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+			NewMachines: func() ([]machine.Machine, *register.SimMem) {
+				layout := register.Layout{}
+				mem := register.NewSimMem(32)
+				layout.InitMem(mem)
+				ms := make([]machine.Machine, len(inputs))
+				for i, b := range inputs {
+					ms[i] = core.NewLeanOptimized(layout, b)
+				}
+				return ms, mem
+			},
+			Inputs:   inputs,
+			RoundCap: 8,
+		})
+		if !rep.Ok() {
+			t.Fatalf("inputs %v: violations: %v", inputs, rep.Violations)
+		}
+	}
+}
+
+// caConfig builds a fresh commit-adopt configuration factory.
+func caConfig(inputs []int) func() ([]machine.Machine, *register.SimMem) {
+	return func() ([]machine.Machine, *register.SimMem) {
+		layout := register.Layout{N: len(inputs), BackupRounds: 1}
+		mem := register.NewSimMem(layout.Registers(1))
+		layout.InitMem(mem)
+		ms := make([]machine.Machine, len(inputs))
+		for i, b := range inputs {
+			ms[i] = backup.NewCA(layout, i, len(inputs), b)
+		}
+		return ms, mem
+	}
+}
+
+// checkCATerminal verifies commit-adopt coherence and convergence on a
+// terminal state: if anyone committed v, everyone holds v; if inputs were
+// unanimous, everyone committed that input.
+func checkCATerminal(inputs []int) func(ms []machine.Machine) error {
+	allEqual := true
+	for _, b := range inputs[1:] {
+		if b != inputs[0] {
+			allEqual = false
+		}
+	}
+	return func(ms []machine.Machine) error {
+		committed := -1
+		for _, m := range ms {
+			ca := m.(*backup.CA)
+			if ca.Committed() {
+				if committed >= 0 && committed != ca.Decision() {
+					return fmt.Errorf("two different values committed: %d and %d", committed, ca.Decision())
+				}
+				committed = ca.Decision()
+			}
+		}
+		if committed >= 0 {
+			for i, m := range ms {
+				if m.Decision() != committed {
+					return fmt.Errorf("coherence: %d committed but machine %d holds %d", committed, i, m.Decision())
+				}
+			}
+		}
+		if allEqual {
+			for i, m := range ms {
+				ca := m.(*backup.CA)
+				if !ca.Committed() || ca.Decision() != inputs[0] {
+					return fmt.Errorf("convergence: unanimous %d but machine %d committed=%t value=%d",
+						inputs[0], i, ca.Committed(), ca.Decision())
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// TestCAExhaustive verifies the commit-adopt object in every interleaving
+// for 2 and 3 processes and every input vector. CA machines terminate in a
+// fixed number of operations, so the exploration is complete (no pruning).
+func TestCAExhaustive(t *testing.T) {
+	inputSets := [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	if !testing.Short() {
+		for mask := 0; mask < 8; mask++ {
+			inputSets = append(inputSets, []int{mask & 1, (mask >> 1) & 1, (mask >> 2) & 1})
+		}
+	}
+	for _, inputs := range inputSets {
+		inputs := inputs
+		t.Run(fmt.Sprintf("inputs=%v", inputs), func(t *testing.T) {
+			rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+				NewMachines: caConfig(inputs),
+				// Consensus agreement/validity do not apply to CA outputs
+				// (mixed-input adopts may return different values); the
+				// Terminal callback checks the CA-specific contract.
+				SkipBuiltinChecks: true,
+				Terminal:          checkCATerminal(inputs),
+			})
+			if !rep.Ok() {
+				t.Fatalf("violations: %v", rep.Violations)
+			}
+			if !rep.Complete() {
+				t.Fatalf("CA exploration should be complete, pruned %d", rep.Pruned)
+			}
+			t.Logf("states=%d terminals=%d", rep.States, rep.Terminals)
+		})
+	}
+}
+
+// TestHybridTheorem14Exhaustive verifies the 12-operation bound of
+// Theorem 14 for two processes under every hybrid schedule with quantum 8,
+// across priority assignments and initial quantum offsets.
+func TestHybridTheorem14Exhaustive(t *testing.T) {
+	for _, inputs := range [][]int{{0, 1}, {1, 0}, {0, 0}, {1, 1}} {
+		inputs := inputs
+		t.Run(fmt.Sprintf("inputs=%v", inputs), func(t *testing.T) {
+			rep := modelcheck.CheckHybrid(modelcheck.HybridConfig{
+				NewMachines: leanConfig(inputs),
+				Inputs:      inputs,
+				Quantum:     8,
+				OpBound:     12,
+			})
+			if !rep.Ok() {
+				t.Fatalf("violations: %v", rep.Violations)
+			}
+			if !rep.Complete() {
+				t.Fatalf("exploration pruned %d states; bound may be vacuous", rep.Pruned)
+			}
+			t.Logf("states=%d terminals=%d", rep.States, rep.Terminals)
+		})
+	}
+}
+
+// TestHybridTheorem14ThreeProcs extends the exhaustive check to three
+// processes (slower; skipped in -short mode).
+func TestHybridTheorem14ThreeProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 3-process hybrid exploration in -short mode")
+	}
+	inputs := []int{0, 1, 0}
+	rep := modelcheck.CheckHybrid(modelcheck.HybridConfig{
+		NewMachines: leanConfig(inputs),
+		Inputs:      inputs,
+		Quantum:     8,
+		OpBound:     12,
+	})
+	if !rep.Ok() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if !rep.Complete() {
+		t.Fatalf("exploration pruned %d states", rep.Pruned)
+	}
+	t.Logf("states=%d terminals=%d", rep.States, rep.Terminals)
+}
+
+// TestHybridSmallQuantumCanExceedEight demonstrates why the quantum must
+// be large: with quantum 2 some schedule pushes a process past 12
+// operations. (The theorem needs quantum >= 8; quantum 2 breaks the "some
+// process completes round 2 before P0 is rescheduled" argument.)
+func TestHybridSmallQuantumCanExceedEight(t *testing.T) {
+	inputs := []int{0, 1}
+	rep := modelcheck.CheckHybrid(modelcheck.HybridConfig{
+		NewMachines: leanConfig(inputs),
+		Inputs:      inputs,
+		Quantum:     2,
+		OpBound:     12,
+	})
+	found := false
+	for _, v := range rep.Violations {
+		if len(v) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("quantum 2 did not exceed 12 ops for n=2; bound may hold at this size")
+	}
+	t.Logf("as expected, small quantum violates the bound: %v", rep.Violations[0])
+}
+
+// TestHybridLiberalInterpretationBreaksBound documents a finding of this
+// reproduction: if SEVERAL processes are allowed to start the protocol
+// mid-quantum simultaneously — impossible on a real uniprocessor, where
+// only the process holding the CPU can be mid-quantum and every wake-up
+// grants a fresh quantum — then the 12-operation bound of Theorem 14
+// fails: exhaustive search finds 13-operation executions for n = 2 and
+// quantum 8 (e.g. both processes starting with 7 of 8 quantum operations
+// already consumed). The theorem's proof step "Q1 is at the start of a
+// quantum" is exactly the consistent-semantics assumption.
+func TestHybridLiberalInterpretationBreaksBound(t *testing.T) {
+	inputs := []int{0, 1}
+	rep := modelcheck.CheckHybrid(modelcheck.HybridConfig{
+		NewMachines: leanConfig(inputs),
+		Inputs:      inputs,
+		Quantum:     8,
+		OpBound:     12,
+		Liberal:     true,
+	})
+	if rep.Ok() {
+		t.Fatal("liberal mode found no violation; the consistent-semantics restriction would be unnecessary")
+	}
+	agreementBroken := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "agreement") || strings.Contains(v, "validity") {
+			agreementBroken = true
+		}
+	}
+	if agreementBroken {
+		t.Fatalf("safety must hold even in liberal mode; got %v", rep.Violations)
+	}
+	t.Logf("liberal-mode op-bound violations (expected): e.g. %s", rep.Violations[0])
+}

@@ -1,0 +1,168 @@
+package modelcheck_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/modelcheck"
+	"leanconsensus/internal/register"
+)
+
+// The tests in this file validate the checker itself: a verifier that
+// cannot detect violations proves nothing. Each test feeds the checker a
+// deliberately broken "algorithm" and requires the corresponding
+// violation to be reported.
+
+// stubbornMachine is a broken consensus: it performs one read and decides
+// its own input, ignoring everyone else. Agreement fails on mixed inputs.
+type stubbornMachine struct {
+	input int
+	done  bool
+}
+
+func (m *stubbornMachine) Begin() machine.Op {
+	return machine.Op{Kind: register.OpRead, Reg: 0}
+}
+
+func (m *stubbornMachine) Step(uint32) (machine.Op, machine.Status) {
+	m.done = true
+	return machine.Op{}, machine.Decided
+}
+
+func (m *stubbornMachine) Decision() int { return m.input }
+
+func (m *stubbornMachine) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+func (m *stubbornMachine) StateKey() uint64 {
+	k := uint64(m.input) << 1
+	if m.done {
+		k |= 1
+	}
+	return k
+}
+
+// contrarianMachine decides the opposite of its input: validity fails on
+// unanimous inputs.
+type contrarianMachine struct{ stubbornMachine }
+
+func (m *contrarianMachine) Decision() int { return 1 - m.input }
+
+func (m *contrarianMachine) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+func TestCheckerDetectsAgreementViolation(t *testing.T) {
+	rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+		NewMachines: func() ([]machine.Machine, *register.SimMem) {
+			return []machine.Machine{
+				&stubbornMachine{input: 0},
+				&stubbornMachine{input: 1},
+			}, register.NewSimMem(4)
+		},
+		Inputs: []int{0, 1},
+	})
+	if rep.Ok() {
+		t.Fatal("checker missed a blatant agreement violation")
+	}
+}
+
+func TestCheckerDetectsValidityViolation(t *testing.T) {
+	rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+		NewMachines: func() ([]machine.Machine, *register.SimMem) {
+			return []machine.Machine{
+				&contrarianMachine{stubbornMachine{input: 1}},
+				&contrarianMachine{stubbornMachine{input: 1}},
+			}, register.NewSimMem(4)
+		},
+		Inputs: []int{1, 1},
+	})
+	if rep.Ok() {
+		t.Fatal("checker missed a blatant validity violation")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if len(v) >= 8 && v[:8] == "validity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a validity violation, got %v", rep.Violations)
+	}
+}
+
+func TestCheckerHybridDetectsOpBoundViolation(t *testing.T) {
+	// A machine that needs 20 ops to decide must trip an OpBound of 12
+	// under any scheduler.
+	rep := modelcheck.CheckHybrid(modelcheck.HybridConfig{
+		NewMachines: func() ([]machine.Machine, *register.SimMem) {
+			return []machine.Machine{&slowMachine{}}, register.NewSimMem(4)
+		},
+		Inputs:  []int{0},
+		Quantum: 8,
+		OpBound: 12,
+	})
+	if rep.Ok() {
+		t.Fatal("checker missed an op-bound violation")
+	}
+}
+
+type slowMachine struct {
+	steps int
+}
+
+func (m *slowMachine) Begin() machine.Op { return machine.Op{Kind: register.OpRead, Reg: 0} }
+
+func (m *slowMachine) Step(uint32) (machine.Op, machine.Status) {
+	m.steps++
+	if m.steps >= 20 {
+		return machine.Op{}, machine.Decided
+	}
+	return machine.Op{Kind: register.OpRead, Reg: 0}, machine.Running
+}
+
+func (m *slowMachine) Decision() int { return 0 }
+
+func (m *slowMachine) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+func (m *slowMachine) StateKey() uint64 { return uint64(m.steps) }
+
+func TestCheckerStateBudget(t *testing.T) {
+	// An unbounded machine with no round information exhausts MaxStates
+	// and must report it rather than hang.
+	rep := modelcheck.CheckAsync(modelcheck.AsyncConfig{
+		NewMachines: func() ([]machine.Machine, *register.SimMem) {
+			return []machine.Machine{&countingMachine{}}, register.NewSimMem(4)
+		},
+		MaxStates: 100,
+	})
+	if rep.Ok() {
+		t.Fatal("state-budget exhaustion not reported")
+	}
+}
+
+type countingMachine struct {
+	n uint64
+}
+
+func (m *countingMachine) Begin() machine.Op { return machine.Op{Kind: register.OpRead, Reg: 0} }
+
+func (m *countingMachine) Step(uint32) (machine.Op, machine.Status) {
+	m.n++
+	return machine.Op{Kind: register.OpRead, Reg: 0}, machine.Running
+}
+
+func (m *countingMachine) Decision() int { return 0 }
+
+func (m *countingMachine) Clone() machine.Machine {
+	cp := *m
+	return &cp
+}
+
+func (m *countingMachine) StateKey() uint64 { return m.n }

@@ -1,0 +1,74 @@
+package modelcheck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// TestStrictSemanticsAdmitNoThirteenOpTrace searches for a hybrid schedule
+// (quantum 8, consistent uniprocessor semantics) that drives some process
+// past 12 ops for the configuration that was the worst case under the
+// relaxed scheduler (high-priority process starting mid-quantum). None may
+// exist: the search must come up empty, and if it ever finds one it prints
+// the step-by-step schedule for debugging.
+func TestStrictSemanticsAdmitNoThirteenOpTrace(t *testing.T) {
+	inputs := []int{0, 1}
+	pri := []int{1, 0}
+	used := []int{6, 0}
+
+	newRoot := func() *hybrid.State {
+		layout := register.Layout{}
+		mem := register.NewSimMem(32)
+		layout.InitMem(mem)
+		ms := make([]machine.Machine, len(inputs))
+		for i, b := range inputs {
+			ms[i] = core.NewLean(layout, b)
+		}
+		return hybrid.NewState(ms, mem, pri, 8, used)
+	}
+
+	type node struct {
+		st    *hybrid.State
+		sched []int
+	}
+	stack := []node{{st: newRoot()}}
+	visited := map[string]bool{}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		over := false
+		for i := range inputs {
+			if nd.st.Ops(i) > 12 {
+				over = true
+			}
+		}
+		if over {
+			// Replay with commentary before failing.
+			st := newRoot()
+			for step, ch := range nd.sched {
+				st.ExecuteOne(ch)
+				t.Logf("step %2d: run P%d  ops=[%d %d] decided=[%t %t]",
+					step, ch, st.Ops(0), st.Ops(1), st.Decided(0), st.Decided(1))
+			}
+			t.Fatalf("13-op schedule found under strict semantics: %v", nd.sched)
+		}
+		if nd.st.Live() == 0 {
+			continue
+		}
+		for _, i := range nd.st.Eligible() {
+			succ := nd.st.Clone()
+			succ.ExecuteOne(i)
+			k := succ.Key() + fmt.Sprint(succ.Ops(0), succ.Ops(1))
+			if !visited[k] {
+				visited[k] = true
+				stack = append(stack, node{st: succ, sched: append(append([]int(nil), nd.sched...), i)})
+			}
+		}
+	}
+	t.Log("search exhausted: no schedule exceeds 12 ops, as Theorem 14 requires")
+}

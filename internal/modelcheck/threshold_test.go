@@ -1,0 +1,43 @@
+package modelcheck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"leanconsensus/internal/modelcheck"
+)
+
+// TestQuantumThresholdTwoProcs pins down a finding of this reproduction:
+// for n = 2 the exact quantum threshold for Theorem 14's 12-operation
+// bound is 7, one below the paper's (sufficient, for all n) requirement of
+// 8. Exhaustive search over every schedule, priority assignment and
+// initial quantum offset shows quanta 5 and 6 admit 13-operation
+// executions while quantum 7 admits none.
+func TestQuantumThresholdTwoProcs(t *testing.T) {
+	type expectation struct {
+		quantum  int
+		violates bool
+	}
+	for _, want := range []expectation{
+		{5, true},
+		{6, true},
+		{7, false},
+		{8, false},
+	} {
+		want := want
+		t.Run(fmt.Sprintf("quantum=%d", want.quantum), func(t *testing.T) {
+			inputs := []int{0, 1}
+			rep := modelcheck.CheckHybrid(modelcheck.HybridConfig{
+				NewMachines: leanConfig(inputs),
+				Inputs:      inputs,
+				Quantum:     want.quantum,
+				OpBound:     12,
+			})
+			got := !rep.Ok()
+			if got != want.violates {
+				t.Fatalf("quantum %d: violations=%v, want violations=%v (%v)",
+					want.quantum, got, want.violates, rep.Violations)
+			}
+		})
+	}
+}

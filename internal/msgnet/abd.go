@@ -1,0 +1,257 @@
+package msgnet
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+)
+
+// This file implements the ABD (Attiya-Bar-Noy-Dolev) emulation of
+// multi-writer multi-reader atomic registers over asynchronous message
+// passing with a crash-prone minority, and drives an arbitrary
+// machine.Machine (in this repository: lean-consensus and the combined
+// protocol) against the emulated registers.
+//
+// Every process plays two roles:
+//
+//   - replica: stores (value, tag) per register, where tag = (timestamp,
+//     writer id) ordered lexicographically, and answers query/update
+//     messages;
+//   - client: executes its machine's operations. A write queries a
+//     majority for the latest timestamp, then updates a majority with an
+//     incremented tag. A read queries a majority, selects the maximum
+//     tag, writes it back to a majority (the read must "help" so later
+//     reads cannot see older values), and returns the value.
+//
+// With any majority of processes live, every operation terminates, and
+// the emulated registers are linearizable — which is all the safety
+// proofs of lean-consensus need.
+
+// tag orders writes: lexicographic on (TS, Writer).
+type tag struct {
+	TS     int64
+	Writer int32
+}
+
+func (a tag) less(b tag) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.Writer < b.Writer
+}
+
+// stored is a replica's state for one register.
+type stored struct {
+	Val uint32
+	Tag tag
+}
+
+// Message payloads.
+
+// queryReq asks a replica for its (value, tag) of register Reg.
+type queryReq struct {
+	Op  int64 // client's operation sequence number
+	Reg register.ID
+}
+
+// queryResp answers a queryReq.
+type queryResp struct {
+	Op  int64
+	Reg register.ID
+	Cur stored
+}
+
+// updateReq asks a replica to adopt (Val, Tag) for Reg if newer.
+type updateReq struct {
+	Op  int64
+	Reg register.ID
+	New stored
+}
+
+// updateResp acknowledges an updateReq.
+type updateResp struct {
+	Op int64
+}
+
+// clientPhase tracks the two-phase structure of an ABD operation.
+type clientPhase uint8
+
+const (
+	phaseIdle clientPhase = iota
+	phaseQuery
+	phaseUpdate
+)
+
+// ABDNode is one process: replica state + client driver for a machine.
+type ABDNode struct {
+	id, n    int
+	majority int
+
+	// Replica state.
+	store map[register.ID]stored
+
+	// Client state.
+	m       machine.Machine
+	op      machine.Op
+	started bool
+	decided bool
+	failed  bool
+
+	seq       int64 // operation sequence number
+	phase     clientPhase
+	acks      int
+	best      stored
+	pendingWr bool   // current op is a write
+	wrVal     uint32 // value being written
+
+	// Stats.
+	ops      int64
+	messages int64
+}
+
+// NewABDNode builds process id of n running machine m.
+func NewABDNode(id, n int, m machine.Machine) *ABDNode {
+	return &ABDNode{
+		id:       id,
+		n:        n,
+		majority: n/2 + 1,
+		store:    make(map[register.ID]stored),
+		m:        m,
+	}
+}
+
+// Decided reports whether the machine has decided.
+func (a *ABDNode) Decided() bool { return a.decided }
+
+// Failed reports whether the machine aborted.
+func (a *ABDNode) Failed() bool { return a.failed }
+
+// Decision returns the machine's decision (valid when Decided).
+func (a *ABDNode) Decision() int { return a.m.Decision() }
+
+// Ops reports completed register operations.
+func (a *ABDNode) Ops() int64 { return a.ops }
+
+// Messages reports messages sent by this node.
+func (a *ABDNode) Messages() int64 { return a.messages }
+
+// Machine exposes the driven machine (for round reporting).
+func (a *ABDNode) Machine() machine.Machine { return a.m }
+
+// Preload installs initial replica state for a register at the zero tag
+// (older than any write). The algorithm's read-only prefix locations are
+// established this way before the network starts.
+func (a *ABDNode) Preload(id register.ID, val uint32) {
+	a.store[id] = stored{Val: val}
+}
+
+// Done implements Node.
+func (a *ABDNode) Done() bool { return a.decided || a.failed }
+
+// Start implements Node: begin the machine's first operation.
+func (a *ABDNode) Start() []Message {
+	a.op = a.m.Begin()
+	a.started = true
+	return a.beginOp()
+}
+
+// beginOp launches the query phase for the current machine operation.
+func (a *ABDNode) beginOp() []Message {
+	a.seq++
+	a.phase = phaseQuery
+	a.acks = 0
+	// The accumulator must start strictly below every replica tag —
+	// including the zero tag carried by preloaded and never-written
+	// registers — or the first response could tie instead of winning.
+	a.best = stored{Tag: tag{TS: -1}}
+	a.pendingWr = a.op.Kind == register.OpWrite
+	a.wrVal = a.op.Val
+	return a.broadcast(queryReq{Op: a.seq, Reg: a.op.Reg})
+}
+
+// broadcast sends payload to every process, including self (the loopback
+// message also goes through the network so that replica state transitions
+// are uniformly message-driven).
+func (a *ABDNode) broadcast(payload any) []Message {
+	out := make([]Message, 0, a.n)
+	for to := 0; to < a.n; to++ {
+		out = append(out, Message{To: to, Payload: payload})
+	}
+	a.messages += int64(a.n)
+	return out
+}
+
+// Receive implements Node.
+func (a *ABDNode) Receive(msg Message) []Message {
+	switch p := msg.Payload.(type) {
+	case queryReq:
+		cur := a.store[p.Reg]
+		a.messages++
+		return []Message{{To: msg.From, Payload: queryResp{Op: p.Op, Reg: p.Reg, Cur: cur}}}
+
+	case updateReq:
+		if cur, ok := a.store[p.Reg]; !ok || cur.Tag.less(p.New.Tag) {
+			a.store[p.Reg] = p.New
+		}
+		a.messages++
+		return []Message{{To: msg.From, Payload: updateResp{Op: p.Op}}}
+
+	case queryResp:
+		if a.phase != phaseQuery || p.Op != a.seq || a.Done() {
+			return nil // stale
+		}
+		if a.best.Tag.less(p.Cur.Tag) {
+			a.best = p.Cur
+		}
+		a.acks++
+		if a.acks < a.majority {
+			return nil
+		}
+		// Quorum reached: move to the update phase.
+		a.phase = phaseUpdate
+		a.acks = 0
+		var next stored
+		if a.pendingWr {
+			next = stored{Val: a.wrVal, Tag: tag{TS: a.best.Tag.TS + 1, Writer: int32(a.id)}}
+		} else {
+			next = a.best // read write-back
+		}
+		a.best = next
+		return a.broadcast(updateReq{Op: a.seq, Reg: a.op.Reg, New: next})
+
+	case updateResp:
+		if a.phase != phaseUpdate || p.Op != a.seq || a.Done() {
+			return nil // stale
+		}
+		a.acks++
+		if a.acks < a.majority {
+			return nil
+		}
+		// Operation complete: feed the machine.
+		a.phase = phaseIdle
+		a.ops++
+		var result uint32
+		if !a.pendingWr {
+			result = a.best.Val
+		}
+		next, st := a.m.Step(result)
+		switch st {
+		case machine.Decided:
+			a.decided = true
+			return nil
+		case machine.Failed:
+			a.failed = true
+			return nil
+		default:
+			a.op = next
+			return a.beginOp()
+		}
+
+	default:
+		panic(fmt.Sprintf("msgnet: unknown payload %T", msg.Payload))
+	}
+}
+
+// Interface compliance check.
+var _ Node = (*ABDNode)(nil)

@@ -1,0 +1,154 @@
+package msgnet
+
+import (
+	"errors"
+	"fmt"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// ConsensusConfig describes a run of lean-consensus over message passing.
+type ConsensusConfig struct {
+	// Inputs holds one input bit per process.
+	Inputs []int
+	// Delay is the message-delay noise distribution (required).
+	Delay dist.Distribution
+	// LinkDelay optionally adds deterministic per-link delays.
+	LinkDelay func(from, to int) float64
+	// Crash lists process ids crashed from the start. The ABD emulation
+	// requires a live majority: len(Crash) must be < n/2 rounded up.
+	Crash []int
+	// Bounded switches to the combined (Section 8) protocol with the
+	// given RMax; zero runs plain lean-consensus.
+	RMax int
+	// BackupRounds sizes the backup register budget (default 64).
+	BackupRounds int
+	// Seed fixes all randomness.
+	Seed uint64
+	// MaxMessages bounds the simulation (0 = default).
+	MaxMessages int64
+}
+
+// ConsensusResult reports a message-passing consensus run.
+type ConsensusResult struct {
+	// Value is the agreed bit.
+	Value int
+	// Decisions per process (-1 for crashed processes).
+	Decisions []int
+	// Rounds is the largest racing-counters round reached.
+	Rounds int
+	// RegisterOps is the total number of emulated register operations.
+	RegisterOps int64
+	// Messages is the total number of messages sent.
+	Messages int64
+	// Time is the simulated duration.
+	Time float64
+}
+
+// Errors returned by Consensus.
+var (
+	ErrNoMajority   = errors.New("msgnet: crashes leave no live majority")
+	ErrDisagreement = errors.New("msgnet: processes decided different values")
+)
+
+// Consensus runs one lean-consensus instance over the emulated registers.
+func Consensus(cfg ConsensusConfig) (*ConsensusResult, error) {
+	n := len(cfg.Inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("msgnet: need at least one process")
+	}
+	for _, b := range cfg.Inputs {
+		if b != 0 && b != 1 {
+			return nil, fmt.Errorf("msgnet: input bits must be 0 or 1, got %d", b)
+		}
+	}
+	if len(cfg.Crash) >= (n+1)/2 {
+		return nil, fmt.Errorf("%w: %d crashes among %d processes", ErrNoMajority, len(cfg.Crash), n)
+	}
+
+	backupRounds := cfg.BackupRounds
+	if backupRounds == 0 {
+		backupRounds = 64
+	}
+	var layout register.Layout
+	if cfg.RMax > 0 {
+		layout = register.Layout{N: n, BackupRounds: backupRounds}
+	}
+
+	crashAt := make(map[int]float64, len(cfg.Crash))
+	for _, c := range cfg.Crash {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("msgnet: crash id %d out of range", c)
+		}
+		crashAt[c] = 0
+	}
+
+	nodes := make([]Node, n)
+	abds := make([]*ABDNode, n)
+	for i := 0; i < n; i++ {
+		var m machine.Machine
+		if cfg.RMax > 0 {
+			m = core.NewCombined(layout, i, n, cfg.Inputs[i], cfg.RMax,
+				xrand.Mix(cfg.Seed, 0x6d636f, uint64(i)))
+		} else {
+			m = core.NewLean(layout, cfg.Inputs[i])
+		}
+		a := NewABDNode(i, n, m)
+		// The algorithm's read-only prefix a_b[0] = 1 becomes preloaded
+		// replica state (tag zero, older than every real write).
+		a.Preload(layout.A(0, 0), 1)
+		a.Preload(layout.A(1, 0), 1)
+		abds[i] = a
+		nodes[i] = a
+	}
+
+	net, err := NewNetwork(Config{
+		Nodes:       nodes,
+		Delay:       cfg.Delay,
+		LinkDelay:   cfg.LinkDelay,
+		CrashAt:     crashAt,
+		Seed:        cfg.Seed,
+		MaxMessages: cfg.MaxMessages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	netRes, err := net.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ConsensusResult{
+		Value:     -1,
+		Decisions: make([]int, n),
+		Time:      netRes.Time,
+	}
+	for i, a := range abds {
+		out.Decisions[i] = -1
+		out.RegisterOps += a.Ops()
+		out.Messages += a.Messages()
+		if _, crashed := crashAt[i]; crashed {
+			continue
+		}
+		if a.Failed() {
+			return nil, fmt.Errorf("msgnet: process %d exhausted the backup budget", i)
+		}
+		if !a.Decided() {
+			return nil, fmt.Errorf("msgnet: process %d did not decide (quiescent network)", i)
+		}
+		out.Decisions[i] = a.Decision()
+		if r, ok := a.Machine().(machine.Rounder); ok && r.Round() > out.Rounds {
+			out.Rounds = r.Round()
+		}
+		if out.Value < 0 {
+			out.Value = out.Decisions[i]
+		} else if out.Value != out.Decisions[i] {
+			return nil, fmt.Errorf("%w: %v", ErrDisagreement, out.Decisions)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+// Package msgnet answers the paper's Section 10 question "can a noisy
+// scheduling assumption be used to solve consensus quickly in an
+// asynchronous message-passing model?" constructively: it provides an
+// asynchronous message-passing network with noisy delivery delays and
+// crash failures, an ABD-style emulation of multi-writer multi-reader
+// atomic registers over that network (Attiya-Bar-Noy-Dolev), and a driver
+// that runs the unchanged lean-consensus state machines on top of the
+// emulated registers.
+//
+// The network is a discrete-event simulation: each message is delivered
+// at send time + link delay + noise, with noise drawn i.i.d. from a
+// configurable distribution — the message-passing analogue of the noisy
+// scheduling model. Crashed processes stop sending, receiving and
+// stepping; the ABD emulation tolerates any minority of crashes.
+package msgnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/xrand"
+)
+
+// Message is a payload in flight. Payloads are package-defined structs;
+// the network treats them opaquely.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// Node is a participant in the network. Handlers return messages to send;
+// the network assigns delivery times.
+type Node interface {
+	// Start is called once at the node's (dithered) start time.
+	Start() []Message
+	// Receive handles one delivered message.
+	Receive(msg Message) []Message
+	// Done reports whether the node has finished its work; the simulation
+	// stops when every live node is done (or no messages remain).
+	Done() bool
+}
+
+// Config describes a network simulation.
+type Config struct {
+	// Nodes are the participants; index = process id.
+	Nodes []Node
+	// Delay is the noise distribution on message delivery (required).
+	Delay dist.Distribution
+	// LinkDelay, when non-nil, adds a deterministic per-link delay
+	// (adversary analogue of the Δ terms).
+	LinkDelay func(from, to int) float64
+	// CrashAt, when non-nil, maps a process id to the simulated time at
+	// which it crashes (negative or absent = never). Crashed processes
+	// neither send nor receive after that time.
+	CrashAt map[int]float64
+	// Seed fixes all randomness.
+	Seed uint64
+	// MaxMessages aborts runaway simulations (0 = generous default).
+	MaxMessages int64
+	// DitherScale perturbs node start times (0 selects 1e-8).
+	DitherScale float64
+}
+
+// Result summarizes a network run.
+type Result struct {
+	// Delivered counts delivered messages.
+	Delivered int64
+	// Dropped counts messages lost to crashed endpoints.
+	Dropped int64
+	// Time is the simulated time of the last event.
+	Time float64
+	// AllDone reports whether every live node finished.
+	AllDone bool
+}
+
+// event is one pending delivery (or node start when Payload == nil and
+// From < 0).
+type event struct {
+	t   float64
+	seq int64
+	msg Message
+}
+
+type netHeap []event
+
+func (h netHeap) less(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *netHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *netHeap) pop() event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less((*h)[l], (*h)[small]) {
+			small = l
+		}
+		if r < n && h.less((*h)[r], (*h)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// Network runs a message-passing simulation.
+type Network struct {
+	cfg   Config
+	heap  netHeap
+	rngs  []*rand.Rand
+	seq   int64
+	now   float64
+	stats Result
+}
+
+// ErrBadConfig reports an invalid Config.
+var ErrBadConfig = errors.New("msgnet: invalid config")
+
+// NewNetwork validates the configuration.
+func NewNetwork(cfg Config) (*Network, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: need nodes", ErrBadConfig)
+	}
+	if cfg.Delay == nil {
+		return nil, fmt.Errorf("%w: Delay distribution required", ErrBadConfig)
+	}
+	n := &Network{cfg: cfg}
+	n.rngs = make([]*rand.Rand, len(cfg.Nodes))
+	for i := range n.rngs {
+		n.rngs[i] = xrand.New(cfg.Seed, 0x6d736e, uint64(i))
+	}
+	return n, nil
+}
+
+// crashed reports whether process i has crashed by time t.
+func (n *Network) crashed(i int, t float64) bool {
+	if n.cfg.CrashAt == nil {
+		return false
+	}
+	ct, ok := n.cfg.CrashAt[i]
+	return ok && ct >= 0 && t >= ct
+}
+
+// send enqueues outgoing messages from process `from` at time t.
+func (n *Network) send(from int, t float64, msgs []Message) {
+	for _, m := range msgs {
+		if m.To < 0 || m.To >= len(n.cfg.Nodes) {
+			panic(fmt.Sprintf("msgnet: message to unknown process %d", m.To))
+		}
+		m.From = from
+		d := n.cfg.Delay.Sample(n.rngs[from])
+		if n.cfg.LinkDelay != nil {
+			d += n.cfg.LinkDelay(from, m.To)
+		}
+		if d < 0 {
+			panic("msgnet: negative delivery delay")
+		}
+		n.seq++
+		n.heap.push(event{t: t + d, seq: n.seq, msg: m})
+	}
+}
+
+// Run executes the simulation until quiescence.
+func (n *Network) Run() (*Result, error) {
+	maxMessages := n.cfg.MaxMessages
+	if maxMessages == 0 {
+		maxMessages = 10_000_000
+	}
+	dither := n.cfg.DitherScale
+	if dither == 0 {
+		dither = 1e-8
+	}
+
+	// Node starts.
+	for i, node := range n.cfg.Nodes {
+		t := xrand.Dither(n.rngs[i], dither)
+		if n.crashed(i, t) {
+			continue
+		}
+		n.send(i, t, node.Start())
+	}
+
+	for len(n.heap) > 0 {
+		ev := n.heap.pop()
+		n.now = ev.t
+		n.stats.Time = ev.t
+		// Messages already in flight when the sender crashes are still
+		// delivered (the network is not the failed component); only a
+		// crashed receiver loses messages.
+		to := ev.msg.To
+		if n.crashed(to, ev.t) {
+			n.stats.Dropped++
+			continue
+		}
+		n.stats.Delivered++
+		if n.stats.Delivered > maxMessages {
+			return nil, fmt.Errorf("msgnet: more than %d messages; runaway protocol?", maxMessages)
+		}
+		out := n.cfg.Nodes[to].Receive(ev.msg)
+		n.send(to, ev.t, out)
+	}
+
+	n.stats.AllDone = true
+	for i, node := range n.cfg.Nodes {
+		if !n.crashed(i, n.now) && !node.Done() {
+			n.stats.AllDone = false
+		}
+	}
+	out := n.stats
+	return &out, nil
+}

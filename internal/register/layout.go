@@ -1,0 +1,84 @@
+package register
+
+// Layout maps the logical registers of the combined protocol onto a flat
+// register bank.
+//
+// The bank is organized as:
+//
+//	[0, BackupSize)                 backup-protocol registers (optional)
+//	[BackupSize, ...)               the lean-consensus arrays a0, a1,
+//	                                interleaved as id = base + 2*r + b
+//
+// Round index r starts at 0: a_b[0] is the read-only prefix location that
+// the paper defines to hold 1 (Section 4). InitMem must be called on a
+// fresh memory to establish that prefix.
+//
+// The backup region holds, for each backup round q in [0, BackupRounds)
+// and each process i in [0, N):
+//
+//	c[q]        conciliator register (1 per round)
+//	r1[q][i]    commit-adopt phase-1 register (single-writer)
+//	r2[q][i]    commit-adopt phase-2 register (single-writer)
+//
+// A Layout with N == 0 or BackupRounds == 0 has no backup region and
+// describes the plain lean-consensus register bank.
+type Layout struct {
+	// N is the number of processes (used only by the backup region).
+	N int
+	// BackupRounds is the number of backup rounds for which registers are
+	// reserved. The combined protocol reports an error if the backup ever
+	// exhausts this budget (see internal/backup).
+	BackupRounds int
+}
+
+// BackupSize reports the number of registers reserved for the backup
+// protocol region.
+func (l Layout) BackupSize() int {
+	return l.BackupRounds * (1 + 2*l.N)
+}
+
+// A returns the register holding a_b[r] for b in {0,1} and r >= 0.
+func (l Layout) A(b, r int) ID {
+	return ID(l.BackupSize() + 2*r + b)
+}
+
+// DecodeA is the inverse of A: it reports which a_b[r] location a register
+// id refers to, with ok == false for registers in the backup region.
+func (l Layout) DecodeA(id ID) (b, r int, ok bool) {
+	off := int(id) - l.BackupSize()
+	if off < 0 {
+		return 0, 0, false
+	}
+	return off % 2, off / 2, true
+}
+
+// Conciliator returns the conciliator register for backup round q.
+func (l Layout) Conciliator(q int) ID {
+	return ID(q * (1 + 2*l.N))
+}
+
+// R1 returns process i's commit-adopt phase-1 register for backup round q.
+func (l Layout) R1(q, i int) ID {
+	return ID(q*(1+2*l.N) + 1 + i)
+}
+
+// R2 returns process i's commit-adopt phase-2 register for backup round q.
+func (l Layout) R2(q, i int) ID {
+	return ID(q*(1+2*l.N) + 1 + l.N + i)
+}
+
+// Registers reports the total number of registers needed when the lean
+// arrays are bounded at leanRounds rounds (indices 0..leanRounds). Use it
+// to size an AtomicMem for the live runtime.
+func (l Layout) Registers(leanRounds int) int {
+	return l.BackupSize() + 2*(leanRounds+1)
+}
+
+// InitMem establishes the read-only prefix a_0[0] = a_1[0] = 1 required by
+// the algorithm (paper, Section 4). It must be called once on a fresh
+// memory before any process takes a step; the two writes are part of the
+// initial state, not of any process's operation sequence.
+func (l Layout) InitMem(m Mem) {
+	m.Write(l.A(0, 0), 1)
+	m.Write(l.A(1, 0), 1)
+}

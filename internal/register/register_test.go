@@ -1,0 +1,193 @@
+package register_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"leanconsensus/internal/register"
+)
+
+func TestSimMemReadAfterWrite(t *testing.T) {
+	m := register.NewSimMem(4)
+	m.Write(2, 42)
+	if got := m.Read(2); got != 42 {
+		t.Errorf("read %d, want 42", got)
+	}
+	if got := m.Read(3); got != 0 {
+		t.Errorf("unwritten register read %d, want 0", got)
+	}
+}
+
+func TestSimMemGrowth(t *testing.T) {
+	m := register.NewSimMem(0)
+	if got := m.Read(1000); got != 0 {
+		t.Errorf("read beyond capacity returned %d", got)
+	}
+	m.Write(1000, 7)
+	if got := m.Read(1000); got != 7 {
+		t.Errorf("read %d after growth write, want 7", got)
+	}
+	if m.Len() < 1001 {
+		t.Errorf("Len %d after writing register 1000", m.Len())
+	}
+	// Earlier registers survive growth.
+	m2 := register.NewSimMem(2)
+	m2.Write(0, 5)
+	m2.Write(100, 6)
+	if got := m2.Read(0); got != 5 {
+		t.Errorf("register 0 lost after growth: %d", got)
+	}
+}
+
+func TestSimMemCloneIndependent(t *testing.T) {
+	m := register.NewSimMem(4)
+	m.Write(1, 9)
+	c := m.Clone()
+	m.Write(1, 10)
+	if got := c.Read(1); got != 9 {
+		t.Errorf("clone observed original's write: %d", got)
+	}
+	c.Write(2, 3)
+	if got := m.Read(2); got != 0 {
+		t.Errorf("original observed clone's write: %d", got)
+	}
+}
+
+func TestAtomicMemBasic(t *testing.T) {
+	m := register.NewAtomicMem(8)
+	m.Write(5, 11)
+	if got := m.Read(5); got != 11 {
+		t.Errorf("read %d, want 11", got)
+	}
+	if m.Len() != 8 {
+		t.Errorf("Len %d, want 8", m.Len())
+	}
+}
+
+// TestAtomicMemConcurrent exercises AtomicMem under the race detector:
+// many goroutines writing and reading distinct and shared registers.
+func TestAtomicMemConcurrent(t *testing.T) {
+	m := register.NewAtomicMem(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Write(register.ID(g), uint32(i))
+				_ = m.Read(register.ID((g + 1) % 16))
+				m.Write(15, uint32(g)) // shared hot register
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Read(7); got != 999 {
+		t.Errorf("register 7 final value %d, want 999", got)
+	}
+}
+
+func TestRecorderCapturesOps(t *testing.T) {
+	base := register.NewSimMem(4)
+	hist := &register.History{}
+	rec := &register.Recorder{Base: base, Hist: hist, Proc: 3}
+	rec.Write(1, 5)
+	if got := rec.Read(1); got != 5 {
+		t.Fatalf("recorder read %d, want 5", got)
+	}
+	if hist.Len() != 2 {
+		t.Fatalf("history has %d events, want 2", hist.Len())
+	}
+	w, r := hist.Events[0], hist.Events[1]
+	if w.Kind != register.OpWrite || w.Val != 5 || w.Proc != 3 || w.Reg != 1 {
+		t.Errorf("write event %+v", w)
+	}
+	if r.Kind != register.OpRead || r.Val != 5 || r.Seq != 1 {
+		t.Errorf("read event %+v", r)
+	}
+}
+
+func TestLayoutRegions(t *testing.T) {
+	l := register.Layout{N: 3, BackupRounds: 2}
+	// Backup region: 2 rounds * (1 + 2*3) = 14 registers.
+	if got := l.BackupSize(); got != 14 {
+		t.Fatalf("BackupSize %d, want 14", got)
+	}
+	// No collisions across the whole map.
+	seen := map[register.ID]string{}
+	record := func(name string, id register.ID) {
+		if prev, ok := seen[id]; ok {
+			t.Fatalf("register collision: %s and %s both map to %d", prev, name, id)
+		}
+		seen[id] = name
+	}
+	for q := 0; q < 2; q++ {
+		record("conciliator", l.Conciliator(q))
+		for i := 0; i < 3; i++ {
+			record("r1", l.R1(q, i))
+			record("r2", l.R2(q, i))
+		}
+	}
+	for r := 0; r <= 4; r++ {
+		record("a0", l.A(0, r))
+		record("a1", l.A(1, r))
+	}
+	if got := l.Registers(4); got != 14+10 {
+		t.Errorf("Registers(4) = %d, want 24", got)
+	}
+}
+
+func TestLayoutDecodeA(t *testing.T) {
+	l := register.Layout{N: 2, BackupRounds: 3}
+	for r := 0; r < 10; r++ {
+		for b := 0; b < 2; b++ {
+			id := l.A(b, r)
+			gb, gr, ok := l.DecodeA(id)
+			if !ok || gb != b || gr != r {
+				t.Fatalf("DecodeA(A(%d,%d)) = (%d,%d,%t)", b, r, gb, gr, ok)
+			}
+		}
+	}
+	if _, _, ok := l.DecodeA(l.Conciliator(0)); ok {
+		t.Error("DecodeA claimed a backup register is a lean register")
+	}
+}
+
+func TestInitMemSetsPrefix(t *testing.T) {
+	l := register.Layout{}
+	m := register.NewSimMem(4)
+	l.InitMem(m)
+	if m.Read(l.A(0, 0)) != 1 || m.Read(l.A(1, 0)) != 1 {
+		t.Error("prefix locations not set to 1")
+	}
+	if m.Read(l.A(0, 1)) != 0 || m.Read(l.A(1, 1)) != 0 {
+		t.Error("round-1 locations not zero")
+	}
+}
+
+// Property: for any sequence of writes, a read returns the last write to
+// that register (SimMem is a correct register bank).
+func TestQuickSimMemLastWriteWins(t *testing.T) {
+	type op struct {
+		Reg uint8
+		Val uint32
+	}
+	f := func(ops []op) bool {
+		m := register.NewSimMem(0)
+		last := map[register.ID]uint32{}
+		for _, o := range ops {
+			id := register.ID(o.Reg)
+			m.Write(id, o.Val)
+			last[id] = o.Val
+		}
+		for id, want := range last {
+			if m.Read(id) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package renewal simulates the race between independent delayed renewal
+// processes that drives the paper's termination proof (Section 6.3).
+//
+// Process i finishes round r at time
+//
+//	S'_ir = Δ_i0 + Σ_{j=1..r} (Δ_ij + X_ij + H_ij)
+//
+// with X_ij i.i.d. noise, Δ_ij ∈ [0, M] adversarial, and H_ij ∈ {0, ∞}
+// i.i.d. halting failures. The race ends at the first round R at which
+// some process i has finished round R+c before any other process finishes
+// round R (Corollary 11), or when every process has died. Theorem 10 /
+// Corollary 11: E[R] = O(log n), with an exponential tail.
+//
+// The package also provides Monte-Carlo estimators for the probabilistic
+// lemmas used in the proof (Lemma 5's -x·ln x bound and Lemma 6's
+// unique-minimum probability), which the test suite checks numerically.
+package renewal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/xrand"
+)
+
+// Config describes one renewal race.
+type Config struct {
+	// N is the number of renewal processes.
+	N int
+	// Noise is the per-round noise distribution (not concentrated on a
+	// point for the theorem's hypotheses to hold).
+	Noise dist.Distribution
+	// Lead is c, the lead in rounds a winner must establish.
+	Lead int
+	// StartDelay and StepDelay give the adversary's Δ_i0 and Δ_ij; nil
+	// means zero. StepDelay values should lie in [0, M] for some fixed M.
+	StartDelay func(i int) float64
+	StepDelay  func(i int, j int) float64
+	// FailureProb is the per-round halting probability h(n).
+	FailureProb float64
+	// Seed fixes the randomness.
+	Seed uint64
+	// MaxRounds aborts the race (0 = default 1<<20).
+	MaxRounds int
+	// DitherScale perturbs start times; zero selects 1e-8.
+	DitherScale float64
+}
+
+// Result reports how a race ended.
+type Result struct {
+	// Winner is the winning process, or -1 if all died.
+	Winner int
+	// Round is R: the round the winner's rivals had not finished when the
+	// winner finished R+c. When all died, Round is the last round any
+	// process completed.
+	Round int
+	// AllDead reports that every process halted.
+	AllDead bool
+	// CapHit reports the MaxRounds safety valve fired.
+	CapHit bool
+}
+
+// ErrBadConfig reports an invalid Config.
+var ErrBadConfig = errors.New("renewal: invalid config")
+
+// Run simulates one race to completion.
+//
+// The simulation advances processes in global time order (always extending
+// the process whose current completion time is smallest), maintaining
+// per-process completed-round counts r_i. The winner condition
+// S'_{i,R+c} < min_{i'≠i} S'_{i',R} is equivalent to: at the moment i
+// completes its r_i-th round, max_{j≠i} r_j <= r_i - c - 1.
+func Run(cfg Config) (Result, error) {
+	if cfg.N <= 0 || cfg.Noise == nil || cfg.Lead < 1 {
+		return Result{}, ErrBadConfig
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	dither := cfg.DitherScale
+	if dither == 0 {
+		dither = 1e-8
+	}
+
+	n := cfg.N
+	times := make([]float64, n) // S'_{i,r_i}: completion time of last finished round
+	rounds := make([]int, n)    // r_i: rounds completed
+	alive := make([]bool, n)
+	rngs := make([]*rand.Rand, n)
+	liveCount := n
+	lastRound := 0
+
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		rngs[i] = xrand.New(cfg.Seed, 0x72656e65, uint64(i))
+		t := 0.0
+		if cfg.StartDelay != nil {
+			t = cfg.StartDelay(i)
+		}
+		times[i] = t + xrand.Dither(rngs[i], dither)
+	}
+
+	for liveCount > 0 {
+		// Find the live process with the earliest pending completion.
+		min := -1
+		for i := 0; i < n; i++ {
+			if alive[i] && (min < 0 || times[i] < times[min]) {
+				min = i
+			}
+		}
+		i := min
+		// Complete round r_i + 1.
+		r := rounds[i] + 1
+		if cfg.FailureProb > 0 && rngs[i].Float64() < cfg.FailureProb {
+			alive[i] = false
+			liveCount--
+			continue
+		}
+		d := 0.0
+		if cfg.StepDelay != nil {
+			d = cfg.StepDelay(i, r)
+		}
+		times[i] += d + cfg.Noise.Sample(rngs[i])
+		rounds[i] = r
+		if r > lastRound {
+			lastRound = r
+		}
+
+		// Winner check: everyone else must be at most r - Lead - 1.
+		if r >= cfg.Lead+1 {
+			maxOther := -1
+			for j := 0; j < n; j++ {
+				if j != i && rounds[j] > maxOther {
+					maxOther = rounds[j]
+				}
+			}
+			if n == 1 {
+				maxOther = 0
+			}
+			if maxOther <= r-cfg.Lead-1 {
+				return Result{Winner: i, Round: r - cfg.Lead}, nil
+			}
+		}
+		if r >= maxRounds {
+			return Result{Winner: -1, Round: r, CapHit: true}, nil
+		}
+	}
+	return Result{Winner: -1, Round: lastRound, AllDead: true}, nil
+}
+
+// ExactlyOneProb estimates, by Monte Carlo, the probability that exactly
+// one of the events with the given probabilities occurs, together with the
+// probability that none occurs. Lemma 5 states P[exactly one] >= -x ln x
+// where x = P[none]; tests verify the analytic inequality directly too.
+func ExactlyOneProb(probs []float64, trials int, seed uint64) (exactlyOne, none float64) {
+	rng := xrand.New(seed, 0x6c656d35)
+	var cOne, cNone int
+	for t := 0; t < trials; t++ {
+		count := 0
+		for _, p := range probs {
+			if rng.Float64() < p {
+				count++
+			}
+		}
+		switch count {
+		case 0:
+			cNone++
+		case 1:
+			cOne++
+		}
+	}
+	return float64(cOne) / float64(trials), float64(cNone) / float64(trials)
+}
+
+// Lemma5Bound returns -x*ln(x), the lower bound of Lemma 5 (0 at x = 0).
+func Lemma5Bound(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -x * math.Log(x)
+}
+
+// ExactlyOneExact computes P[exactly one event] and P[no event] exactly
+// from independent event probabilities.
+func ExactlyOneExact(probs []float64) (exactlyOne, none float64) {
+	none = 1
+	for _, p := range probs {
+		none *= 1 - p
+	}
+	for i, p := range probs {
+		term := p
+		for j, q := range probs {
+			if j != i {
+				term *= 1 - q
+			}
+		}
+		exactlyOne += term
+	}
+	return exactlyOne, none
+}
+
+// UniqueMinProb estimates the probability that the minimum of n i.i.d.
+// draws from the noise distribution (plus per-process dither) is achieved
+// by a process that is strictly ahead of everyone else at the Lemma 6
+// threshold: it simulates n draws and reports how often exactly one value
+// falls at or below the empirical e^-1 quantile. Lemma 6 guarantees a
+// suitable threshold exists with probability >= 1/5.
+func UniqueMinProb(n int, d dist.Distribution, trials int, seed uint64) float64 {
+	rng := xrand.New(seed, 0x6c656d36)
+	// Estimate t0: the least t with P[X > t]^n <= e^-1, i.e.
+	// P[X <= t] >= 1 - e^{-1/n}. Use an empirical quantile.
+	probe := make([]float64, 4096)
+	for i := range probe {
+		probe[i] = d.Sample(rng)
+	}
+	q := 1 - math.Exp(-1/float64(n))
+	t0 := quantile(probe, q)
+
+	hits := 0
+	for t := 0; t < trials; t++ {
+		below := 0
+		for i := 0; i < n; i++ {
+			if d.Sample(rng) <= t0 {
+				below++
+			}
+		}
+		if below == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// Lemma8Estimate Monte-Carlo-checks the smoothing lemma (Lemma 8): if a
+// threshold t0 has Pr[X < t0] < 1/2 but Pr[X < t0-c] = delta0 > 0, then
+// for n = O(log(1/eps)) summands, Pr[S_n < t-c | S_n < t] > delta0/7
+// whenever Pr[S_n < t] > eps. It returns the worst conditional
+// probability observed over a grid of t values with Pr[S_n < t] > eps,
+// together with delta0 — the test asserts worst > delta0/7.
+//
+// The two-point {1,2} distribution is used with c = 1, t0 = 2: Pr[X < 2]
+// = 1/2 is not < 1/2, so grouping (Lemma 7) pairs summands: Y = X1+X2,
+// threshold 4 gives Pr[Y < 4] = 3/4... to stay faithful the estimator
+// works on caller-provided samples and thresholds instead.
+func Lemma8Estimate(sample func(rng *rand.Rand) float64, t0, c float64, n, trials int, seed uint64) (worst, delta0 float64) {
+	rng := xrand.New(seed, 0x6c656d38)
+	// Estimate delta0 = Pr[X < t0 - c].
+	below := 0
+	const probe = 200000
+	for i := 0; i < probe; i++ {
+		if sample(rng) < t0-c {
+			below++
+		}
+	}
+	delta0 = float64(below) / probe
+
+	// Sample sums and evaluate the conditional bound over a grid of t.
+	sums := make([]float64, trials)
+	for i := range sums {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += sample(rng)
+		}
+		sums[i] = s
+	}
+	sort.Float64s(sums)
+	worst = 1.0
+	const eps = 0.01
+	// Evaluate at deciles of the empirical distribution above eps mass.
+	for _, q := range []float64{0.02, 0.05, 0.1, 0.25, 0.5, 0.75} {
+		idx := int(q * float64(trials))
+		if idx < 1 {
+			continue
+		}
+		t := sums[idx]
+		pT := float64(idx) / float64(trials) // ~ Pr[S_n < t]
+		if pT <= eps {
+			continue
+		}
+		// Pr[S_n < t - c]
+		lo := sort.SearchFloat64s(sums, t-c)
+		cond := float64(lo) / float64(idx)
+		if cond < worst {
+			worst = cond
+		}
+	}
+	return worst, delta0
+}
+
+func quantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,244 @@
+package renewal_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/renewal"
+	"leanconsensus/internal/stats"
+	"leanconsensus/internal/xrand"
+)
+
+func TestRaceProducesWinner(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		res, err := renewal.Run(renewal.Config{
+			N: n, Noise: dist.Exponential{MeanVal: 1}, Lead: 2, Seed: uint64(n),
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Winner < 0 || res.Winner >= n {
+			t.Errorf("n=%d: winner %d", n, res.Winner)
+		}
+		if res.Round < 1 {
+			t.Errorf("n=%d: round %d", n, res.Round)
+		}
+	}
+}
+
+func TestSoloRaceWinsImmediately(t *testing.T) {
+	// With one process, the winner condition holds as soon as it is c+...
+	// rounds in: R should be 1 (it finishes round 1+c before anyone else
+	// finishes round 1, vacuously).
+	res, err := renewal.Run(renewal.Config{
+		N: 1, Noise: dist.Exponential{MeanVal: 1}, Lead: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Round != 1 {
+		t.Errorf("solo race won at round %d, want 1", res.Round)
+	}
+}
+
+func TestRaceGrowsLogarithmically(t *testing.T) {
+	// Corollary 11: E[R] = O(log n). Check that mean round grows slowly
+	// and sublinearly: doubling n several times adds roughly constant
+	// increments.
+	const trials = 300
+	means := map[int]float64{}
+	for _, n := range []int{4, 16, 64, 256} {
+		var acc stats.Acc
+		for trial := 0; trial < trials; trial++ {
+			res, err := renewal.Run(renewal.Config{
+				N: n, Noise: dist.Exponential{MeanVal: 1}, Lead: 2,
+				Seed: xrand.Mix(1, uint64(n), uint64(trial)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(float64(res.Round))
+		}
+		means[n] = acc.Mean()
+	}
+	if means[256] <= means[4] {
+		t.Errorf("mean round not growing: %v", means)
+	}
+	// Sub-linear: 64x more processes must NOT mean anything near 64x more
+	// rounds; logarithmic growth predicts a factor around 3-4.
+	if means[256] > means[4]*8 {
+		t.Errorf("growth looks super-logarithmic: %v", means)
+	}
+}
+
+func TestRaceWithFailuresEventuallyEnds(t *testing.T) {
+	res, err := renewal.Run(renewal.Config{
+		N: 16, Noise: dist.Exponential{MeanVal: 1}, Lead: 2,
+		FailureProb: 0.2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner < 0 && !res.AllDead {
+		t.Errorf("race with failures neither won nor all-dead: %+v", res)
+	}
+}
+
+func TestRaceAllDead(t *testing.T) {
+	res, err := renewal.Run(renewal.Config{
+		N: 4, Noise: dist.Exponential{MeanVal: 1}, Lead: 2,
+		FailureProb: 0.999, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDead {
+		t.Skipf("processes survived h=0.999 (seed-dependent): %+v", res)
+	}
+	if res.Winner != -1 {
+		t.Error("all-dead race has a winner")
+	}
+}
+
+func TestRaceAdversaryDelays(t *testing.T) {
+	// An adversary that massively delays process 0's start guarantees it
+	// cannot win against a fast rival.
+	res, err := renewal.Run(renewal.Config{
+		N:     2,
+		Noise: dist.Uniform{Lo: 0, Hi: 2},
+		Lead:  2,
+		StartDelay: func(i int) float64 {
+			if i == 0 {
+				return 1e9
+			}
+			return 0
+		},
+		Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != 1 {
+		t.Errorf("winner %d, want the undelayed process 1", res.Winner)
+	}
+}
+
+func TestRaceBadConfig(t *testing.T) {
+	bad := []renewal.Config{
+		{N: 0, Noise: dist.Exponential{MeanVal: 1}, Lead: 2},
+		{N: 2, Noise: nil, Lead: 2},
+		{N: 2, Noise: dist.Exponential{MeanVal: 1}, Lead: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := renewal.Run(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestLemma5Bound(t *testing.T) {
+	// Exact computation vs the bound: for independent events,
+	// P[exactly one] >= -x ln x where x = P[none].
+	cases := [][]float64{
+		{0.5, 0.5},
+		{0.1, 0.2, 0.3},
+		{0.9, 0.9, 0.9, 0.9},
+		{0.01, 0.02, 0.5, 0.99},
+		{0.3},
+	}
+	for _, probs := range cases {
+		one, none := renewal.ExactlyOneExact(probs)
+		if bound := renewal.Lemma5Bound(none); one < bound-1e-12 {
+			t.Errorf("probs %v: P[one]=%v < bound %v", probs, one, bound)
+		}
+	}
+}
+
+func TestLemma5MonteCarloMatchesExact(t *testing.T) {
+	probs := []float64{0.2, 0.5, 0.7}
+	oneMC, noneMC := renewal.ExactlyOneProb(probs, 200000, 3)
+	oneEx, noneEx := renewal.ExactlyOneExact(probs)
+	if math.Abs(oneMC-oneEx) > 0.01 || math.Abs(noneMC-noneEx) > 0.01 {
+		t.Errorf("MC (%v, %v) vs exact (%v, %v)", oneMC, noneMC, oneEx, noneEx)
+	}
+}
+
+// Property (Lemma 5): for arbitrary independent event probabilities, the
+// exact P[exactly one] respects the -x ln x bound.
+func TestQuickLemma5(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		probs := make([]float64, len(raw))
+		for i, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return true
+			}
+			// Map into (0, 1).
+			probs[i] = math.Abs(r) - math.Floor(math.Abs(r))
+		}
+		one, none := renewal.ExactlyOneExact(probs)
+		return one >= renewal.Lemma5Bound(none)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma6UniqueMinProbability(t *testing.T) {
+	// Lemma 6: there is a threshold making exactly one process early with
+	// probability >= 1/5 (approximately 2e^-2 or (1-1/e)/e in the proof).
+	// Monte-Carlo estimate must comfortably exceed the 1/5 bound for
+	// continuous distributions.
+	for _, d := range []dist.Distribution{
+		dist.Exponential{MeanVal: 1},
+		dist.Uniform{Lo: 0, Hi: 2},
+	} {
+		p := renewal.UniqueMinProb(32, d, 20000, 11)
+		if p < 0.2 {
+			t.Errorf("%v: unique-min probability %.3f below Lemma 6's 1/5", d, p)
+		}
+	}
+}
+
+// TestLemma8ConditionalBound checks the smoothing lemma numerically: with
+// enough summands, being below a threshold t implies being below t-c with
+// probability at least delta0/7 (conditional on the first event). Uses
+// uniform(0,2) noise with t0 = 1, c = 0.5: Pr[X < 1] = 1/2 (boundary) and
+// delta0 = Pr[X < 0.5] = 1/4.
+func TestLemma8ConditionalBound(t *testing.T) {
+	d := dist.Uniform{Lo: 0, Hi: 2}
+	worst, delta0 := renewal.Lemma8Estimate(
+		func(rng *rand.Rand) float64 { return d.Sample(rng) },
+		1.0, 0.5, 64, 100000, 5,
+	)
+	if delta0 < 0.2 || delta0 > 0.3 {
+		t.Fatalf("delta0 estimate %.3f, want ~0.25", delta0)
+	}
+	if worst < delta0/7 {
+		t.Errorf("worst conditional probability %.4f below Lemma 8's bound %.4f", worst, delta0/7)
+	}
+}
+
+func TestRaceDeterministicBySeed(t *testing.T) {
+	run := func() renewal.Result {
+		res, err := renewal.Run(renewal.Config{
+			N: 32, Noise: dist.Exponential{MeanVal: 1}, Lead: 2, Seed: 1234,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}

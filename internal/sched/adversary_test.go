@@ -1,0 +1,121 @@
+package sched_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+)
+
+func TestAdversaryBounds(t *testing.T) {
+	cases := []struct {
+		adv   sched.Adversary
+		bound float64
+	}{
+		{sched.Zero{}, 0},
+		{sched.Constant{D: 3}, 3},
+		{sched.Stagger{Gap: 5}, 0},
+		{sched.AntiLeader{M: 2}, 2},
+		{sched.HalfSplit{M: 4}, 4},
+	}
+	for _, tc := range cases {
+		if got := tc.adv.Bound(); got != tc.bound {
+			t.Errorf("%T: Bound() = %v, want %v", tc.adv, got, tc.bound)
+		}
+		// Every produced delay respects the bound.
+		for i := 0; i < 4; i++ {
+			for j := int64(1); j <= 8; j++ {
+				if d := tc.adv.StepDelay(i, j, nil); d < 0 || d > tc.adv.Bound() {
+					t.Errorf("%T: StepDelay(%d,%d) = %v outside [0,%v]", tc.adv, i, j, d, tc.adv.Bound())
+				}
+			}
+		}
+	}
+}
+
+func TestStaggerStartDelays(t *testing.T) {
+	a := sched.Stagger{Gap: 2.5}
+	for i := 0; i < 5; i++ {
+		if got := a.StartDelay(i); got != 2.5*float64(i) {
+			t.Errorf("StartDelay(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestHalfSplitTargetsEvenProcesses(t *testing.T) {
+	a := sched.HalfSplit{M: 1}
+	if a.StepDelay(0, 1, nil) != 1 || a.StepDelay(2, 1, nil) != 1 {
+		t.Error("even processes not delayed")
+	}
+	if a.StepDelay(1, 1, nil) != 0 || a.StepDelay(3, 1, nil) != 0 {
+		t.Error("odd processes delayed")
+	}
+}
+
+// TestViewLeader checks the engine's View implementation through an
+// adversary that records what it observes.
+func TestViewLeader(t *testing.T) {
+	layout := register.Layout{}
+	mem := register.NewSimMem(64)
+	layout.InitMem(mem)
+	inputs := []int{0, 1, 0, 1}
+	ms := make([]machine.Machine, len(inputs))
+	for i, b := range inputs {
+		ms[i] = core.NewLean(layout, b)
+	}
+	probe := &viewProbe{n: len(inputs)}
+	eng, err := sched.NewEngine(sched.Config{
+		N: len(inputs), Machines: ms, Mem: mem,
+		ReadNoise: dist.Exponential{MeanVal: 1},
+		Adversary: probe,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawView {
+		t.Fatal("adversary never received a view")
+	}
+	if probe.badLeader {
+		t.Error("view reported a leader whose round was not maximal among live processes")
+	}
+	if probe.badN {
+		t.Error("view reported a wrong process count")
+	}
+}
+
+type viewProbe struct {
+	n         int
+	sawView   bool
+	badLeader bool
+	badN      bool
+}
+
+func (p *viewProbe) StartDelay(int) float64 { return 0 }
+
+func (p *viewProbe) StepDelay(_ int, _ int64, v sched.View) float64 {
+	if v == nil {
+		return 0
+	}
+	p.sawView = true
+	if v.N() != p.n {
+		p.badN = true
+	}
+	leader, round := v.Leader()
+	if leader >= 0 {
+		for i := 0; i < v.N(); i++ {
+			if !v.Decided(i) && !v.Halted(i) && v.Round(i) > round {
+				p.badLeader = true
+			}
+		}
+	}
+	return 0
+}
+
+func (p *viewProbe) Bound() float64 { return 0 }

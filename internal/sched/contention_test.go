@@ -1,0 +1,85 @@
+package sched_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+)
+
+func contentionRun(t *testing.T, n int, seed uint64, c *sched.Contention) *sched.Result {
+	t.Helper()
+	layout := register.Layout{}
+	mem := register.NewSimMem(64)
+	layout.InitMem(mem)
+	ms := make([]machine.Machine, n)
+	for i := range ms {
+		ms[i] = core.NewLean(layout, i%2)
+	}
+	eng, err := sched.NewEngine(sched.Config{
+		N: n, Machines: ms, Mem: mem,
+		ReadNoise:  dist.Exponential{MeanVal: 1},
+		Seed:       seed,
+		Contention: c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestContentionPreservesSafety(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		res := contentionRun(t, 8, seed, &sched.Contention{HalfLife: 2, Penalty: 1})
+		if _, ok := res.Agreement(); !ok {
+			t.Fatalf("seed %d: disagreement %v", seed, res.Decisions)
+		}
+		if res.CapHit {
+			t.Fatalf("seed %d: contention prevented termination", seed)
+		}
+	}
+}
+
+func TestContentionSlowsSimulatedTime(t *testing.T) {
+	// Same seeds, with and without contention: the contended runs must
+	// take longer in simulated time on average (every op pays a
+	// non-negative penalty).
+	var base, loaded float64
+	for seed := uint64(0); seed < 20; seed++ {
+		base += contentionRun(t, 16, seed, nil).Time
+		loaded += contentionRun(t, 16, seed, &sched.Contention{HalfLife: 2, Penalty: 1}).Time
+	}
+	if loaded <= base {
+		t.Errorf("contended time %.2f <= baseline %.2f", loaded, base)
+	}
+}
+
+func TestContentionValidation(t *testing.T) {
+	layout := register.Layout{}
+	mem := register.NewSimMem(16)
+	layout.InitMem(mem)
+	ms := []machine.Machine{core.NewLean(layout, 0)}
+	bad := []sched.Contention{
+		{HalfLife: 0, Penalty: 1},
+		{HalfLife: -1, Penalty: 1},
+		{HalfLife: 1, Penalty: -0.5},
+	}
+	for i, c := range bad {
+		c := c
+		_, err := sched.NewEngine(sched.Config{
+			N: 1, Machines: ms, Mem: mem,
+			ReadNoise:  dist.Exponential{MeanVal: 1},
+			Contention: &c,
+		})
+		if err == nil {
+			t.Errorf("case %d: invalid contention accepted", i)
+		}
+	}
+}

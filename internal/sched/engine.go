@@ -1,0 +1,466 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/xrand"
+)
+
+// Default engine parameters.
+const (
+	// DefaultDither matches the paper's Section 9 simulations: start times
+	// are perturbed by U(0, 1e-8) to rule out simultaneous operations.
+	DefaultDither = 1e-8
+	// DefaultMaxOpsPerProc is the safety valve against non-terminating
+	// configurations (e.g. Constant noise with a lockstep adversary).
+	DefaultMaxOpsPerProc = 1 << 22
+)
+
+// Config describes one simulated execution.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Machines holds one state machine per process. The caller prepares
+	// them (and the memory layout) so that the engine stays independent of
+	// any particular algorithm.
+	Machines []machine.Machine
+	// Mem is the shared memory, already initialized (e.g. via
+	// Layout.InitMem). If nil, a fresh SimMem is used, but then machines
+	// requiring an initialized prefix will misbehave, so callers normally
+	// pass one.
+	Mem register.Mem
+	// ReadNoise and WriteNoise are the noise distributions F_π per
+	// operation type (Section 3.1 allows a distinct distribution per op
+	// type). WriteNoise defaults to ReadNoise. ReadNoise is required.
+	ReadNoise, WriteNoise dist.Distribution
+	// Adversary supplies Δ_i0 and Δ_ij; nil means the Zero adversary.
+	Adversary Adversary
+	// FailureProb is h(n), the probability that any given operation kills
+	// its process (Section 3.1.2).
+	FailureProb float64
+	// Seed makes the execution fully reproducible.
+	Seed uint64
+	// DitherScale perturbs start times by U(0, DitherScale); zero selects
+	// DefaultDither. Negative disables dithering (tests only).
+	DitherScale float64
+	// MaxOpsPerProc aborts a run where some process exceeds this many
+	// operations; zero selects DefaultMaxOpsPerProc.
+	MaxOpsPerProc int64
+	// History, when non-nil, receives every executed operation.
+	History *register.History
+	// Crasher, when non-nil, is consulted before each operation is
+	// scheduled; returning true halts the process permanently. This models
+	// the adaptive (non-random) crash failures discussed in Section 10,
+	// which are strictly stronger than the model's random failures.
+	Crasher func(i int, j int64, v View) bool
+	// Contention, when non-nil, adds load-dependent delays on busy
+	// registers (Section 10, "Synchronization and contention").
+	Contention *Contention
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Decisions holds each process's decided value, or -1.
+	Decisions []int
+	// DecisionRounds holds the round at which each process decided, or 0.
+	DecisionRounds []int
+	// DecisionSeqs holds, per process, the global op sequence number of
+	// its deciding operation, or -1.
+	DecisionSeqs []int64
+	// OpCounts holds the operations executed by each process.
+	OpCounts []int64
+	// Halted marks processes killed by failures.
+	Halted []bool
+	// FirstDecisionProc is the process that decided earliest in simulated
+	// time (-1 if none decided).
+	FirstDecisionProc int
+	// FirstDecisionRound is that process's decision round — the Figure 1
+	// metric ("the round at which the first process terminates").
+	FirstDecisionRound int
+	// FirstDecisionTime is the simulated time of the first decision.
+	FirstDecisionTime float64
+	// LastDecisionRound is the largest decision round.
+	LastDecisionRound int
+	// MaxRound is the largest round any process reached (meaningful also
+	// when everyone halted).
+	MaxRound int
+	// TotalOps is the total number of operations executed.
+	TotalOps int64
+	// Time is the simulated time at which the run ended.
+	Time float64
+	// AllHalted reports that every process was killed before deciding; the
+	// paper treats such runs as terminating in the last round in which
+	// some process took a step (MaxRound).
+	AllHalted bool
+	// CapHit reports that the safety valve stopped the run.
+	CapHit bool
+	// BackupUsed counts processes that fell through to the backup protocol
+	// (combined machines only).
+	BackupUsed int
+	// Failed reports that some machine aborted (backup budget exhausted).
+	Failed bool
+}
+
+// Agreement reports whether all decided processes agree, and the common
+// value (-1 if no process decided).
+func (r *Result) Agreement() (value int, ok bool) {
+	value = -1
+	for _, d := range r.Decisions {
+		if d < 0 {
+			continue
+		}
+		if value < 0 {
+			value = d
+		} else if value != d {
+			return -1, false
+		}
+	}
+	return value, true
+}
+
+// event is one pending operation completion.
+type event struct {
+	t    float64
+	proc int32
+}
+
+// eventHeap is a binary min-heap ordered by (t, proc). Ties on t are
+// broken by process index; with dithered starts ties occur with
+// probability zero, so the tie-break only pins down determinism.
+type eventHeap []event
+
+func (h eventHeap) less(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.proc < b.proc
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less((*h)[l], (*h)[small]) {
+			small = l
+		}
+		if r < n && h.less((*h)[r], (*h)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// procState is the engine's per-process bookkeeping.
+type procState struct {
+	m       machine.Machine
+	next    machine.Op
+	time    float64 // S_ij of the last scheduled operation
+	j       int64   // operation index (1-based)
+	ops     int64
+	rng     *rand.Rand
+	decided bool
+	halted  bool
+	decRnd  int
+	decSeq  int64
+	dec     int
+}
+
+// Engine runs one noisy-scheduling execution.
+type Engine struct {
+	cfg        Config
+	mem        register.Mem
+	procs      []procState
+	heap       eventHeap
+	adv        Adversary
+	wNoise     dist.Distribution
+	contention *contentionState
+	seq        int64
+}
+
+// Errors returned by the engine.
+var (
+	errBadConfig = errors.New("sched: invalid config")
+)
+
+// NewEngine validates the configuration and prepares an execution.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("%w: N must be positive", errBadConfig)
+	}
+	if len(cfg.Machines) != cfg.N {
+		return nil, fmt.Errorf("%w: need %d machines, got %d", errBadConfig, cfg.N, len(cfg.Machines))
+	}
+	if cfg.ReadNoise == nil {
+		return nil, fmt.Errorf("%w: ReadNoise is required", errBadConfig)
+	}
+	if cfg.FailureProb < 0 || cfg.FailureProb >= 1 {
+		return nil, fmt.Errorf("%w: FailureProb must be in [0,1)", errBadConfig)
+	}
+	if cfg.Contention != nil && (cfg.Contention.HalfLife <= 0 || cfg.Contention.Penalty < 0) {
+		return nil, fmt.Errorf("%w: contention needs positive half-life and non-negative penalty", errBadConfig)
+	}
+	e := &Engine{cfg: cfg, mem: cfg.Mem, adv: cfg.Adversary, wNoise: cfg.WriteNoise}
+	if e.mem == nil {
+		e.mem = register.NewSimMem(64)
+	}
+	if e.adv == nil {
+		e.adv = Zero{}
+	}
+	if e.wNoise == nil {
+		e.wNoise = cfg.ReadNoise
+	}
+	if cfg.Contention != nil {
+		e.contention = newContentionState(*cfg.Contention)
+	}
+	return e, nil
+}
+
+// View interface implementation (for adaptive adversaries).
+
+type engineView Engine
+
+// N implements View.
+func (v *engineView) N() int { return v.cfg.N }
+
+// Round implements View.
+func (v *engineView) Round(i int) int {
+	if r, ok := v.procs[i].m.(machine.Rounder); ok {
+		return r.Round()
+	}
+	return 0
+}
+
+// Decided implements View.
+func (v *engineView) Decided(i int) bool { return v.procs[i].decided }
+
+// Halted implements View.
+func (v *engineView) Halted(i int) bool { return v.procs[i].halted }
+
+// Leader implements View.
+func (v *engineView) Leader() (proc, round int) {
+	proc = -1
+	for i := range v.procs {
+		if v.procs[i].decided || v.procs[i].halted {
+			continue
+		}
+		if r := v.Round(i); r > round || proc < 0 {
+			proc, round = i, r
+		}
+	}
+	return proc, round
+}
+
+// noise samples the per-operation random delay X_ij for an operation kind.
+func (e *Engine) noise(p *procState, kind register.OpKind) float64 {
+	if kind == register.OpWrite {
+		return e.wNoise.Sample(p.rng)
+	}
+	return e.cfg.ReadNoise.Sample(p.rng)
+}
+
+// schedule computes S_{i,j+1} for process i's next operation and pushes it
+// on the event heap, or halts the process if the failure coin strikes.
+func (e *Engine) schedule(i int) {
+	p := &e.procs[i]
+	p.j++
+	if e.cfg.FailureProb > 0 && p.rng.Float64() < e.cfg.FailureProb {
+		// H_ij = ∞: the process halts before this operation.
+		p.halted = true
+		return
+	}
+	if e.cfg.Crasher != nil && e.cfg.Crasher(i, p.j, (*engineView)(e)) {
+		p.halted = true
+		return
+	}
+	d := e.adv.StepDelay(i, p.j, (*engineView)(e))
+	if !validDelay(d, e.adv.Bound()) {
+		panic(fmt.Sprintf("sched: adversary delay %v outside [0, %v]", d, e.adv.Bound()))
+	}
+	if e.contention != nil {
+		d += e.contention.penalty(int(p.next.Reg), p.time)
+	}
+	p.time += d + e.noise(p, p.next.Kind)
+	e.heap.push(event{t: p.time, proc: int32(i)})
+}
+
+// Run executes the configured simulation to completion.
+func (e *Engine) Run() (*Result, error) {
+	n := e.cfg.N
+	maxOps := e.cfg.MaxOpsPerProc
+	if maxOps == 0 {
+		maxOps = DefaultMaxOpsPerProc
+	}
+	dither := e.cfg.DitherScale
+	switch {
+	case dither == 0:
+		dither = DefaultDither
+	case dither < 0:
+		dither = 0
+	}
+
+	e.procs = make([]procState, n)
+	e.heap = make(eventHeap, 0, n)
+	for i := 0; i < n; i++ {
+		p := &e.procs[i]
+		p.m = e.cfg.Machines[i]
+		p.rng = xrand.New(e.cfg.Seed, 0x70726f63, uint64(i)) // per-process stream
+		p.next = p.m.Begin()
+		p.decSeq = -1
+		start := e.adv.StartDelay(i)
+		if start < 0 {
+			return nil, fmt.Errorf("%w: negative start delay for process %d", errBadConfig, i)
+		}
+		if dither > 0 {
+			start += xrand.Dither(p.rng, dither)
+		}
+		p.time = start
+		e.schedule(i)
+	}
+
+	res := &Result{
+		Decisions:          make([]int, n),
+		DecisionRounds:     make([]int, n),
+		DecisionSeqs:       make([]int64, n),
+		OpCounts:           make([]int64, n),
+		Halted:             make([]bool, n),
+		FirstDecisionProc:  -1,
+		FirstDecisionRound: 0,
+	}
+	for i := range res.Decisions {
+		res.Decisions[i] = -1
+		res.DecisionSeqs[i] = -1
+	}
+
+	live := n
+	for i := range e.procs {
+		if e.procs[i].halted {
+			live--
+		}
+	}
+
+	for live > 0 && len(e.heap) > 0 {
+		ev := e.heap.pop()
+		i := int(ev.proc)
+		p := &e.procs[i]
+		op := p.next
+
+		var result uint32
+		switch op.Kind {
+		case register.OpRead:
+			result = e.mem.Read(op.Reg)
+		case register.OpWrite:
+			e.mem.Write(op.Reg, op.Val)
+			result = 0
+		default:
+			return nil, fmt.Errorf("sched: machine %d emitted invalid op kind %v", i, op.Kind)
+		}
+		p.ops++
+		res.TotalOps++
+		res.Time = ev.t
+		if e.contention != nil {
+			e.contention.bump(int(op.Reg), ev.t)
+		}
+		if e.cfg.History != nil {
+			e.cfg.History.Append(register.Event{
+				Time: ev.t, Proc: i, Kind: op.Kind, Reg: op.Reg, Val: opValue(op, result),
+			})
+		}
+		e.seq++
+
+		next, st := p.m.Step(result)
+		switch st {
+		case machine.Decided:
+			p.decided = true
+			p.dec = p.m.Decision()
+			p.decSeq = e.seq - 1
+			if r, ok := p.m.(machine.Rounder); ok {
+				p.decRnd = r.Round()
+			}
+			if res.FirstDecisionProc < 0 {
+				res.FirstDecisionProc = i
+				res.FirstDecisionRound = p.decRnd
+				res.FirstDecisionTime = ev.t
+			}
+			live--
+		case machine.Failed:
+			res.Failed = true
+			p.halted = true
+			live--
+		case machine.Running:
+			p.next = next
+			if p.ops >= maxOps {
+				res.CapHit = true
+				live = 0
+				break
+			}
+			e.schedule(i)
+			if p.halted {
+				live--
+			}
+		}
+	}
+
+	allHalted := true
+	for i := range e.procs {
+		p := &e.procs[i]
+		res.OpCounts[i] = p.ops
+		res.Halted[i] = p.halted
+		if p.decided {
+			allHalted = false
+			res.Decisions[i] = p.dec
+			res.DecisionRounds[i] = p.decRnd
+			res.DecisionSeqs[i] = p.decSeq
+			if p.decRnd > res.LastDecisionRound {
+				res.LastDecisionRound = p.decRnd
+			}
+		}
+		if r, ok := p.m.(machine.Rounder); ok {
+			if rr := r.Round(); rr > res.MaxRound {
+				res.MaxRound = rr
+			}
+		}
+		if bu, ok := p.m.(interface{ BackupUsed() bool }); ok && bu.BackupUsed() {
+			res.BackupUsed++
+		}
+	}
+	res.AllHalted = allHalted
+	return res, nil
+}
+
+// opValue is the value recorded in histories: for reads, the value read;
+// for writes, the value written.
+func opValue(op machine.Op, readResult uint32) uint32 {
+	if op.Kind == register.OpWrite {
+		return op.Val
+	}
+	return readResult
+}

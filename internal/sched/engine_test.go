@@ -1,0 +1,304 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+)
+
+// leanSetup builds n lean machines over a fresh memory.
+func leanSetup(inputs []int) ([]machine.Machine, register.Mem) {
+	layout := register.Layout{}
+	mem := register.NewSimMem(64)
+	layout.InitMem(mem)
+	ms := make([]machine.Machine, len(inputs))
+	for i, b := range inputs {
+		ms[i] = core.NewLean(layout, b)
+	}
+	return ms, mem
+}
+
+func run(t *testing.T, cfg sched.Config) *sched.Result {
+	t.Helper()
+	eng, err := sched.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEngineSingleProcess(t *testing.T) {
+	ms, mem := leanSetup([]int{1})
+	res := run(t, sched.Config{
+		N: 1, Machines: ms, Mem: mem,
+		ReadNoise: dist.Exponential{MeanVal: 1},
+		Seed:      42,
+	})
+	if res.Decisions[0] != 1 {
+		t.Errorf("decided %d, want 1", res.Decisions[0])
+	}
+	if res.OpCounts[0] != 8 {
+		t.Errorf("%d ops, want 8", res.OpCounts[0])
+	}
+	if res.FirstDecisionRound != 2 {
+		t.Errorf("first decision round %d, want 2", res.FirstDecisionRound)
+	}
+}
+
+func TestEngineSameInputsLemma3(t *testing.T) {
+	// With unanimous inputs every process decides after exactly 8 ops in
+	// every schedule (Lemma 3) — check across distributions and sizes.
+	for _, d := range dist.Figure1() {
+		for _, n := range []int{2, 5, 16} {
+			inputs := make([]int, n)
+			for i := range inputs {
+				inputs[i] = 1
+			}
+			ms, mem := leanSetup(inputs)
+			res := run(t, sched.Config{
+				N: n, Machines: ms, Mem: mem,
+				ReadNoise: d, Seed: uint64(n),
+			})
+			for i := 0; i < n; i++ {
+				if res.Decisions[i] != 1 {
+					t.Fatalf("%v n=%d: proc %d decided %d", d, n, i, res.Decisions[i])
+				}
+				if res.OpCounts[i] != 8 {
+					t.Fatalf("%v n=%d: proc %d used %d ops, want 8", d, n, i, res.OpCounts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineMixedInputsAgreementAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+		ms, mem := leanSetup(inputs)
+		res := run(t, sched.Config{
+			N: len(inputs), Machines: ms, Mem: mem,
+			ReadNoise: dist.Exponential{MeanVal: 1},
+			Seed:      seed,
+		})
+		if _, ok := res.Agreement(); !ok {
+			t.Fatalf("seed %d: disagreement: %v", seed, res.Decisions)
+		}
+		spread := res.LastDecisionRound - res.FirstDecisionRound
+		if spread > 1 {
+			t.Fatalf("seed %d: decision round spread %d > 1 (Lemma 4)", seed, spread)
+		}
+	}
+}
+
+func TestEngineDeterministicBySeed(t *testing.T) {
+	do := func() *sched.Result {
+		inputs := []int{0, 1, 1, 0, 1}
+		ms, mem := leanSetup(inputs)
+		return run(t, sched.Config{
+			N: len(inputs), Machines: ms, Mem: mem,
+			ReadNoise: dist.Uniform{Lo: 0, Hi: 2},
+			Seed:      12345,
+		})
+	}
+	a, b := do(), do()
+	if a.TotalOps != b.TotalOps || a.Time != b.Time || a.FirstDecisionRound != b.FirstDecisionRound {
+		t.Errorf("same seed produced different runs: %+v vs %+v", a, b)
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] || a.OpCounts[i] != b.OpCounts[i] {
+			t.Errorf("per-process results differ at %d", i)
+		}
+	}
+}
+
+func TestEngineDifferentSeedsDiffer(t *testing.T) {
+	res := make([]*sched.Result, 2)
+	for k, seed := range []uint64{1, 2} {
+		inputs := []int{0, 1, 1, 0, 1, 0, 0, 1}
+		ms, mem := leanSetup(inputs)
+		res[k] = run(t, sched.Config{
+			N: len(inputs), Machines: ms, Mem: mem,
+			ReadNoise: dist.Exponential{MeanVal: 1},
+			Seed:      seed,
+		})
+	}
+	if res[0].Time == res[1].Time {
+		t.Error("two different seeds produced identical finish times")
+	}
+}
+
+func TestEngineFailures(t *testing.T) {
+	// With a high failure probability and many processes, some processes
+	// halt; survivors still agree.
+	inputs := make([]int, 32)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	ms, mem := leanSetup(inputs)
+	res := run(t, sched.Config{
+		N: len(inputs), Machines: ms, Mem: mem,
+		ReadNoise:   dist.Exponential{MeanVal: 1},
+		FailureProb: 0.05,
+		Seed:        7,
+	})
+	halted := 0
+	for _, h := range res.Halted {
+		if h {
+			halted++
+		}
+	}
+	if halted == 0 {
+		t.Error("no process halted at h=0.05 with 32 processes (astronomically unlikely)")
+	}
+	if _, ok := res.Agreement(); !ok {
+		t.Errorf("survivors disagree: %v", res.Decisions)
+	}
+	for i, d := range res.Decisions {
+		if d < 0 && !res.Halted[i] {
+			t.Errorf("process %d neither decided nor halted", i)
+		}
+	}
+}
+
+func TestEngineAllHalted(t *testing.T) {
+	// Failure probability so high that all processes die quickly.
+	inputs := []int{0, 1}
+	ms, mem := leanSetup(inputs)
+	res := run(t, sched.Config{
+		N: 2, Machines: ms, Mem: mem,
+		ReadNoise:   dist.Exponential{MeanVal: 1},
+		FailureProb: 0.95,
+		Seed:        3,
+	})
+	if !res.AllHalted {
+		// Not guaranteed for every seed; this seed is chosen to kill both.
+		t.Skipf("seed did not kill all processes: %v", res.Halted)
+	}
+	if res.FirstDecisionProc != -1 {
+		t.Error("AllHalted run reports a decision")
+	}
+}
+
+func TestEngineAdversaryDelaysRespected(t *testing.T) {
+	// A Constant adversary adds D per op: finish time of a solo process
+	// must be at least 8*D.
+	const d = 5.0
+	ms, mem := leanSetup([]int{0})
+	res := run(t, sched.Config{
+		N: 1, Machines: ms, Mem: mem,
+		ReadNoise: dist.Uniform{Lo: 0, Hi: 0.001},
+		Adversary: sched.Constant{D: d},
+		Seed:      1,
+	})
+	if res.Time < 8*d {
+		t.Errorf("finish time %.3f < %v: adversary delays not applied", res.Time, 8*d)
+	}
+	if res.Time > 8*d+1 {
+		t.Errorf("finish time %.3f too large", res.Time)
+	}
+}
+
+func TestEngineStaggeredStarts(t *testing.T) {
+	// With huge staggering the first process decides alone at round 2.
+	inputs := []int{1, 0, 0, 0}
+	ms, mem := leanSetup(inputs)
+	res := run(t, sched.Config{
+		N: len(inputs), Machines: ms, Mem: mem,
+		ReadNoise: dist.Uniform{Lo: 0, Hi: 2},
+		Adversary: sched.Stagger{Gap: 1000},
+		Seed:      11,
+	})
+	if res.FirstDecisionProc != 0 {
+		t.Fatalf("first decider %d, want the early process 0", res.FirstDecisionProc)
+	}
+	if res.FirstDecisionRound != 2 {
+		t.Errorf("early solo process decided at round %d, want 2", res.FirstDecisionRound)
+	}
+	if v, ok := res.Agreement(); !ok || v != 1 {
+		t.Errorf("agreement on %d (ok=%t), want 1", v, ok)
+	}
+}
+
+func TestEngineAntiLeaderStillTerminates(t *testing.T) {
+	inputs := []int{0, 1, 0, 1, 0, 1}
+	ms, mem := leanSetup(inputs)
+	res := run(t, sched.Config{
+		N: len(inputs), Machines: ms, Mem: mem,
+		ReadNoise: dist.Exponential{MeanVal: 1},
+		Adversary: sched.AntiLeader{M: 2},
+		Seed:      5,
+	})
+	if _, ok := res.Agreement(); !ok {
+		t.Errorf("disagreement under AntiLeader: %v", res.Decisions)
+	}
+	if res.CapHit {
+		t.Error("AntiLeader run hit the op cap")
+	}
+}
+
+func TestEngineHistoryRecording(t *testing.T) {
+	inputs := []int{0, 1}
+	ms, mem := leanSetup(inputs)
+	hist := &register.History{}
+	res := run(t, sched.Config{
+		N: 2, Machines: ms, Mem: mem,
+		ReadNoise: dist.Exponential{MeanVal: 1},
+		Seed:      9,
+		History:   hist,
+	})
+	if int64(hist.Len()) != res.TotalOps {
+		t.Fatalf("history has %d events, engine reports %d ops", hist.Len(), res.TotalOps)
+	}
+	// Events must be in nondecreasing time order.
+	last := math.Inf(-1)
+	for _, ev := range hist.Events {
+		if ev.Time < last {
+			t.Fatalf("history out of time order at seq %d", ev.Seq)
+		}
+		last = ev.Time
+	}
+}
+
+func TestEngineCapHit(t *testing.T) {
+	// Constant noise + no dithering is the degenerate lockstep schedule:
+	// the adversary ties are broken by process id, which keeps both
+	// processes in perfect sync forever. The cap must fire.
+	layout := register.Layout{}
+	mem := register.NewSimMem(64)
+	layout.InitMem(mem)
+	ms := []machine.Machine{core.NewLean(layout, 0), core.NewLean(layout, 1)}
+	res := run(t, sched.Config{
+		N: 2, Machines: ms, Mem: mem,
+		ReadNoise:     dist.Constant{V: 1},
+		Seed:          1,
+		DitherScale:   -1, // disable
+		MaxOpsPerProc: 400,
+	})
+	if !res.CapHit {
+		t.Errorf("lockstep schedule decided (rounds %v); expected cap hit", res.DecisionRounds)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	ms, mem := leanSetup([]int{0})
+	cases := []sched.Config{
+		{N: 0, Machines: nil, ReadNoise: dist.Exponential{MeanVal: 1}},
+		{N: 2, Machines: ms, Mem: mem, ReadNoise: dist.Exponential{MeanVal: 1}},
+		{N: 1, Machines: ms, Mem: mem},
+		{N: 1, Machines: ms, Mem: mem, ReadNoise: dist.Exponential{MeanVal: 1}, FailureProb: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := sched.NewEngine(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

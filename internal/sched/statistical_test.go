@@ -1,0 +1,82 @@
+package sched_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+)
+
+func TestBudgetAntiLeaderRespectsBudget(t *testing.T) {
+	inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	for seed := uint64(0); seed < 20; seed++ {
+		layout := register.Layout{}
+		mem := register.NewSimMem(64)
+		layout.InitMem(mem)
+		ms := make([]machine.Machine, len(inputs))
+		for i, b := range inputs {
+			ms[i] = core.NewLean(layout, b)
+		}
+		adv := sched.NewBudgetAntiLeader(2)
+		eng, err := sched.NewEngine(sched.Config{
+			N: len(inputs), Machines: ms, Mem: mem,
+			ReadNoise: dist.Exponential{MeanVal: 1},
+			Adversary: adv,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CapHit {
+			t.Fatalf("seed %d: burst adversary prevented termination", seed)
+		}
+		if _, ok := res.Agreement(); !ok {
+			t.Fatalf("seed %d: disagreement %v", seed, res.Decisions)
+		}
+		if ratio := adv.CheckBudget(); ratio > 1+1e-9 {
+			t.Fatalf("seed %d: cumulative budget exceeded: ratio %.4f", seed, ratio)
+		}
+	}
+}
+
+func TestBudgetAntiLeaderActuallyBursts(t *testing.T) {
+	// With a large allowance the burst adversary must spend something:
+	// the worst budget ratio should be positive in at least one seed.
+	spent := false
+	for seed := uint64(0); seed < 20 && !spent; seed++ {
+		inputs := []int{0, 1, 0, 1}
+		layout := register.Layout{}
+		mem := register.NewSimMem(64)
+		layout.InitMem(mem)
+		ms := make([]machine.Machine, len(inputs))
+		for i, b := range inputs {
+			ms[i] = core.NewLean(layout, b)
+		}
+		adv := sched.NewBudgetAntiLeader(5)
+		eng, err := sched.NewEngine(sched.Config{
+			N: len(inputs), Machines: ms, Mem: mem,
+			ReadNoise: dist.Exponential{MeanVal: 1},
+			Adversary: adv,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if adv.CheckBudget() > 0 {
+			spent = true
+		}
+	}
+	if !spent {
+		t.Error("burst adversary never spent budget across 20 seeds")
+	}
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows of experiment output both as aligned text (for the
+// terminal) and as CSV (for plotting tools).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.4g.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values. Cells containing commas
+// or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Series is one named line on an ASCII chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart renders series as a rough ASCII line chart with a log-scaled X
+// axis when logX is set — the shape of the paper's Figure 1.
+func Chart(series []Series, width, height int, logX bool) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if logX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), s.Y[i]
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !(xmax > xmin) {
+		xmax = xmin + 1
+	}
+	if !(ymax > ymin) {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@%&"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((tx(s.X[i]) - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	xlo, xhi := xmin, xmax
+	suffix := ""
+	if logX {
+		xlo, xhi = math.Pow(10, xmin), math.Pow(10, xmax)
+		suffix = " (log)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: %.3g .. %.3g   x: %.3g .. %.3g%s\n", ymin, ymax, xlo, xhi, suffix)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"leanconsensus/internal/stats"
+)
+
+func TestAccKnownValues(t *testing.T) {
+	var a stats.Acc
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if got := a.Mean(); got != 5 {
+		t.Errorf("mean %v, want 5", got)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got := a.Var(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("var %v, want %v", got, 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max %v/%v", a.Min(), a.Max())
+	}
+	if !strings.Contains(a.String(), "mean=5") {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestAccEmptyAndSingle(t *testing.T) {
+	var a stats.Acc
+	if a.Mean() != 0 || a.Var() != 0 || a.StdErr() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Var() != 0 {
+		t.Error("single-sample accumulator wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25},
+	}
+	for _, c := range cases {
+		if got := stats.Percentile(s, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(stats.Percentile(nil, 50)) {
+		t.Error("percentile of empty slice should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	s := []float64{3, 1, 2}
+	stats.Percentile(s, 50)
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := stats.FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-3) > 1e-12 || fit.R2 < 0.999999 {
+		t.Errorf("fit %+v, want slope 2 intercept 3 r2 1", fit)
+	}
+}
+
+func TestFitLogN(t *testing.T) {
+	ns := []int{2, 4, 8, 16}
+	y := []float64{3, 4, 5, 6} // y = log2(n) + 2
+	fit, err := stats.FitLogN(ns, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1) > 1e-9 || math.Abs(fit.Intercept-2) > 1e-9 {
+		t.Errorf("fit %+v, want slope 1 intercept 2", fit)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := stats.FitLine([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := stats.FitLine([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("vertical line accepted")
+	}
+	if _, err := stats.FitLogN([]int{0, 2}, []float64{1, 2}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestHistogramTail(t *testing.T) {
+	h := stats.NewHistogram()
+	for _, v := range []int{1, 2, 2, 3, 3, 3, 10} {
+		h.Add(v)
+	}
+	if h.Total != 7 {
+		t.Errorf("total %d", h.Total)
+	}
+	if got := h.TailProb(3); math.Abs(got-1.0/7.0) > 1e-12 {
+		t.Errorf("Pr[X>3] = %v, want 1/7", got)
+	}
+	if got := h.TailProb(0); got != 1 {
+		t.Errorf("Pr[X>0] = %v, want 1", got)
+	}
+	keys := h.Keys()
+	if len(keys) != 4 || keys[0] != 1 || keys[3] != 10 {
+		t.Errorf("keys %v", keys)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := stats.NewTable("name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta, the second", 2)
+	text := tbl.Text()
+	if !strings.Contains(text, "alpha") || !strings.Contains(text, "1.5") {
+		t.Errorf("text rendering missing data:\n%s", text)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"beta, the second"`) {
+		t.Errorf("CSV did not quote a comma cell:\n%s", csv)
+	}
+	md := tbl.Markdown()
+	if !strings.HasPrefix(md, "| name | value |") {
+		t.Errorf("markdown header wrong:\n%s", md)
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	chart := stats.Chart([]stats.Series{
+		{Name: "up", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}},
+		{Name: "down", X: []float64{1, 10, 100}, Y: []float64{3, 2, 1}},
+	}, 40, 10, true)
+	if !strings.Contains(chart, "up") || !strings.Contains(chart, "down") {
+		t.Error("chart legend missing series")
+	}
+	if !strings.Contains(chart, "*") || !strings.Contains(chart, "+") {
+		t.Error("chart missing data marks")
+	}
+}
+
+// Property: the streaming mean always lies within [min, max].
+func TestQuickAccMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a stats.Acc
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip floats outside the library's use domain
+			}
+			a.Add(x)
+		}
+		if a.N() > 0 {
+			spread := math.Max(1, a.Max()-a.Min())
+			ok = a.Mean() >= a.Min()-1e-9*spread && a.Mean() <= a.Max()+1e-9*spread
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestQuickAccMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var a stats.Acc
+		var sum float64
+		for _, x := range clean {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(clean)-1)
+		return math.Abs(a.Mean()-mean) < 1e-6 && math.Abs(a.Var()-naiveVar) < 1e-6*(1+naiveVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Package xrand provides deterministic random-number streams for the
+// simulator. A single master seed is expanded with splitmix64 into
+// independent per-purpose sub-seeds, so that every trial, every process,
+// and every noise source draws from its own reproducible stream.
+package xrand
+
+import "math/rand"
+
+// splitmix64 is the standard SplitMix64 output function. It is used only
+// for seed derivation: it turns correlated inputs (seed, index) into
+// well-mixed 64-bit values suitable for seeding math/rand streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix derives a new 64-bit seed from a base seed and any number of
+// stream identifiers. Mix(s) != Mix(s, 0) for almost all s, and distinct
+// identifier tuples yield independent-looking seeds.
+func Mix(seed uint64, ids ...uint64) uint64 {
+	x := splitmix64(seed)
+	for _, id := range ids {
+		x = splitmix64(x ^ splitmix64(id+0x632be59bd9b4e019))
+	}
+	return x
+}
+
+// Source is a compact counter-based SplitMix64 PRNG implementing
+// rand.Source64. Unlike the standard library's default source (~5 KB of
+// state), it is two words, so simulations that keep one independent stream
+// per process stay cache-friendly at n = 100,000 processes. SplitMix64
+// passes BigCrush and is more than adequate for scheduling noise.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source derived from seed and stream identifiers.
+func NewSource(seed uint64, ids ...uint64) *Source {
+	return &Source{state: Mix(seed, ids...)}
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = Mix(uint64(seed)) }
+
+// New returns a rand.Rand seeded from seed and the given stream
+// identifiers. Each distinct (seed, ids...) tuple yields an independent
+// deterministic stream backed by a compact Source.
+func New(seed uint64, ids ...uint64) *rand.Rand {
+	return rand.New(NewSource(seed, ids...))
+}
+
+// Dither returns a small positive perturbation in (0, scale), used to
+// break exact ties in start times as in the paper's simulations
+// (Section 9 uses U(0, 1e-8)).
+func Dither(rng *rand.Rand, scale float64) float64 {
+	for {
+		d := rng.Float64() * scale
+		if d > 0 {
+			return d
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package leanconsensus
+
+import (
+	"context"
+	"time"
+
+	"leanconsensus/internal/live"
+)
+
+// LiveConfig describes a consensus run on real goroutines with
+// sync/atomic registers. The OS and Go scheduler provide the noise; an
+// optional sampled sleep per operation injects more.
+type LiveConfig struct {
+	// Inputs holds one input bit per goroutine.
+	Inputs []int
+	// RMax is the lean-consensus cutoff round of the bounded-space
+	// protocol (0 selects max(16, log2(n)^2) per Theorem 15).
+	RMax int
+	// SleepNoise, when non-nil, injects a sampled sleep before every
+	// shared-memory operation.
+	SleepNoise Distribution
+	// SleepUnit scales sleep samples (default 1µs).
+	SleepUnit time.Duration
+	// Seed fixes the injected noise streams.
+	Seed uint64
+	// Yield inserts runtime.Gosched between operations, increasing
+	// interleaving on machines with few cores.
+	Yield bool
+}
+
+// LiveResult reports a live run.
+type LiveResult struct {
+	// Value is the agreed bit.
+	Value int
+	// OpsPerProcess holds per-goroutine operation counts.
+	OpsPerProcess []int64
+	// Rounds is the largest racing-counters round reached.
+	Rounds int
+	// BackupUsed counts goroutines that fell back to the backup protocol.
+	BackupUsed int
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Live runs one consensus among len(cfg.Inputs) goroutines and blocks
+// until every goroutine has decided or ctx is cancelled.
+func Live(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
+	res, err := live.Run(ctx, live.Config{
+		Inputs:     cfg.Inputs,
+		RMax:       cfg.RMax,
+		SleepNoise: cfg.SleepNoise,
+		SleepUnit:  cfg.SleepUnit,
+		Seed:       cfg.Seed,
+		Yield:      cfg.Yield,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &LiveResult{
+		Value:         res.Value,
+		OpsPerProcess: make([]int64, len(res.Procs)),
+		Rounds:        res.MaxRound,
+		BackupUsed:    res.BackupUsed,
+		Elapsed:       res.Elapsed,
+	}
+	for i, p := range res.Procs {
+		out.OpsPerProcess[i] = p.Ops
+	}
+	return out, nil
+}
