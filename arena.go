@@ -1,0 +1,161 @@
+package leanconsensus
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"leanconsensus/internal/arena"
+)
+
+// Arena backend names for ArenaConfig.Backend.
+const (
+	// BackendSched runs instances under the noisy scheduling model
+	// (Section 3.1) — the default.
+	BackendSched = "sched"
+	// BackendHybrid runs instances under the Section 7 quantum/priority
+	// uniprocessor model (at most 12 ops per process, Theorem 14).
+	BackendHybrid = "hybrid"
+	// BackendMsgNet runs instances over the emulated message-passing
+	// network with ABD register emulation (Section 10 extension).
+	BackendMsgNet = "msgnet"
+)
+
+// ArenaConfig describes a consensus arena: a sharded service running many
+// independent lean-consensus instances concurrently. Zero values select
+// sensible defaults (8 shards, 2 workers per shard, 8 processes per
+// instance, Exponential(1) noise, the sched backend).
+type ArenaConfig struct {
+	// Shards is the number of independent shards; keys are routed to
+	// shards by consistent hashing.
+	Shards int
+	// Workers is the worker-pool size per shard.
+	Workers int
+	// N is the number of processes in each consensus instance.
+	N int
+	// Distribution is the noise distribution driving each instance.
+	Distribution Distribution
+	// Backend selects the execution model: BackendSched, BackendHybrid,
+	// or BackendMsgNet.
+	Backend string
+	// Seed makes the whole arena reproducible: with a fixed seed, the
+	// same keys and bits yield identical decisions and simulated metrics
+	// regardless of goroutine scheduling.
+	Seed uint64
+	// QueueDepth is the per-shard request buffer; submissions beyond it
+	// block (backpressure).
+	QueueDepth int
+}
+
+// ArenaResult reports one served consensus instance.
+type ArenaResult struct {
+	// Key is the routing key the value was agreed under.
+	Key string
+	// Shard is the shard that served the request.
+	Shard int
+	// Value is the agreed bit.
+	Value int
+	// FirstRound and LastRound are the instance's decision rounds.
+	FirstRound, LastRound int
+	// Ops is the instance's total operation count.
+	Ops int64
+	// SimTime is the instance's simulated duration.
+	SimTime float64
+	// Latency is the wall-clock service time (the only nondeterministic
+	// field).
+	Latency time.Duration
+}
+
+// ArenaStats is an aggregate snapshot of a running arena.
+type ArenaStats struct {
+	// Proposals, Decided0, Decided1, and Errors count requests served.
+	Proposals int64
+	Decided0  int64
+	Decided1  int64
+	Errors    int64
+	// TotalOps sums instance operation counts.
+	TotalOps int64
+	// MeanFirstRound is the mean first-decision round.
+	MeanFirstRound float64
+	// Elapsed is the wall-clock time since the arena started.
+	Elapsed time.Duration
+	// Throughput is decisions per wall-clock second since start.
+	Throughput float64
+}
+
+// Arena is a sharded concurrent consensus service. It is safe for
+// concurrent use by any number of goroutines; see NewArena.
+type Arena struct {
+	inner *arena.Arena
+}
+
+// NewArena starts an arena. Callers must Close it to release the worker
+// pools.
+func NewArena(cfg ArenaConfig) (*Arena, error) {
+	backend, err := arena.ByName(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := arena.New(arena.Config{
+		Shards:     cfg.Shards,
+		Workers:    cfg.Workers,
+		N:          cfg.N,
+		Noise:      cfg.Distribution,
+		Backend:    backend,
+		Seed:       cfg.Seed,
+		QueueDepth: cfg.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Arena{inner: inner}, nil
+}
+
+// Propose submits one consensus proposal for key and waits for the
+// decided value or for ctx. The proposing client's bit becomes process
+// 0's input; the remaining inputs are drawn from the key's deterministic
+// stream.
+func (a *Arena) Propose(ctx context.Context, key string, bit int) (ArenaResult, error) {
+	res, err := a.inner.Propose(ctx, key, bit)
+	if err != nil {
+		return ArenaResult{}, err
+	}
+	return ArenaResult{
+		Key:        res.Key,
+		Shard:      res.Shard,
+		Value:      res.Value,
+		FirstRound: res.FirstRound,
+		LastRound:  res.LastRound,
+		Ops:        res.Ops,
+		SimTime:    res.SimTime,
+		Latency:    res.Latency,
+	}, nil
+}
+
+// ShardFor reports the shard a key routes to (stable across runs).
+func (a *Arena) ShardFor(key string) int { return a.inner.ShardFor(key) }
+
+// Stats snapshots the arena's aggregate counters.
+func (a *Arena) Stats() ArenaStats {
+	st := a.inner.Stats()
+	return ArenaStats{
+		Proposals:      st.Totals.Proposals,
+		Decided0:       st.Totals.Decided[0],
+		Decided1:       st.Totals.Decided[1],
+		Errors:         st.Totals.Errors,
+		TotalOps:       st.Totals.Ops,
+		MeanFirstRound: st.MeanFirstRound(),
+		Elapsed:        st.Elapsed,
+		Throughput:     st.Throughput(),
+	}
+}
+
+// Close stops accepting proposals, drains in-flight instances, and waits
+// for the workers to exit.
+func (a *Arena) Close() error { return a.inner.Close() }
+
+// String summarizes the snapshot.
+func (s ArenaStats) String() string {
+	return fmt.Sprintf("proposals=%d decided=[%d %d] errors=%d ops=%d mean-round=%.2f throughput=%.0f/s",
+		s.Proposals, s.Decided0, s.Decided1, s.Errors, s.TotalOps, s.MeanFirstRound, s.Throughput)
+}

@@ -1,0 +1,86 @@
+package leanconsensus_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"leanconsensus"
+)
+
+func TestArenaPublicAPI(t *testing.T) {
+	a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
+		Shards:       4,
+		Workers:      2,
+		N:            8,
+		Distribution: leanconsensus.Uniform(0, 2),
+		Seed:         17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bits := map[string]int{}
+	values := map[string]int{}
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("order-%d", i)
+		res, err := a.Propose(ctx, key, i%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != 0 && res.Value != 1 {
+			t.Fatalf("key %s decided %d", key, res.Value)
+		}
+		if res.Shard != a.ShardFor(key) {
+			t.Fatalf("key %s served by shard %d, routed to %d", key, res.Shard, a.ShardFor(key))
+		}
+		bits[key] = i % 2
+		values[key] = res.Value
+	}
+	// Re-proposing a key with the same bit replays the same instance and
+	// must agree with the first decision.
+	for key, want := range values {
+		res, err := a.Propose(ctx, key, bits[key])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want {
+			t.Fatalf("key %s replayed to %d, first decided %d", key, res.Value, want)
+		}
+	}
+	st := a.Stats()
+	if st.Proposals == 0 || st.Decided0+st.Decided1 != st.Proposals || st.Errors != 0 {
+		t.Errorf("stats inconsistent: %s", st)
+	}
+	if st.Throughput <= 0 {
+		t.Errorf("throughput %v not positive", st.Throughput)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Propose(ctx, "late", 0); err == nil {
+		t.Error("Propose after Close succeeded")
+	}
+}
+
+func TestArenaBackendSelection(t *testing.T) {
+	for _, backend := range []string{leanconsensus.BackendSched, leanconsensus.BackendHybrid, leanconsensus.BackendMsgNet} {
+		a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
+			Shards: 2, N: 4, Seed: 5, Backend: backend,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		res, err := a.Propose(context.Background(), "k", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.Value != 0 && res.Value != 1 {
+			t.Fatalf("%s decided %d", backend, res.Value)
+		}
+		a.Close()
+	}
+	if _, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{Backend: "bogus"}); err == nil {
+		t.Error("NewArena accepted an unknown backend")
+	}
+}

@@ -143,6 +143,70 @@ func BenchmarkLiveGoroutines(b *testing.B) {
 	}
 }
 
+// BenchmarkArenaThroughput measures arena decisions/sec across the
+// shards × workers grid: each iteration serves one consensus instance
+// through a shared sharded worker pool, so ns/op is the inverse service
+// throughput under full load.
+func BenchmarkArenaThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
+					Shards:  shards,
+					Workers: workers,
+					N:       8,
+					Seed:    1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer a.Close()
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						key := fmt.Sprintf("bench-%d", i)
+						i++
+						if _, err := a.Propose(ctx, key, i%2); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				st := a.Stats()
+				b.ReportMetric(st.Throughput, "decisions/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkArenaBackends compares per-decision cost across execution
+// models at a fixed pool shape.
+func BenchmarkArenaBackends(b *testing.B) {
+	for _, backend := range []string{
+		leanconsensus.BackendSched,
+		leanconsensus.BackendHybrid,
+		leanconsensus.BackendMsgNet,
+	} {
+		b.Run(backend, func(b *testing.B) {
+			a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
+				Shards: 4, Workers: 2, N: 8, Seed: 1, Backend: backend,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Propose(ctx, fmt.Sprintf("bench-%d", i), i%2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRenewalRace measures the bare renewal-race simulation.
 func BenchmarkRenewalRace(b *testing.B) {
 	for _, n := range []int{16, 256, 4096} {

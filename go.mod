@@ -1,0 +1,3 @@
+module leanconsensus
+
+go 1.24

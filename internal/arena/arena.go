@@ -1,0 +1,372 @@
+// Package arena is a sharded, worker-pool-backed consensus service: it
+// runs many independent lean-consensus instances concurrently and serves
+// them request-style. A client submits Propose(key, bit) requests; the
+// arena routes each key to a shard with a consistent hash, executes the
+// instance on one of the shard's workers under a pluggable execution model
+// (Backend), and returns the decided value together with aggregate
+// latency and throughput statistics.
+//
+// The design leans on the paper's central observation in reverse: noisy
+// scheduling makes each individual instance terminate in Θ(log n)
+// expected rounds, so thousands of mutually independent instances can be
+// packed onto a small worker pool with predictable per-request cost.
+//
+// Determinism: every instance's outcome is a pure function of (arena
+// seed, key, proposed bit, config). The shard holds a deterministic
+// sub-seed derived with xrand from the arena seed and the shard index,
+// and each instance's private seed mixes the shard seed with the key's
+// stable 64-bit hash. Worker scheduling therefore affects only wall-clock
+// latency, never decisions or simulated metrics, and whole-arena runs
+// replay exactly under a fixed seed — including under `go test -race`.
+package arena
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/xrand"
+)
+
+// Defaults applied by New.
+const (
+	DefaultShards  = 8
+	DefaultWorkers = 2
+	DefaultN       = 8
+	// DefaultQueueDepth is the per-shard request buffer; submissions beyond
+	// it apply backpressure by blocking.
+	DefaultQueueDepth = 128
+)
+
+// Errors returned by the arena.
+var (
+	// ErrClosed is returned by Submit and Propose after Close.
+	ErrClosed = errors.New("arena: closed")
+)
+
+// Config describes an arena.
+type Config struct {
+	// Shards is the number of independent shards (default DefaultShards).
+	Shards int
+	// Workers is the worker-pool size per shard (default DefaultWorkers).
+	Workers int
+	// N is the number of processes in each consensus instance (default
+	// DefaultN).
+	N int
+	// Noise is the interarrival noise distribution driving each instance
+	// (default Exponential(1), the paper's Figure 1 baseline).
+	Noise dist.Distribution
+	// Backend selects the execution model (default SchedBackend).
+	Backend Backend
+	// Seed makes the whole arena reproducible: same seed, same keys, same
+	// bits — byte-identical decisions and simulated metrics.
+	Seed uint64
+	// QueueDepth is the per-shard request buffer (default
+	// DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Result reports one served consensus instance.
+type Result struct {
+	// Key is the client's routing key.
+	Key string
+	// Shard is the shard that served the request.
+	Shard int
+	// Value is the agreed bit (undefined when Err != nil).
+	Value int
+	// FirstRound and LastRound are the instance's decision rounds.
+	FirstRound, LastRound int
+	// Ops is the instance's total operation count.
+	Ops int64
+	// SimTime is the instance's simulated duration.
+	SimTime float64
+	// Latency is the wall-clock time from submission to completion. It is
+	// the only nondeterministic field.
+	Latency time.Duration
+	// Err is the instance's failure, if any.
+	Err error
+}
+
+// request is one queued proposal.
+type request struct {
+	key   string
+	shard int
+	bit   int
+	enq   time.Time
+	done  chan Result
+}
+
+// ShardStats accumulates one shard's deterministic counters. All fields
+// are pure functions of the served (key, bit) multiset, so they replay
+// exactly; wall-clock latency lives in Stats instead.
+type ShardStats struct {
+	// Proposals counts requests served (including failed ones).
+	Proposals int64
+	// Decided counts decisions by value.
+	Decided [2]int64
+	// Errors counts failed instances.
+	Errors int64
+	// Ops sums instance operation counts.
+	Ops int64
+	// RoundSum sums first-decision rounds.
+	RoundSum int64
+	// MaxRound is the largest last-decision round observed.
+	MaxRound int
+}
+
+// add folds one result into the counters.
+func (s *ShardStats) add(r Result) {
+	s.Proposals++
+	if r.Err != nil {
+		s.Errors++
+		return
+	}
+	s.Decided[r.Value]++
+	s.Ops += r.Ops
+	s.RoundSum += int64(r.FirstRound)
+	if r.LastRound > s.MaxRound {
+		s.MaxRound = r.LastRound
+	}
+}
+
+// merge folds another shard's counters into s.
+func (s *ShardStats) merge(o ShardStats) {
+	s.Proposals += o.Proposals
+	s.Decided[0] += o.Decided[0]
+	s.Decided[1] += o.Decided[1]
+	s.Errors += o.Errors
+	s.Ops += o.Ops
+	s.RoundSum += o.RoundSum
+	if o.MaxRound > s.MaxRound {
+		s.MaxRound = o.MaxRound
+	}
+}
+
+// Stats is an aggregate snapshot of a running arena.
+type Stats struct {
+	// Totals aggregates every shard.
+	Totals ShardStats
+	// PerShard holds one entry per shard.
+	PerShard []ShardStats
+	// Elapsed is the wall-clock time since New.
+	Elapsed time.Duration
+}
+
+// Throughput reports decisions per wall-clock second since New.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Totals.Decided[0]+s.Totals.Decided[1]) / s.Elapsed.Seconds()
+}
+
+// MeanFirstRound reports the mean first-decision round across decided
+// instances.
+func (s Stats) MeanFirstRound() float64 {
+	n := s.Totals.Decided[0] + s.Totals.Decided[1]
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Totals.RoundSum) / float64(n)
+}
+
+// shard is one independent lane of the service.
+type shard struct {
+	id   int
+	seed uint64
+	reqs chan *request
+
+	mu    sync.Mutex
+	stats ShardStats
+}
+
+// Arena is a sharded concurrent consensus service. Create one with New;
+// it is safe for concurrent use by any number of clients.
+type Arena struct {
+	cfg    Config
+	shards []*shard
+	start  time.Time
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed and the shard queues' liveness
+	closed bool
+}
+
+// New validates the configuration, applies defaults, and starts the
+// shard worker pools.
+func New(cfg Config) (*Arena, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.N == 0 {
+		cfg.N = DefaultN
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Noise == nil {
+		cfg.Noise = dist.Exponential{MeanVal: 1}
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = SchedBackend{}
+	}
+	if cfg.Shards < 0 || cfg.Workers < 0 || cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("arena: negative shard/worker/queue counts")
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("arena: N must be positive, got %d", cfg.N)
+	}
+	a := &Arena{cfg: cfg, start: time.Now()}
+	a.shards = make([]*shard, cfg.Shards)
+	for i := range a.shards {
+		s := &shard{
+			id:   i,
+			seed: xrand.Mix(cfg.Seed, 0x7368617264, uint64(i)), // "shard"
+			reqs: make(chan *request, cfg.QueueDepth),
+		}
+		a.shards[i] = s
+		for w := 0; w < cfg.Workers; w++ {
+			a.wg.Add(1)
+			go a.worker(s)
+		}
+	}
+	return a, nil
+}
+
+// Shards reports the configured shard count.
+func (a *Arena) Shards() int { return len(a.shards) }
+
+// Config returns the effective configuration with defaults applied.
+func (a *Arena) Config() Config { return a.cfg }
+
+// ShardFor reports the shard a key routes to. Routing is a consistent
+// hash: it is stable across runs, and growing the shard count from k to
+// k+1 relocates only ~1/(k+1) of the keys.
+func (a *Arena) ShardFor(key string) int { return jump(hash64(key), len(a.shards)) }
+
+// Submit enqueues one proposal and returns the channel its Result will be
+// delivered on. It blocks only when the target shard's queue is full
+// (backpressure). After Close it returns ErrClosed.
+func (a *Arena) Submit(key string, bit int) (<-chan Result, error) {
+	if bit != 0 && bit != 1 {
+		return nil, fmt.Errorf("arena: proposed bit must be 0 or 1, got %d", bit)
+	}
+	req := &request{
+		key:   key,
+		shard: a.ShardFor(key),
+		bit:   bit,
+		enq:   time.Now(),
+		done:  make(chan Result, 1),
+	}
+	// The read lock is held across the send so Close cannot close the
+	// queue between the closed-check and the send. Workers keep draining
+	// while Close waits for the write lock, so a blocked send still makes
+	// progress.
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return nil, ErrClosed
+	}
+	a.shards[req.shard].reqs <- req
+	return req.done, nil
+}
+
+// Propose submits one proposal and waits for its decision or for ctx.
+// On ctx expiry the instance still runs to completion in the background;
+// only the wait is abandoned.
+func (a *Arena) Propose(ctx context.Context, key string, bit int) (Result, error) {
+	done, err := a.Submit(key, bit)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case res := <-done:
+		return res, res.Err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Stats snapshots the aggregate counters.
+func (a *Arena) Stats() Stats {
+	st := Stats{
+		PerShard: make([]ShardStats, len(a.shards)),
+		Elapsed:  time.Since(a.start),
+	}
+	for i, s := range a.shards {
+		s.mu.Lock()
+		st.PerShard[i] = s.stats
+		s.mu.Unlock()
+		st.Totals.merge(st.PerShard[i])
+	}
+	return st
+}
+
+// Close stops accepting new proposals, drains every in-flight and queued
+// instance to completion, and waits for the workers to exit. It is
+// idempotent.
+func (a *Arena) Close() error {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		for _, s := range a.shards {
+			close(s.reqs)
+		}
+	}
+	a.mu.Unlock()
+	// Every caller waits for the drain, so a concurrent second Close
+	// also returns only once all in-flight instances have completed.
+	a.wg.Wait()
+	return nil
+}
+
+// worker serves one shard's queue until the queue closes.
+func (a *Arena) worker(s *shard) {
+	defer a.wg.Done()
+	for req := range s.reqs {
+		res := a.serve(s, req)
+		s.mu.Lock()
+		s.stats.add(res)
+		s.mu.Unlock()
+		req.done <- res
+	}
+}
+
+// serve runs one instance. The instance seed mixes the shard's
+// deterministic sub-seed with the key's stable hash, so the outcome does
+// not depend on which worker runs it or in what order.
+func (a *Arena) serve(s *shard, req *request) Result {
+	seed := xrand.Mix(s.seed, hash64(req.key))
+	inputs := make([]int, a.cfg.N)
+	inputs[0] = req.bit
+	rng := xrand.New(seed, 0x696e70757473) // "inputs"
+	for i := 1; i < a.cfg.N; i++ {
+		inputs[i] = rng.Intn(2)
+	}
+	res := Result{Key: req.key, Shard: s.id}
+	ir, err := a.cfg.Backend.Run(InstanceSpec{
+		Key:    req.key,
+		Shard:  s.id,
+		N:      a.cfg.N,
+		Inputs: inputs,
+		Noise:  a.cfg.Noise,
+		Seed:   seed,
+	})
+	if err != nil {
+		res.Err = err
+	} else {
+		res.Value = ir.Value
+		res.FirstRound = ir.FirstRound
+		res.LastRound = ir.LastRound
+		res.Ops = ir.Ops
+		res.SimTime = ir.SimTime
+	}
+	res.Latency = time.Since(req.enq)
+	return res
+}

@@ -1,0 +1,189 @@
+package arena
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/harness"
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/msgnet"
+	"leanconsensus/internal/register"
+)
+
+// InstanceSpec fully determines one consensus instance. Everything an
+// instance's outcome depends on is in the spec — backends must not consult
+// any other source of randomness or shared state — which is what makes
+// whole-arena runs replayable from a single seed.
+type InstanceSpec struct {
+	// Key is the client's routing key (carried for diagnostics).
+	Key string
+	// Shard is the shard the instance was routed to.
+	Shard int
+	// N is the number of processes.
+	N int
+	// Inputs holds the N input bits (Inputs[0] is the client's proposal).
+	Inputs []int
+	// Noise is the interarrival/delay noise distribution.
+	Noise dist.Distribution
+	// Seed is the instance's private random seed, derived deterministically
+	// from the arena seed, the shard, and the key.
+	Seed uint64
+}
+
+// InstanceResult reports one completed consensus instance.
+type InstanceResult struct {
+	// Value is the agreed bit.
+	Value int
+	// FirstRound and LastRound are the first and last decision rounds
+	// (zero for backends without a round structure).
+	FirstRound, LastRound int
+	// Ops is the total number of shared-memory operations (or emulated
+	// register operations for message passing).
+	Ops int64
+	// SimTime is the simulated duration (zero for the hybrid backend,
+	// whose model has no clock).
+	SimTime float64
+}
+
+// Backend runs one consensus instance under some execution model. A
+// Backend must be safe for concurrent use by multiple workers and must be
+// a pure function of the spec.
+type Backend interface {
+	// Name identifies the backend in stats, CLIs, and reports.
+	Name() string
+	// Run executes the instance to completion.
+	Run(spec InstanceSpec) (InstanceResult, error)
+}
+
+// SchedBackend executes instances under the paper's noisy scheduling model
+// (Section 3.1) via the discrete-event engine — the arena's default.
+type SchedBackend struct {
+	// FailureProb is the per-operation halting probability h(n).
+	FailureProb float64
+}
+
+// Name implements Backend.
+func (SchedBackend) Name() string { return "sched" }
+
+// Run implements Backend.
+func (b SchedBackend) Run(spec InstanceSpec) (InstanceResult, error) {
+	run, err := harness.RunSim(harness.SimConfig{
+		N:           spec.N,
+		Inputs:      spec.Inputs,
+		ReadNoise:   spec.Noise,
+		FailureProb: b.FailureProb,
+		Seed:        spec.Seed,
+		Variant:     harness.VariantLean,
+	})
+	if err != nil {
+		return InstanceResult{}, err
+	}
+	res := run.Res
+	if res.CapHit {
+		return InstanceResult{}, fmt.Errorf("arena: instance %q hit the operation cap", spec.Key)
+	}
+	value, ok := res.Agreement()
+	if !ok || value < 0 {
+		return InstanceResult{}, fmt.Errorf("arena: instance %q did not decide: %v", spec.Key, res.Decisions)
+	}
+	return InstanceResult{
+		Value:      value,
+		FirstRound: res.FirstDecisionRound,
+		LastRound:  res.LastDecisionRound,
+		Ops:        res.TotalOps,
+		SimTime:    res.Time,
+	}, nil
+}
+
+// HybridBackend executes instances under the Section 7 quantum/priority
+// uniprocessor model with the randomized legal scheduler. Theorem 14
+// bounds every process to at most 12 operations, making this the cheapest
+// backend per decision.
+type HybridBackend struct {
+	// Quantum is the scheduling quantum in operations (default 8, the
+	// smallest value Theorem 14 covers).
+	Quantum int
+}
+
+// Name implements Backend.
+func (HybridBackend) Name() string { return "hybrid" }
+
+// Run implements Backend.
+func (b HybridBackend) Run(spec InstanceSpec) (InstanceResult, error) {
+	quantum := b.Quantum
+	if quantum == 0 {
+		quantum = 8
+	}
+	layout := register.Layout{}
+	mem := register.NewSimMem(64)
+	layout.InitMem(mem)
+	machines := make([]machine.Machine, spec.N)
+	for i, bit := range spec.Inputs {
+		machines[i] = core.NewLean(layout, bit)
+	}
+	res, err := hybrid.Run(hybrid.Config{
+		N:         spec.N,
+		Machines:  machines,
+		Mem:       mem,
+		Quantum:   quantum,
+		Adversary: hybrid.NewRandom(spec.Seed),
+	})
+	if err != nil {
+		return InstanceResult{}, err
+	}
+	value := -1
+	for _, d := range res.Decisions {
+		if d < 0 {
+			return InstanceResult{}, fmt.Errorf("arena: hybrid instance %q left a process undecided", spec.Key)
+		}
+		if value < 0 {
+			value = d
+		} else if value != d {
+			return InstanceResult{}, fmt.Errorf("arena: hybrid instance %q disagreed: %v", spec.Key, res.Decisions)
+		}
+	}
+	return InstanceResult{Value: value, Ops: res.Steps}, nil
+}
+
+// MsgNetBackend executes instances over the emulated message-passing
+// network (Section 10 extension): registers are simulated with the ABD
+// protocol on top of point-to-point messages with noisy delays.
+type MsgNetBackend struct{}
+
+// Name implements Backend.
+func (MsgNetBackend) Name() string { return "msgnet" }
+
+// Run implements Backend.
+func (MsgNetBackend) Run(spec InstanceSpec) (InstanceResult, error) {
+	res, err := msgnet.Consensus(msgnet.ConsensusConfig{
+		Inputs: spec.Inputs,
+		Delay:  spec.Noise,
+		Seed:   spec.Seed,
+	})
+	if err != nil {
+		return InstanceResult{}, err
+	}
+	return InstanceResult{
+		Value:      res.Value,
+		FirstRound: res.Rounds,
+		LastRound:  res.Rounds,
+		Ops:        res.RegisterOps,
+		SimTime:    res.Time,
+	}, nil
+}
+
+// ByName returns the backend registered under name: "sched", "hybrid", or
+// "msgnet".
+func ByName(name string) (Backend, error) {
+	switch name {
+	case "", "sched":
+		return SchedBackend{}, nil
+	case "hybrid":
+		return HybridBackend{}, nil
+	case "msgnet":
+		return MsgNetBackend{}, nil
+	}
+	return nil, fmt.Errorf("arena: unknown backend %q (known: sched, hybrid, msgnet)", name)
+}

@@ -1,0 +1,37 @@
+package arena
+
+// FNV-1a parameters, shared by key hashing and the report checksum.
+const (
+	fnvOffset64 = uint64(14695981039346656037)
+	fnvPrime64  = 1099511628211
+)
+
+// fnvAdd folds s into an FNV-1a running hash.
+func fnvAdd(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hash64 is FNV-1a over the key bytes: a fast, allocation-free, stable
+// 64-bit hash. Stability matters — the hash feeds both shard routing and
+// per-instance seed derivation, so it must never change between runs or
+// builds.
+func hash64(key string) uint64 { return fnvAdd(fnvOffset64, key) }
+
+// jump is Lamping & Veach's jump consistent hash: it maps a 64-bit key to
+// a bucket in [0, buckets) such that growing the bucket count from k to
+// k+1 moves only ~1/(k+1) of the keys, with no lookup tables. The arena
+// uses it for shard routing so that resharding (a future dynamic-scaling
+// PR) relocates the minimum number of keys.
+func jump(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

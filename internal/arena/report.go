@@ -1,0 +1,104 @@
+package arena
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Report is the deterministic summary of a batch of arena results: every
+// field is a pure function of the configuration and the (key, bit)
+// multiset served, so two runs with the same seed marshal to
+// byte-identical JSON regardless of worker scheduling. Wall-clock numbers
+// (latency, throughput) are deliberately excluded — read those from
+// Stats.
+type Report struct {
+	// Backend and Noise echo the execution model.
+	Backend string `json:"backend"`
+	Noise   string `json:"noise"`
+	// Seed, Shards, Workers, and N echo the configuration.
+	Seed    uint64 `json:"seed"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	N       int    `json:"n"`
+
+	// Instances, Decided0/1, and Errors count outcomes.
+	Instances int64 `json:"instances"`
+	Decided0  int64 `json:"decided0"`
+	Decided1  int64 `json:"decided1"`
+	Errors    int64 `json:"errors"`
+
+	// TotalOps, MeanOps, MeanFirstRound, MaxLastRound, and TotalSimTime
+	// aggregate the simulated metrics.
+	TotalOps       int64   `json:"total_ops"`
+	MeanOps        float64 `json:"mean_ops"`
+	MeanFirstRound float64 `json:"mean_first_round"`
+	MaxLastRound   int     `json:"max_last_round"`
+	TotalSimTime   float64 `json:"total_sim_time"`
+
+	// PerShard counts instances routed to each shard.
+	PerShard []int64 `json:"per_shard"`
+
+	// Checksum is an FNV-1a digest of every (key, value) pair in key
+	// order: a compact witness that two runs decided identically.
+	Checksum string `json:"checksum"`
+}
+
+// BuildReport aggregates a batch of results into a deterministic report.
+// The results may arrive in any order; they are sorted by key internally.
+func BuildReport(cfg Config, results []Result) *Report {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+
+	rep := &Report{
+		Backend:  cfg.Backend.Name(),
+		Noise:    cfg.Noise.String(),
+		Seed:     cfg.Seed,
+		Shards:   cfg.Shards,
+		Workers:  cfg.Workers,
+		N:        cfg.N,
+		PerShard: make([]int64, cfg.Shards),
+	}
+	sum := fnvOffset64
+	fnv := func(s string) { sum = fnvAdd(sum, s) }
+	for _, r := range sorted {
+		rep.Instances++
+		if r.Shard >= 0 && r.Shard < len(rep.PerShard) {
+			rep.PerShard[r.Shard]++
+		}
+		if r.Err != nil {
+			rep.Errors++
+			fnv(r.Key + "=err\n")
+			continue
+		}
+		if r.Value == 0 {
+			rep.Decided0++
+		} else {
+			rep.Decided1++
+		}
+		rep.TotalOps += r.Ops
+		rep.MeanFirstRound += float64(r.FirstRound)
+		rep.TotalSimTime += r.SimTime
+		if r.LastRound > rep.MaxLastRound {
+			rep.MaxLastRound = r.LastRound
+		}
+		fnv(fmt.Sprintf("%s=%d\n", r.Key, r.Value))
+	}
+	if decided := rep.Decided0 + rep.Decided1; decided > 0 {
+		rep.MeanOps = float64(rep.TotalOps) / float64(decided)
+		rep.MeanFirstRound /= float64(decided)
+	} else {
+		rep.MeanFirstRound = 0
+	}
+	rep.Checksum = fmt.Sprintf("%016x", sum)
+	return rep
+}
+
+// JSON marshals the report with stable formatting.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

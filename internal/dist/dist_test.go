@@ -1,0 +1,173 @@
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/xrand"
+)
+
+// sampleMean draws trials samples and returns their mean.
+func sampleMean(d dist.Distribution, trials int, seed uint64) float64 {
+	rng := xrand.New(seed, 0xd157)
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += d.Sample(rng)
+	}
+	return sum / float64(trials)
+}
+
+// meaner is the optional analytic-mean facet every concrete distribution
+// implements.
+type meaner interface{ Mean() float64 }
+
+func TestSampleMeansMatchAnalyticMeans(t *testing.T) {
+	const trials = 200000
+	for _, d := range []dist.Distribution{
+		dist.Exponential{MeanVal: 1},
+		dist.Exponential{MeanVal: 2.5},
+		dist.Uniform{Lo: 0, Hi: 2},
+		dist.Uniform{Lo: 1, Hi: 3},
+		dist.TwoPoint{A: 2.0 / 3.0, B: 4.0 / 3.0},
+		dist.TwoPoint{A: 1, B: 2},
+		dist.Constant{V: 0.25},
+		dist.Geometric{P: 0.5},
+		dist.Geometric{P: 0.2},
+		dist.TruncNormal{Mu: 1, Sigma: 1, Lo: 0, Hi: 2},
+		dist.Shifted{Offset: 0.5, Base: dist.Exponential{MeanVal: 0.5}},
+	} {
+		want := d.(meaner).Mean()
+		got := sampleMean(d, trials, 42)
+		tol := 0.02 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("%v: sample mean %.4f, analytic mean %.4f", d, got, want)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	const trials = 20000
+	cases := []struct {
+		d      dist.Distribution
+		lo, hi float64
+	}{
+		{dist.Exponential{MeanVal: 1}, 0, math.Inf(1)},
+		{dist.Uniform{Lo: 0.5, Hi: 2}, 0.5, 2},
+		{dist.TwoPoint{A: 1, B: 2}, 1, 2},
+		{dist.Constant{V: 3}, 3, 3},
+		{dist.Geometric{P: 0.5}, 1, math.Inf(1)},
+		{dist.TruncNormal{Mu: 1, Sigma: 1, Lo: 0, Hi: 2}, 0, 2},
+		{dist.Shifted{Offset: 2, Base: dist.Exponential{MeanVal: 1}}, 2, math.Inf(1)},
+		{dist.Pathological{}, 2, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		rng := xrand.New(7, 0x5571)
+		for i := 0; i < trials; i++ {
+			x := tc.d.Sample(rng)
+			if x < tc.lo || x > tc.hi {
+				t.Fatalf("%v: sample %v outside support [%v, %v]", tc.d, x, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+func TestGeometricTakesIntegerValues(t *testing.T) {
+	d := dist.Geometric{P: 0.5}
+	rng := xrand.New(3, 0x6765)
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(rng)
+		if x != math.Trunc(x) || x < 1 {
+			t.Fatalf("geometric sample %v is not a positive integer", x)
+		}
+	}
+}
+
+func TestTwoPointHitsBothValues(t *testing.T) {
+	d := dist.TwoPoint{A: 1, B: 2}
+	rng := xrand.New(9, 0x7470)
+	var a, b int
+	for i := 0; i < 10000; i++ {
+		switch d.Sample(rng) {
+		case 1:
+			a++
+		case 2:
+			b++
+		default:
+			t.Fatal("two-point sample off support")
+		}
+	}
+	if a < 4500 || b < 4500 {
+		t.Errorf("two-point counts %d/%d far from even", a, b)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, d := range append(dist.Figure1(), dist.Pathological{}, dist.Constant{V: 1}) {
+		draw := func() []float64 {
+			rng := xrand.New(123, 0xdead)
+			out := make([]float64, 100)
+			for i := range out {
+				out[i] = d.Sample(rng)
+			}
+			return out
+		}
+		a, b := draw(), draw()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: sample %d differs across identically seeded streams", d, i)
+			}
+		}
+	}
+}
+
+func TestFigure1HasSixDistributions(t *testing.T) {
+	f := dist.Figure1()
+	if len(f) != 6 {
+		t.Fatalf("Figure1 returned %d distributions, want 6", len(f))
+	}
+	seen := map[string]bool{}
+	for _, d := range f {
+		if seen[d.String()] {
+			t.Errorf("duplicate Figure 1 distribution %v", d)
+		}
+		seen[d.String()] = true
+		if _, ok := d.(meaner); !ok {
+			t.Errorf("%v exposes no analytic mean", d)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range dist.Names() {
+		d, err := dist.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		rng := xrand.New(1, 0x626e)
+		if x := d.Sample(rng); x < 0 {
+			t.Errorf("ByName(%q) sampled negative %v", name, x)
+		}
+	}
+	if _, err := dist.ByName("TwoPoint"); err != nil {
+		t.Errorf("case-insensitive alias lookup failed: %v", err)
+	}
+	if _, err := dist.ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestPathologicalTailIsHeavy(t *testing.T) {
+	// Pr[X >= 2^4] = Pr[k >= 2] = 1/2: the tail must show up immediately.
+	d := dist.Pathological{}
+	rng := xrand.New(5, 0x7061)
+	big := 0
+	for i := 0; i < 10000; i++ {
+		if d.Sample(rng) >= 16 {
+			big++
+		}
+	}
+	if big < 4500 || big > 5500 {
+		t.Errorf("Pr[X >= 16] ≈ %.3f, want ≈ 0.5", float64(big)/10000)
+	}
+}
