@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"leanconsensus/internal/arena"
+	"leanconsensus/internal/engine"
 )
 
-// Arena backend names for ArenaConfig.Backend.
+// Arena backend names for ArenaConfig.Backend. Any name registered in the
+// engine's model registry is accepted; Backends lists them all.
 const (
 	// BackendSched runs instances under the noisy scheduling model
 	// (Section 3.1) — the default.
@@ -20,6 +22,10 @@ const (
 	// network with ABD register emulation (Section 10 extension).
 	BackendMsgNet = "msgnet"
 )
+
+// Backends returns the names of every registered execution model, sorted.
+// All of them are valid ArenaConfig.Backend values.
+func Backends() []string { return engine.Names() }
 
 // ArenaConfig describes a consensus arena: a sharded service running many
 // independent lean-consensus instances concurrently. Zero values select
@@ -92,7 +98,7 @@ type Arena struct {
 // NewArena starts an arena. Callers must Close it to release the worker
 // pools.
 func NewArena(cfg ArenaConfig) (*Arena, error) {
-	backend, err := arena.ByName(cfg.Backend)
+	model, err := engine.ByName(cfg.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +107,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		Workers:    cfg.Workers,
 		N:          cfg.N,
 		Noise:      cfg.Distribution,
-		Backend:    backend,
+		Model:      model,
 		Seed:       cfg.Seed,
 		QueueDepth: cfg.QueueDepth,
 	})

@@ -84,3 +84,18 @@ func TestArenaBackendSelection(t *testing.T) {
 		t.Error("NewArena accepted an unknown backend")
 	}
 }
+
+func TestBackendsListsRegistry(t *testing.T) {
+	names := leanconsensus.Backends()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{
+		leanconsensus.BackendSched, leanconsensus.BackendHybrid, leanconsensus.BackendMsgNet,
+	} {
+		if !seen[want] {
+			t.Errorf("Backends() = %v is missing %q", names, want)
+		}
+	}
+}

@@ -7,55 +7,83 @@
 //
 //	leanarena -instances 10000 -shards 8 [-workers 2] [-n 8]
 //	          [-dist exponential] [-backend sched|hybrid|msgnet]
-//	          [-seed 1] [-json]
+//	          [-seed 1] [-json] [-list]
 //
-// With -json the deterministic report is written to stdout (two runs with
-// the same -seed are byte-identical) and the wall-clock throughput line
-// goes to stderr; without it everything is printed as text.
+// The -backend flag resolves through the engine's model registry, so any
+// newly registered execution model is immediately available; -list prints
+// the registry. With -json the deterministic report is written to stdout
+// (two runs with the same -seed are byte-identical) and the wall-clock
+// throughput line goes to stderr; without it everything is printed as
+// text.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"leanconsensus/internal/arena"
-	"leanconsensus/internal/dist"
+	"leanconsensus/internal/cli"
+	"leanconsensus/internal/engine"
 	"leanconsensus/internal/stats"
 	"leanconsensus/internal/xrand"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "leanarena:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	instances := flag.Int("instances", 10000, "number of consensus instances to run")
-	shards := flag.Int("shards", arena.DefaultShards, "number of shards")
-	workers := flag.Int("workers", arena.DefaultWorkers, "workers per shard")
-	n := flag.Int("n", arena.DefaultN, "processes per consensus instance")
-	distName := flag.String("dist", "exponential", "noise distribution (see dist.ByName)")
-	backendName := flag.String("backend", "sched", "execution model: sched, hybrid, msgnet")
-	seed := flag.Uint64("seed", 1, "arena seed (fixes decisions and simulated metrics)")
-	jsonOut := flag.Bool("json", false, "emit the deterministic JSON report on stdout")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("leanarena", flag.ContinueOnError)
+	instances := fs.Int("instances", 10000, "number of consensus instances to run")
+	shards := fs.Int("shards", arena.DefaultShards, "number of shards")
+	workers := fs.Int("workers", arena.DefaultWorkers, "workers per shard")
+	n := fs.Int("n", arena.DefaultN, "processes per consensus instance")
+	distName := fs.String("dist", "exponential", "noise distribution (see -list)")
+	backendName := fs.String("backend", "sched", "execution model (see -list)")
+	seed := fs.Uint64("seed", 1, "arena seed (fixes decisions and simulated metrics)")
+	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report on stdout")
+	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	if done, err := cli.Parse(fs, args); done {
+		return err
+	}
 
+	if *list {
+		cli.List(stdout)
+		return nil
+	}
 	if *instances <= 0 {
 		return fmt.Errorf("-instances must be positive, got %d", *instances)
 	}
-	d, err := dist.ByName(*distName)
+	d, err := cli.Distribution(*distName)
 	if err != nil {
 		return err
 	}
-	backend, err := arena.ByName(*backendName)
+	model, err := cli.Model(*backendName)
 	if err != nil {
 		return err
+	}
+	if engine.IgnoresNoise(model) {
+		// An explicitly chosen distribution that can't affect the outcome is
+		// an error, not a silently wrong run (default noise still appears in
+		// reports as configuration).
+		distSet := false
+		fs.Visit(func(f *flag.Flag) { distSet = distSet || f.Name == "dist" })
+		if distSet {
+			return fmt.Errorf("-dist has no effect on -backend %s: the model declares noise cannot affect it",
+				model.Name())
+		}
 	}
 
 	a, err := arena.New(arena.Config{
@@ -63,7 +91,7 @@ func run() error {
 		Workers: *workers,
 		N:       *n,
 		Noise:   d,
-		Backend: backend,
+		Model:   model,
 		Seed:    *seed,
 	})
 	if err != nil {
@@ -104,7 +132,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		os.Stdout.Write(b)
+		if _, err := stdout.Write(b); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "throughput: %.0f decisions/sec (%d instances in %v)\n",
 			throughput, decided, elapsed.Round(time.Millisecond))
 		return nil
@@ -114,22 +144,22 @@ func run() error {
 	for _, r := range results {
 		lat.Add(r.Latency.Seconds() * 1e6)
 	}
-	fmt.Printf("leanarena: backend=%s dist=%s seed=%d\n", backend.Name(), d, *seed)
-	fmt.Printf("  instances:   %d across %d shards × %d workers (n=%d per instance)\n",
+	fmt.Fprintf(stdout, "leanarena: backend=%s dist=%s seed=%d\n", model.Name(), d, *seed)
+	fmt.Fprintf(stdout, "  instances:   %d across %d shards × %d workers (n=%d per instance)\n",
 		*instances, a.Config().Shards, a.Config().Workers, a.Config().N)
-	fmt.Printf("  decided:     %d zeros, %d ones, %d errors\n",
+	fmt.Fprintf(stdout, "  decided:     %d zeros, %d ones, %d errors\n",
 		st.Totals.Decided[0], st.Totals.Decided[1], st.Totals.Errors)
-	fmt.Printf("  rounds:      mean first %.2f, max last %d\n",
+	fmt.Fprintf(stdout, "  rounds:      mean first %.2f, max last %d\n",
 		st.MeanFirstRound(), st.Totals.MaxRound)
-	fmt.Printf("  ops:         %d total\n", st.Totals.Ops)
-	fmt.Printf("  latency µs:  %s\n", lat.String())
-	fmt.Printf("  elapsed:     %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  throughput:  %.0f decisions/sec\n", throughput)
+	fmt.Fprintf(stdout, "  ops:         %d total\n", st.Totals.Ops)
+	fmt.Fprintf(stdout, "  latency µs:  %s\n", lat.String())
+	fmt.Fprintf(stdout, "  elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  throughput:  %.0f decisions/sec\n", throughput)
 
 	// Shard balance: consistent hashing should spread keys evenly.
 	sorted := perShard(results, a.Config().Shards)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	fmt.Printf("  shard load:  min %d / max %d per shard\n", sorted[0], sorted[len(sorted)-1])
+	fmt.Fprintf(stdout, "  shard load:  min %d / max %d per shard\n", sorted[0], sorted[len(sorted)-1])
 	return nil
 }
 

@@ -9,39 +9,52 @@
 // With no experiment arguments every experiment runs in order. Experiments
 // are named by ID (E1, E2, ...) or by mnemonic (fig1, tail, race,
 // lower-bound, hybrid, bounded, failures, unfairness, crash, validity,
-// ablation).
+// ablation). -list prints the experiment index.
 //
 // -out writes each table as CSV into DIR; -markdown appends every report
 // as a markdown fragment to FILE (used to build EXPERIMENTS.md).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"leanconsensus/internal/cli"
 	"leanconsensus/internal/harness"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "leanbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	scaleFlag := flag.String("scale", "default", "experiment scale: bench, default or full")
-	outDir := flag.String("out", "", "directory for CSV output (empty: no CSV)")
-	mdFile := flag.String("markdown", "", "file to append markdown reports to (empty: no markdown)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("leanbench", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "default", "experiment scale: bench, default or full")
+	outDir := fs.String("out", "", "directory for CSV output (empty: no CSV)")
+	mdFile := fs.String("markdown", "", "file to append markdown reports to (empty: no markdown)")
+	list := fs.Bool("list", false, "list the experiment index, then exit")
+	if done, err := cli.Parse(fs, args); done {
+		return err
+	}
 
 	if *list {
+		// leanbench selects experiments, not models or distributions — those
+		// are fixed per experiment — so only the experiment index is listed
+		// here (the registries are shown by the tools whose flags take them).
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-4s %-12s %s\n", e.ID, e.Name, e.Brief)
+			fmt.Fprintf(stdout, "  %-4s %-12s %s\n", e.ID, e.Name, e.Brief)
 		}
 		return nil
 	}
@@ -52,7 +65,7 @@ func run() error {
 	}
 
 	var todo []harness.Experiment
-	if args := flag.Args(); len(args) > 0 {
+	if args := fs.Args(); len(args) > 0 {
 		for _, a := range args {
 			e, err := harness.Lookup(a)
 			if err != nil {
@@ -71,8 +84,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
 		}
-		fmt.Print(rep.Text())
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(stdout, rep.Text())
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if *outDir != "" {
 			if err := rep.WriteCSV(*outDir); err != nil {
 				return err

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"E1", "fig1", "E14", "contention", // the experiment index
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-list output missing %q:\n%s", want, text)
+		}
+	}
+	// leanbench has no -model/-dist flag, so -list must not advertise the
+	// registries as if it did.
+	if strings.Contains(text, "execution models") {
+		t.Errorf("-list advertises models leanbench cannot select:\n%s", text)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E2b (the bare renewal race) is the cheapest experiment end to end.
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "bench", "race"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E2b completed") {
+		t.Errorf("experiment did not complete:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -5,42 +5,57 @@
 //
 // Usage:
 //
-//	leanlive -n 8 [-runs 100] [-noise exponential] [-unit 1us] [-yield]
+//	leanlive -n 8 [-runs 100] [-noise exponential] [-unit 1us] [-yield] [-list]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"leanconsensus"
-	"leanconsensus/internal/dist"
+	"leanconsensus/internal/cli"
 	"leanconsensus/internal/stats"
 	"leanconsensus/internal/xrand"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "leanlive:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	n := flag.Int("n", 8, "number of goroutines")
-	runs := flag.Int("runs", 50, "number of consensus runs")
-	noiseName := flag.String("noise", "", "injected sleep-noise distribution (empty: none, pure runtime noise)")
-	unit := flag.Duration("unit", time.Microsecond, "sleep-noise unit")
-	yield := flag.Bool("yield", false, "call runtime.Gosched between operations")
-	seed := flag.Uint64("seed", 1, "seed for injected noise and input assignment")
-	timeout := flag.Duration("timeout", time.Minute, "per-run timeout")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("leanlive", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of goroutines")
+	runs := fs.Int("runs", 50, "number of consensus runs")
+	noiseName := fs.String("noise", "", "injected sleep-noise distribution (empty: none, pure runtime noise)")
+	unit := fs.Duration("unit", time.Microsecond, "sleep-noise unit")
+	yield := fs.Bool("yield", false, "call runtime.Gosched between operations")
+	seed := fs.Uint64("seed", 1, "seed for injected noise and input assignment")
+	timeout := fs.Duration("timeout", time.Minute, "per-run timeout")
+	list := fs.Bool("list", false, "list noise distributions, then exit")
+	if done, err := cli.Parse(fs, args); done {
+		return err
+	}
 
+	if *list {
+		// leanlive runs real goroutines, not a pluggable execution model, so
+		// only the distribution registry applies here.
+		cli.ListDistributions(stdout)
+		return nil
+	}
 	var noise leanconsensus.Distribution
 	if *noiseName != "" {
-		d, err := dist.ByName(*noiseName)
+		d, err := cli.Distribution(*noiseName)
 		if err != nil {
 			return err
 		}
@@ -77,10 +92,10 @@ func run() error {
 		elapsed.Add(float64(res.Elapsed.Microseconds()))
 		backups += res.BackupUsed
 	}
-	fmt.Printf("live consensus, n=%d goroutines, %d runs\n", *n, *runs)
-	fmt.Printf("  max round:   %s\n", rounds.String())
-	fmt.Printf("  ops/proc:    %s\n", ops.String())
-	fmt.Printf("  elapsed µs:  %s\n", elapsed.String())
-	fmt.Printf("  backup used: %d times across all runs\n", backups)
+	fmt.Fprintf(stdout, "live consensus, n=%d goroutines, %d runs\n", *n, *runs)
+	fmt.Fprintf(stdout, "  max round:   %s\n", rounds.String())
+	fmt.Fprintf(stdout, "  ops/proc:    %s\n", ops.String())
+	fmt.Fprintf(stdout, "  elapsed µs:  %s\n", elapsed.String())
+	fmt.Fprintf(stdout, "  backup used: %d times across all runs\n", backups)
 	return nil
 }

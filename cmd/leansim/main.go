@@ -7,42 +7,119 @@
 //
 //	leansim -n 8 -dist exponential -seed 42 [-trace] [-failures 0.01]
 //	        [-adversary none|constant|stagger|anti-leader|half-split]
-//	        [-bounded RMAX] [-m BOUND]
+//	        [-bounded RMAX] [-m BOUND] [-model sched|hybrid|msgnet] [-list]
+//
+// The default model, sched, exposes the full noisy-scheduling
+// instrumentation (trace, adversaries, invariant checking). Any other
+// registered execution model runs one instance through the engine's model
+// registry and reports its Result.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"leanconsensus/internal/dist"
+	"leanconsensus/internal/cli"
+	"leanconsensus/internal/engine"
 	"leanconsensus/internal/harness"
 	"leanconsensus/internal/sched"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "leansim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	n := flag.Int("n", 8, "number of processes")
-	distName := flag.String("dist", "exponential", "noise distribution (see dist.ByName)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	failures := flag.Float64("failures", 0, "per-operation halting probability h(n)")
-	advName := flag.String("adversary", "none", "delay adversary: none, constant, stagger, anti-leader, half-split")
-	m := flag.Float64("m", 1, "adversary delay bound M")
-	bounded := flag.Int("bounded", 0, "run the bounded-space protocol with this rmax (0: unbounded)")
-	trace := flag.Bool("trace", false, "print the full operation trace")
-	optimized := flag.Bool("optimized", false, "run the elided-operations ablation variant")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("leansim", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of processes")
+	distName := fs.String("dist", "exponential", "noise distribution (see -list)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	failures := fs.Float64("failures", 0, "per-operation halting probability h(n)")
+	advName := fs.String("adversary", "none", "delay adversary: none, constant, stagger, anti-leader, half-split")
+	m := fs.Float64("m", 1, "adversary delay bound M")
+	bounded := fs.Int("bounded", 0, "run the bounded-space protocol with this rmax (0: unbounded)")
+	trace := fs.Bool("trace", false, "print the full operation trace")
+	optimized := fs.Bool("optimized", false, "run the elided-operations ablation variant")
+	modelName := fs.String("model", engine.DefaultModel, "execution model (see -list)")
+	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	if done, err := cli.Parse(fs, args); done {
+		return err
+	}
 
-	d, err := dist.ByName(*distName)
+	if *list {
+		cli.List(stdout)
+		return nil
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	d, err := cli.Distribution(*distName)
 	if err != nil {
 		return err
 	}
+
+	model, err := cli.Model(*modelName)
+	if err != nil {
+		return err
+	}
+	if model.Name() != engine.DefaultModel {
+		// Any non-default execution model: run one instance through the
+		// registry. The sched-specific knobs below do not apply, so an
+		// explicitly set one is an error rather than a silently wrong run;
+		// likewise -dist for models that declare noise can't affect them.
+		schedOnly := map[string]bool{
+			"failures": true, "adversary": true, "m": true,
+			"bounded": true, "trace": true, "optimized": true,
+		}
+		var ignored []string
+		distSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if schedOnly[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+			if f.Name == "dist" {
+				distSet = true
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("%s only apply to the sched execution model, not -model %s",
+				strings.Join(ignored, ", "), model.Name())
+		}
+		if distSet && engine.IgnoresNoise(model) {
+			return fmt.Errorf("-dist has no effect on -model %s: the model declares noise cannot affect it",
+				model.Name())
+		}
+		res, err := model.Run(engine.Spec{
+			Key:    "leansim",
+			N:      *n,
+			Inputs: harness.HalfInputs(*n),
+			Noise:  d,
+			Seed:   *seed,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		if engine.IgnoresNoise(model) {
+			fmt.Fprintf(stdout, "n=%d model=%s seed=%d\n", *n, model.Name(), *seed)
+		} else {
+			fmt.Fprintf(stdout, "n=%d model=%s dist=%s seed=%d\n", *n, model.Name(), d, *seed)
+		}
+		fmt.Fprintf(stdout, "decision: %d\n", res.Value)
+		fmt.Fprintf(stdout, "rounds: first %d, last %d   total ops: %d   simulated time: %.4f\n",
+			res.FirstRound, res.LastRound, res.Ops, res.SimTime)
+		return nil
+	}
+
 	var adv sched.Adversary
 	switch *advName {
 	case "none":
@@ -89,22 +166,22 @@ func run() error {
 			if isLean {
 				loc = fmt.Sprintf("a%d[%d]", b, r)
 			}
-			fmt.Printf("%12.6f  P%-3d %-5s %-8s = %d\n", ev.Time, ev.Proc, ev.Kind, loc, ev.Val)
+			fmt.Fprintf(stdout, "%12.6f  P%-3d %-5s %-8s = %d\n", ev.Time, ev.Proc, ev.Kind, loc, ev.Val)
 		}
 	}
 
-	fmt.Printf("n=%d dist=%s seed=%d\n", *n, d, *seed)
+	fmt.Fprintf(stdout, "n=%d dist=%s seed=%d\n", *n, d, *seed)
 	if v, ok := res.Agreement(); ok && v >= 0 {
-		fmt.Printf("decision: %d\n", v)
+		fmt.Fprintf(stdout, "decision: %d\n", v)
 	} else if res.AllHalted {
-		fmt.Printf("decision: none (all processes halted; last round %d)\n", res.MaxRound)
+		fmt.Fprintf(stdout, "decision: none (all processes halted; last round %d)\n", res.MaxRound)
 	}
-	fmt.Printf("first decision: proc %d at round %d (t=%.4f)\n",
+	fmt.Fprintf(stdout, "first decision: proc %d at round %d (t=%.4f)\n",
 		res.FirstDecisionProc, res.FirstDecisionRound, res.FirstDecisionTime)
-	fmt.Printf("last decision round: %d   total ops: %d   simulated time: %.4f\n",
+	fmt.Fprintf(stdout, "last decision round: %d   total ops: %d   simulated time: %.4f\n",
 		res.LastDecisionRound, res.TotalOps, res.Time)
 	if res.BackupUsed > 0 {
-		fmt.Printf("backup protocol used by %d processes\n", res.BackupUsed)
+		fmt.Fprintf(stdout, "backup protocol used by %d processes\n", res.BackupUsed)
 	}
 	halted := 0
 	for _, h := range res.Halted {
@@ -113,11 +190,11 @@ func run() error {
 		}
 	}
 	if halted > 0 {
-		fmt.Printf("halted processes: %d\n", halted)
+		fmt.Fprintf(stdout, "halted processes: %d\n", halted)
 	}
 	if err := run.CheckRun(); err != nil {
 		return fmt.Errorf("INVARIANT VIOLATION: %w", err)
 	}
-	fmt.Println("invariants: agreement, validity, Lemma 2, Lemma 4 all hold")
+	fmt.Fprintln(stdout, "invariants: agreement, validity, Lemma 2, Lemma 4 all hold")
 	return nil
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"decision:", "first decision:", "invariants:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-n", "6", "-seed", "11", "-trace"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different traces")
+	}
+}
+
+func TestRunBounded(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-bounded", "8", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decision:") {
+		t.Errorf("bounded run did not decide:\n%s", out.String())
+	}
+}
+
+// TestRunModels drives every registered execution model through the
+// shared -model flag.
+func TestRunModels(t *testing.T) {
+	for _, model := range []string{"hybrid", "msgnet"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "4", "-model", model, "-seed", "2"}, &out); err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		if !strings.Contains(out.String(), "model="+model) || !strings.Contains(out.String(), "decision:") {
+			t.Errorf("model %s output:\n%s", model, out.String())
+		}
+	}
+	if err := run([]string{"-model", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	// msgnet genuinely uses the noise distribution, so -dist must work.
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-model", "msgnet", "-dist", "uniform"}, &out); err != nil {
+		t.Errorf("msgnet -dist uniform: %v", err)
+	}
+	// hybrid has no clock: its header must not claim a distribution.
+	out.Reset()
+	if err := run([]string{"-n", "4", "-model", "hybrid"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "dist=") {
+		t.Errorf("hybrid header claims a distribution it never uses:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sched") || !strings.Contains(out.String(), "exponential") {
+		t.Errorf("-list output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownAdversary(t *testing.T) {
+	if err := run([]string{"-adversary", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown adversary accepted")
+	}
+}
+
+func TestRunRejectsNonPositiveN(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "-2", "-model", "hybrid"},
+		{"-n", "0"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: non-positive -n accepted", args)
+		}
+	}
+}
+
+// TestRunRejectsSchedFlagsWithOtherModel: sched-only knobs must error,
+// not silently vanish, when combined with a non-default model.
+func TestRunRejectsSchedFlagsWithOtherModel(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-model", "hybrid", "-failures", "0.05"}, "sched"},
+		{[]string{"-model", "msgnet", "-trace"}, "sched"},
+		{[]string{"-model", "hybrid", "-adversary", "constant"}, "sched"},
+		// hybrid has no clock, so -dist can never affect it (but -dist is
+		// meaningful for msgnet, so the message must not blame "sched only").
+		{[]string{"-model", "hybrid", "-dist", "uniform"}, "noise"},
+	} {
+		err := run(tc.args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("args %v: inapplicable flag silently accepted", tc.args)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestRunModelNameIsCaseInsensitive: the registry canonicalizes names,
+// so "-model Sched" must take the full sched path (trace, invariants),
+// not the generic model path.
+func TestRunModelNameIsCaseInsensitive(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-model", "Sched", "-trace", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("-model Sched -trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "invariants:") {
+		t.Errorf("-model Sched skipped the sched instrumentation:\n%s", out.String())
+	}
+}
+
+// TestRunHelpIsNotAnError: -h prints usage and exits successfully.
+func TestRunHelpIsNotAnError(t *testing.T) {
+	if err := run([]string{"-h"}, &bytes.Buffer{}); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+}

@@ -60,8 +60,7 @@ func SimulateHybrid(cfg HybridConfig) (*HybridResult, error) {
 		}
 	}
 	layout := register.Layout{}
-	mem := register.NewSimMem(64)
-	layout.InitMem(mem)
+	mem := layout.NewMem(register.DefaultLeanRounds)
 	machines := make([]machine.Machine, n)
 	for i, b := range cfg.Inputs {
 		machines[i] = core.NewLean(layout, b)

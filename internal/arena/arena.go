@@ -3,8 +3,10 @@
 // them request-style. A client submits Propose(key, bit) requests; the
 // arena routes each key to a shard with a consistent hash, executes the
 // instance on one of the shard's workers under a pluggable execution model
-// (Backend), and returns the decided value together with aggregate
-// latency and throughput statistics.
+// (engine.Model), and returns the decided value together with aggregate
+// latency and throughput statistics. Each worker owns one engine.Session,
+// so steady-state serving reuses the simulation buffers instead of
+// reallocating them per instance.
 //
 // The design leans on the paper's central observation in reverse: noisy
 // scheduling makes each individual instance terminate in Θ(log n)
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
 	"leanconsensus/internal/xrand"
 )
 
@@ -59,8 +62,9 @@ type Config struct {
 	// Noise is the interarrival noise distribution driving each instance
 	// (default Exponential(1), the paper's Figure 1 baseline).
 	Noise dist.Distribution
-	// Backend selects the execution model (default SchedBackend).
-	Backend Backend
+	// Model selects the execution model (default the engine's "sched"
+	// model; see engine.ByName for resolution from a name).
+	Model engine.Model
 	// Seed makes the whole arena reproducible: same seed, same keys, same
 	// bits — byte-identical decisions and simulated metrics.
 	Seed uint64
@@ -213,8 +217,12 @@ func New(cfg Config) (*Arena, error) {
 	if cfg.Noise == nil {
 		cfg.Noise = dist.Exponential{MeanVal: 1}
 	}
-	if cfg.Backend == nil {
-		cfg.Backend = SchedBackend{}
+	if cfg.Model == nil {
+		m, err := engine.ByName(engine.DefaultModel)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Model = m
 	}
 	if cfg.Shards < 0 || cfg.Workers < 0 || cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("arena: negative shard/worker/queue counts")
@@ -326,11 +334,16 @@ func (a *Arena) Close() error {
 	return nil
 }
 
-// worker serves one shard's queue until the queue closes.
+// worker serves one shard's queue until the queue closes. Each worker
+// owns one engine.Session: the pooled simulation state is reused across
+// every instance the worker serves, which is what keeps steady-state
+// allocations near zero. Sessions never influence outcomes, so which
+// worker serves a request remains observationally irrelevant.
 func (a *Arena) worker(s *shard) {
 	defer a.wg.Done()
+	sess := engine.NewSession()
 	for req := range s.reqs {
-		res := a.serve(s, req)
+		res := a.serve(s, sess, req)
 		s.mu.Lock()
 		s.stats.add(res)
 		s.mu.Unlock()
@@ -341,23 +354,23 @@ func (a *Arena) worker(s *shard) {
 // serve runs one instance. The instance seed mixes the shard's
 // deterministic sub-seed with the key's stable hash, so the outcome does
 // not depend on which worker runs it or in what order.
-func (a *Arena) serve(s *shard, req *request) Result {
+func (a *Arena) serve(s *shard, sess *engine.Session, req *request) Result {
 	seed := xrand.Mix(s.seed, hash64(req.key))
-	inputs := make([]int, a.cfg.N)
+	inputs := sess.Inputs(a.cfg.N)
 	inputs[0] = req.bit
-	rng := xrand.New(seed, 0x696e70757473) // "inputs"
+	rng := sess.RNG(seed, 0x696e70757473) // "inputs"
 	for i := 1; i < a.cfg.N; i++ {
 		inputs[i] = rng.Intn(2)
 	}
 	res := Result{Key: req.key, Shard: s.id}
-	ir, err := a.cfg.Backend.Run(InstanceSpec{
+	ir, err := a.cfg.Model.Run(engine.Spec{
 		Key:    req.key,
 		Shard:  s.id,
 		N:      a.cfg.N,
 		Inputs: inputs,
 		Noise:  a.cfg.Noise,
 		Seed:   seed,
-	})
+	}, sess)
 	if err != nil {
 		res.Err = err
 	} else {

@@ -10,6 +10,7 @@ import (
 
 	"leanconsensus/internal/arena"
 	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
 )
 
 // runBatch serves count instances and returns the results indexed by
@@ -248,11 +249,11 @@ func TestConcurrentClients(t *testing.T) {
 func TestBackends(t *testing.T) {
 	for _, name := range []string{"sched", "hybrid", "msgnet"} {
 		t.Run(name, func(t *testing.T) {
-			backend, err := arena.ByName(name)
+			model, err := engine.ByName(name)
 			if err != nil {
 				t.Fatal(err)
 			}
-			cfg := arena.Config{Shards: 2, Workers: 2, N: 4, Seed: 3, Backend: backend}
+			cfg := arena.Config{Shards: 2, Workers: 2, N: 4, Seed: 3, Model: model}
 			a, res := runBatch(t, cfg, 50)
 			defer a.Close()
 			for i, r := range res {
@@ -276,8 +277,8 @@ func TestBackends(t *testing.T) {
 			}
 		})
 	}
-	if _, err := arena.ByName("bogus"); err == nil {
-		t.Error("ByName accepted an unknown backend")
+	if _, err := engine.ByName("bogus"); err == nil {
+		t.Error("ByName accepted an unknown model")
 	}
 }
 

@@ -51,7 +51,7 @@ func BuildReport(cfg Config, results []Result) *Report {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 
 	rep := &Report{
-		Backend:  cfg.Backend.Name(),
+		Backend:  cfg.Model.Name(),
 		Noise:    cfg.Noise.String(),
 		Seed:     cfg.Seed,
 		Shards:   cfg.Shards,

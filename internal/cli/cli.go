@@ -1,0 +1,69 @@
+// Package cli carries the flag plumbing shared by the cmd/ tools. Every
+// tool resolves execution models and noise distributions through the same
+// registries (internal/engine, internal/dist) and renders the same -list
+// output, so a newly registered model or distribution appears in every
+// tool without per-command wiring.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
+)
+
+// ErrUsage signals a flag-parse failure. The flag package has already
+// reported the problem and the usage text to stderr, so mains must not
+// print it again; they should exit with status 2, the conventional
+// usage-error code (and what flag.ExitOnError would have used).
+var ErrUsage = errors.New("usage error")
+
+// Parse runs fs.Parse, treating -h/-help as a successful no-op rather
+// than an error. done reports that the caller should return err
+// immediately (err is nil after help, ErrUsage after a bad flag).
+func Parse(fs *flag.FlagSet, args []string) (done bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return true, nil
+		}
+		return true, ErrUsage
+	}
+	return false, nil
+}
+
+// Model resolves a -model/-backend flag value through the engine's model
+// registry; the empty string selects the default model.
+func Model(name string) (engine.Model, error) { return engine.ByName(name) }
+
+// Distribution resolves a -dist/-noise flag value through the
+// distribution registry.
+func Distribution(name string) (dist.Distribution, error) { return dist.ByName(name) }
+
+// ListModels writes the registered execution models, one per line.
+func ListModels(w io.Writer) {
+	fmt.Fprintln(w, "execution models:")
+	for _, info := range engine.List() {
+		fmt.Fprintf(w, "  %-8s %s\n", info.Name, info.Brief)
+	}
+}
+
+// ListDistributions writes the registered distribution names.
+func ListDistributions(w io.Writer) {
+	fmt.Fprintln(w, "noise distributions:")
+	for _, name := range dist.Names() {
+		d, err := dist.ByName(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-13s %s\n", name, d)
+	}
+}
+
+// List writes both registries: the shared -list implementation.
+func List(w io.Writer) {
+	ListModels(w)
+	ListDistributions(w)
+}

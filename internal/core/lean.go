@@ -63,6 +63,16 @@ func NewLean(layout register.Layout, input int) *Lean {
 	return &Lean{layout: layout, p: input, r: 1, ph: phaseReadA0}
 }
 
+// Reset reinitializes the machine in place, exactly as NewLean would
+// construct it. Pooled sessions (internal/engine) call it to reuse one
+// Lean allocation across many runs.
+func (m *Lean) Reset(layout register.Layout, input int) {
+	if input != 0 && input != 1 {
+		panic("core: input must be 0 or 1")
+	}
+	*m = Lean{layout: layout, p: input, r: 1, ph: phaseReadA0}
+}
+
 // NewLeanOptimized returns the ablation variant that elides operations the
 // paper deliberately keeps (Section 4): eliding them reduces the work done
 // by slow processes while leaving fast processes at the same per-round

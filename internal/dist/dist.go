@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
-	"strings"
+
+	"leanconsensus/internal/registry"
 )
 
 // Distribution is an interarrival-time distribution F_π. Sample must
@@ -231,42 +231,28 @@ func Figure1() []Distribution {
 	}
 }
 
-// registry maps the CLI names understood by ByName to constructors of the
-// default-parameterized distributions.
-var registry = map[string]func() Distribution{
-	"exponential":  func() Distribution { return Exponential{MeanVal: 1} },
-	"uniform":      func() Distribution { return Uniform{Lo: 0, Hi: 2} },
-	"normal":       func() Distribution { return TruncNormal{Mu: 1, Sigma: 1, Lo: 0, Hi: 2} },
-	"geometric":    func() Distribution { return Geometric{P: 0.5} },
-	"two-point":    func() Distribution { return TwoPoint{A: 2.0 / 3.0, B: 4.0 / 3.0} },
-	"lower-bound":  func() Distribution { return TwoPoint{A: 1, B: 2} },
-	"delayed":      func() Distribution { return Shifted{Offset: 0.5, Base: Exponential{MeanVal: 0.5}} },
-	"constant":     func() Distribution { return Constant{V: 1} },
-	"pathological": func() Distribution { return Pathological{} },
+// names is the shared name→constructor registry of the
+// default-parameterized distributions understood by ByName. It uses the
+// same registry mechanism as the execution models in internal/engine.
+var names = registry.New[Distribution]("dist", "distribution")
+
+func init() {
+	names.Register("exponential", func() Distribution { return Exponential{MeanVal: 1} })
+	names.Register("uniform", func() Distribution { return Uniform{Lo: 0, Hi: 2} })
+	names.Register("normal", func() Distribution { return TruncNormal{Mu: 1, Sigma: 1, Lo: 0, Hi: 2} })
+	names.Register("geometric", func() Distribution { return Geometric{P: 0.5} })
+	names.Register("two-point", func() Distribution { return TwoPoint{A: 2.0 / 3.0, B: 4.0 / 3.0} })
+	names.Register("lower-bound", func() Distribution { return TwoPoint{A: 1, B: 2} })
+	names.Register("delayed", func() Distribution { return Shifted{Offset: 0.5, Base: Exponential{MeanVal: 0.5}} })
+	names.Register("constant", func() Distribution { return Constant{V: 1} })
+	names.Register("pathological", func() Distribution { return Pathological{} })
+	names.Alias("twopoint", "two-point")
 }
 
 // Names returns the distribution names ByName understands, sorted.
-func Names() []string {
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func Names() []string { return names.Names() }
 
 // ByName returns the default-parameterized distribution registered under
 // name (see Names). Lookup is case-insensitive and accepts "twopoint" for
 // "two-point".
-func ByName(name string) (Distribution, error) {
-	key := strings.ToLower(strings.TrimSpace(name))
-	if key == "twopoint" {
-		key = "two-point"
-	}
-	mk, ok := registry[key]
-	if !ok {
-		return nil, fmt.Errorf("dist: unknown distribution %q (known: %s)",
-			name, strings.Join(Names(), ", "))
-	}
-	return mk(), nil
-}
+func ByName(name string) (Distribution, error) { return names.Lookup(name) }

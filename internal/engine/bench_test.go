@@ -1,0 +1,40 @@
+package engine_test
+
+import (
+	"testing"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
+)
+
+// BenchmarkEngineSession quantifies the Session's allocation win: the
+// pooled sub-benchmarks reuse one worker session across iterations (the
+// arena's steady state), the fresh ones pay the per-run setup cost.
+// Compare allocs/op between the pairs.
+func BenchmarkEngineSession(b *testing.B) {
+	noise := dist.Exponential{MeanVal: 1}
+	for _, name := range []string{"sched", "hybrid"} {
+		m, err := engine.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, sess *engine.Session) {
+			inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec := engine.Spec{
+					Key:    "bench",
+					N:      len(inputs),
+					Inputs: inputs,
+					Noise:  noise,
+					Seed:   uint64(i),
+				}
+				if _, err := m.Run(spec, sess); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(name+"/pooled", func(b *testing.B) { run(b, engine.NewSession()) })
+		b.Run(name+"/fresh", func(b *testing.B) { run(b, nil) })
+	}
+}

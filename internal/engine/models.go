@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/msgnet"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+)
+
+// The three execution models of the paper register themselves here; new
+// environments follow the same pattern: implement Model, call Register
+// from init, and every consumer (arena, harness, cmd/ tools, public API)
+// picks the name up automatically.
+func init() {
+	Register("sched", "noisy scheduling (Section 3.1), discrete-event simulation — the default",
+		func() Model { return &Sched{} })
+	Register("hybrid", "quantum/priority uniprocessor (Section 7), ≤12 ops per process",
+		func() Model { return &Hybrid{} })
+	Register("msgnet", "message passing with ABD-emulated registers (Section 10)",
+		func() Model { return &MsgNet{} })
+}
+
+// Sched executes instances under the paper's noisy scheduling model
+// (Section 3.1) via the discrete-event engine.
+type Sched struct {
+	// FailureProb is the per-operation halting probability h(n).
+	FailureProb float64
+}
+
+// Name implements Model.
+func (*Sched) Name() string { return "sched" }
+
+// Run implements Model.
+func (m *Sched) Run(spec Spec, s *Session) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if s == nil {
+		s = NewSession()
+	}
+	layout := register.Layout{}
+	cfg := sched.Config{
+		N:           spec.N,
+		Machines:    s.LeanMachines(layout, spec.Inputs),
+		Mem:         s.Mem(layout, register.DefaultLeanRounds),
+		ReadNoise:   spec.Noise,
+		FailureProb: m.FailureProb,
+		Seed:        spec.Seed,
+	}
+	eng, err := s.schedEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := eng.RunInto(&s.schedRes); err != nil {
+		return Result{}, err
+	}
+	res := &s.schedRes
+	if res.CapHit {
+		return Result{}, fmt.Errorf("engine: instance %q hit the operation cap", spec.Key)
+	}
+	value, ok := res.Agreement()
+	if !ok || value < 0 {
+		return Result{}, fmt.Errorf("engine: instance %q did not decide: %v", spec.Key, res.Decisions)
+	}
+	return Result{
+		Value:      value,
+		FirstRound: res.FirstDecisionRound,
+		LastRound:  res.LastDecisionRound,
+		Ops:        res.TotalOps,
+		SimTime:    res.Time,
+	}, nil
+}
+
+// Hybrid executes instances under the Section 7 quantum/priority
+// uniprocessor model with the randomized legal scheduler. Theorem 14
+// bounds every process to at most 12 operations, making this the cheapest
+// model per decision.
+type Hybrid struct {
+	// Quantum is the scheduling quantum in operations (default 8, the
+	// smallest value Theorem 14 covers).
+	Quantum int
+}
+
+// Name implements Model.
+func (*Hybrid) Name() string { return "hybrid" }
+
+// IgnoresNoise implements NoiseFree: the quantum/priority model has no
+// clock, so Spec.Noise never reaches it.
+func (*Hybrid) IgnoresNoise() bool { return true }
+
+// Run implements Model.
+func (m *Hybrid) Run(spec Spec, s *Session) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if s == nil {
+		s = NewSession()
+	}
+	quantum := m.Quantum
+	if quantum == 0 {
+		quantum = 8
+	}
+	layout := register.Layout{}
+	res, err := hybrid.Run(hybrid.Config{
+		N:         spec.N,
+		Machines:  s.LeanMachines(layout, spec.Inputs),
+		Mem:       s.Mem(layout, register.DefaultLeanRounds),
+		Quantum:   quantum,
+		Adversary: s.hybridAdversary(spec.Seed),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	value := -1
+	for _, d := range res.Decisions {
+		if d < 0 {
+			return Result{}, fmt.Errorf("engine: hybrid instance %q left a process undecided", spec.Key)
+		}
+		if value < 0 {
+			value = d
+		} else if value != d {
+			return Result{}, fmt.Errorf("engine: hybrid instance %q disagreed: %v", spec.Key, res.Decisions)
+		}
+	}
+	return Result{Value: value, Ops: res.Steps}, nil
+}
+
+// MsgNet executes instances over the emulated message-passing network
+// (Section 10 extension): registers are simulated with the ABD protocol on
+// top of point-to-point messages with noisy delays.
+type MsgNet struct{}
+
+// Name implements Model.
+func (*MsgNet) Name() string { return "msgnet" }
+
+// Run implements Model. The network simulation owns all of its state, so
+// there is nothing for the session to pool yet.
+func (*MsgNet) Run(spec Spec, _ *Session) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	res, err := msgnet.Consensus(msgnet.ConsensusConfig{
+		Inputs: spec.Inputs,
+		Delay:  spec.Noise,
+		Seed:   spec.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Value:      res.Value,
+		FirstRound: res.Rounds,
+		LastRound:  res.Rounds,
+		Ops:        res.RegisterOps,
+		SimTime:    res.Time,
+	}, nil
+}

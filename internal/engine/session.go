@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"math/rand"
+
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/xrand"
+)
+
+// Session is one worker's pooled execution state: the shared-memory bank,
+// the lean machines, the RNG stream, and the discrete-event engine that
+// every run would otherwise reallocate. A Session is NOT safe for
+// concurrent use — each worker owns exactly one — and it never leaks state
+// between runs: memory is zeroed, machines are reinitialized, and RNG
+// streams are re-derived from each run's seed, so results are
+// bit-identical with and without pooling.
+type Session struct {
+	mem      *register.SimMem
+	leans    []core.Lean
+	machines []machine.Machine
+	inputs   []int
+
+	src *xrand.Source
+	rng *rand.Rand
+
+	hadv *hybrid.Random
+
+	sched    *sched.Engine
+	schedRes sched.Result
+}
+
+// NewSession returns an empty session; buffers materialize on first use
+// and are retained across runs.
+func NewSession() *Session { return &Session{} }
+
+// Mem returns the session's shared memory, zeroed, grown to the layout's
+// register count through leanRounds rounds, and with the layout's
+// read-only prefix initialized.
+func (s *Session) Mem(layout register.Layout, leanRounds int) *register.SimMem {
+	if s.mem == nil {
+		s.mem = layout.NewMem(leanRounds)
+		return s.mem
+	}
+	if leanRounds <= 0 {
+		leanRounds = register.DefaultLeanRounds
+	}
+	s.mem.Reset()
+	s.mem.Grow(layout.Registers(leanRounds))
+	layout.InitMem(s.mem)
+	return s.mem
+}
+
+// LeanMachines returns one lean-consensus machine per input bit, backed by
+// the session's pooled machine pool.
+func (s *Session) LeanMachines(layout register.Layout, inputs []int) []machine.Machine {
+	n := len(inputs)
+	if cap(s.leans) < n {
+		s.leans = make([]core.Lean, n)
+	}
+	s.leans = s.leans[:n]
+	if cap(s.machines) < n {
+		s.machines = make([]machine.Machine, n)
+	}
+	s.machines = s.machines[:n]
+	for i, bit := range inputs {
+		s.leans[i].Reset(layout, bit)
+		s.machines[i] = &s.leans[i]
+	}
+	return s.machines
+}
+
+// Inputs returns the session's input scratch slice, resized to n. The
+// contents are unspecified; callers overwrite every element.
+func (s *Session) Inputs(n int) []int {
+	if cap(s.inputs) < n {
+		s.inputs = make([]int, n)
+	}
+	s.inputs = s.inputs[:n]
+	return s.inputs
+}
+
+// RNG returns the session's pooled rand.Rand, reset to the deterministic
+// stream xrand.New(seed, id) would produce. The stream is valid until the
+// next RNG call; sequential uses within one run must not overlap.
+func (s *Session) RNG(seed, id uint64) *rand.Rand {
+	if s.src == nil {
+		s.src = xrand.NewSource(seed, id)
+		s.rng = rand.New(s.src)
+	} else {
+		s.src.Reset(seed, id)
+	}
+	return s.rng
+}
+
+// hybridAdversary returns the pooled equivalent of hybrid.NewRandom(seed).
+func (s *Session) hybridAdversary(seed uint64) *hybrid.Random {
+	rng := s.RNG(seed, 0x68796272) // same stream id as hybrid.NewRandom
+	if s.hadv == nil {
+		s.hadv = &hybrid.Random{Rng: rng}
+	} else {
+		s.hadv.Rng = rng
+	}
+	return s.hadv
+}
+
+// schedEngine returns the session's pooled discrete-event engine, armed
+// with cfg.
+func (s *Session) schedEngine(cfg sched.Config) (*sched.Engine, error) {
+	if s.sched == nil {
+		eng, err := sched.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.sched = eng
+		return eng, nil
+	}
+	if err := s.sched.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s.sched, nil
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"leanconsensus/internal/backup"
+	"leanconsensus/internal/core"
+	"leanconsensus/internal/machine"
+	"leanconsensus/internal/register"
+	"leanconsensus/internal/registry"
+	"leanconsensus/internal/xrand"
+)
+
+// VariantSpec carries everything a variant's machine constructor needs to
+// build the state machine for one process.
+type VariantSpec struct {
+	// Layout locates the registers.
+	Layout register.Layout
+	// Proc is the process index and N the process count.
+	Proc, N int
+	// Input is the process's input bit.
+	Input int
+	// RMax is the lean-round cutoff (combined variant only).
+	RMax int
+	// Seed is the run seed; constructors derive their own per-process
+	// streams from it.
+	Seed uint64
+}
+
+// Variant is a named algorithm variant: a constructor for the per-process
+// state machine. The harness's variant dispatch resolves through this
+// registry, so a new algorithm registers once and is immediately
+// selectable everywhere variants are named (harness.SimConfig.VariantName
+// accepts any registered name).
+type Variant struct {
+	Name string
+	New  func(VariantSpec) machine.Machine
+	// Extended marks variants that need the extended register layout
+	// (backup region sized from N and the round bound) rather than the
+	// plain two-array lean layout.
+	Extended bool
+}
+
+var variants = registry.New[Variant]("engine", "variant")
+
+// RegisterVariant adds an algorithm variant; duplicates panic.
+func RegisterVariant(v Variant) {
+	variants.Register(v.Name, func() Variant { return v })
+}
+
+// VariantByName resolves an algorithm variant by name.
+func VariantByName(name string) (Variant, error) { return variants.Lookup(name) }
+
+// VariantNames returns the registered variant names, sorted.
+func VariantNames() []string { return variants.Names() }
+
+func init() {
+	RegisterVariant(Variant{Name: "lean", New: func(s VariantSpec) machine.Machine {
+		return core.NewLean(s.Layout, s.Input)
+	}})
+	RegisterVariant(Variant{Name: "lean-optimized", New: func(s VariantSpec) machine.Machine {
+		return core.NewLeanOptimized(s.Layout, s.Input)
+	}})
+	RegisterVariant(Variant{Name: "combined", Extended: true, New: func(s VariantSpec) machine.Machine {
+		return core.NewCombined(s.Layout, s.Proc, s.N, s.Input, s.RMax,
+			xrand.Mix(s.Seed, 0x636f6d62, uint64(s.Proc)))
+	}})
+	RegisterVariant(Variant{Name: "backup", Extended: true, New: func(s VariantSpec) machine.Machine {
+		return backup.New(s.Layout, s.Proc, s.N, s.Input,
+			xrand.Mix(s.Seed, 0x6261636b, uint64(s.Proc)))
+	}})
+}

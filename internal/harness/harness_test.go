@@ -2,10 +2,14 @@ package harness_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
+	"leanconsensus/internal/core"
 	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
 	"leanconsensus/internal/harness"
+	"leanconsensus/internal/machine"
 	"leanconsensus/internal/sched"
 	"leanconsensus/internal/xrand"
 )
@@ -206,5 +210,84 @@ func TestCrashAdversary(t *testing.T) {
 	}
 	if _, ok := run.Res.Agreement(); !ok {
 		t.Error("survivors disagree after crashes")
+	}
+}
+
+// TestVariantNameSelection: selecting a variant by registry name must be
+// equivalent to the enum, including layout choice and invariant checks.
+func TestVariantNameSelection(t *testing.T) {
+	for name, variant := range map[string]harness.Variant{
+		"lean":     harness.VariantLean,
+		"combined": harness.VariantCombined,
+		"backup":   harness.VariantBackup,
+	} {
+		base := harness.SimConfig{
+			N:         6,
+			ReadNoise: dist.Exponential{MeanVal: 1},
+			Seed:      7,
+			RMax:      3,
+			Record:    true,
+		}
+		byEnum := base
+		byEnum.Variant = variant
+		byName := base
+		byName.VariantName = name
+		a, err := harness.RunSim(byEnum)
+		if err != nil {
+			t.Fatalf("%s by enum: %v", name, err)
+		}
+		b, err := harness.RunSim(byName)
+		if err != nil {
+			t.Fatalf("%s by name: %v", name, err)
+		}
+		av, _ := a.Res.Agreement()
+		bv, _ := b.Res.Agreement()
+		if av != bv || a.Res.TotalOps != b.Res.TotalOps || a.Variant != b.Variant {
+			t.Errorf("%s: name selection diverged from enum (value %d vs %d, ops %d vs %d, variant %d vs %d)",
+				name, av, bv, a.Res.TotalOps, b.Res.TotalOps, a.Variant, b.Variant)
+		}
+		if err := b.CheckRun(); err != nil {
+			t.Errorf("%s by name: %v", name, err)
+		}
+	}
+	if _, err := harness.RunSim(harness.SimConfig{
+		N: 4, ReadNoise: dist.Exponential{MeanVal: 1}, VariantName: "no-such-variant",
+	}); err == nil {
+		t.Error("unknown VariantName accepted")
+	}
+}
+
+// TestExternalVariantCheckedGenerically: a variant registered from
+// outside the built-in set must be runnable by name and held only to the
+// algorithm-independent invariants (agreement, validity), never to the
+// lean-specific lemmas.
+// registerExternalVariant guards the process-global registration so the
+// test survives -count=2 (re-registering panics by design).
+var registerExternalVariant sync.Once
+
+func TestExternalVariantCheckedGenerically(t *testing.T) {
+	registerExternalVariant.Do(func() {
+		engine.RegisterVariant(engine.Variant{
+			Name: "harness-test-external",
+			New: func(s engine.VariantSpec) machine.Machine {
+				return core.NewLean(s.Layout, s.Input)
+			},
+		})
+	})
+	run, err := harness.RunSim(harness.SimConfig{
+		N:           6,
+		ReadNoise:   dist.Exponential{MeanVal: 1},
+		Seed:        13,
+		VariantName: "harness-test-external",
+		Record:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.External {
+		t.Error("externally registered variant not marked External")
+	}
+	if err := run.CheckRun(); err != nil {
+		t.Errorf("external variant failed generic invariants: %v", err)
 	}
 }

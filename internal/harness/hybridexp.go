@@ -72,8 +72,7 @@ func HybridExperiment(cfg HybridConfig) (*Report, error) {
 				trialSeed := xrand.Mix(cfg.Seed, 0xe4, uint64(q), uint64(n), uint64(trial))
 				for name, adv := range hybridAdversaries(trialSeed) {
 					layout := register.Layout{}
-					mem := register.NewSimMem(64)
-					layout.InitMem(mem)
+					mem := layout.NewMem(register.DefaultLeanRounds)
 					rng := xrand.New(trialSeed, 0x696e)
 					machines := make([]machine.Machine, n)
 					inputs := make([]int, n)
@@ -144,8 +143,9 @@ func HybridExperiment(cfg HybridConfig) (*Report, error) {
 				repm := modelcheck.CheckHybrid(modelcheck.HybridConfig{
 					NewMachines: func() ([]machine.Machine, *register.SimMem) {
 						layout := register.Layout{}
-						mem := register.NewSimMem(32)
-						layout.InitMem(mem)
+						// The model checker hashes memory snapshots, so size
+						// from the layout at the checker's small horizon.
+						mem := layout.NewMem(12)
 						ms := make([]machine.Machine, len(inputs))
 						for i, b := range inputs {
 							ms[i] = core.NewLean(layout, b)

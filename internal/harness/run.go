@@ -8,16 +8,18 @@ package harness
 import (
 	"fmt"
 
-	"leanconsensus/internal/backup"
 	"leanconsensus/internal/core"
 	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
 	"leanconsensus/internal/machine"
 	"leanconsensus/internal/register"
+	"leanconsensus/internal/registry"
 	"leanconsensus/internal/sched"
-	"leanconsensus/internal/xrand"
 )
 
-// Variant selects which algorithm the simulated processes run.
+// Variant selects which algorithm the simulated processes run. Each value
+// names an entry in the engine's variant registry (engine.VariantByName),
+// which owns the actual machine construction.
 type Variant int
 
 // Algorithm variants.
@@ -31,6 +33,35 @@ const (
 	// VariantBackup runs the backup protocol alone.
 	VariantBackup
 )
+
+// registryName maps the variant to its engine registry entry.
+func (v Variant) registryName() (string, error) {
+	switch v {
+	case VariantLean:
+		return "lean", nil
+	case VariantLeanOptimized:
+		return "lean-optimized", nil
+	case VariantCombined:
+		return "combined", nil
+	case VariantBackup:
+		return "backup", nil
+	}
+	return "", fmt.Errorf("harness: unknown variant %d", v)
+}
+
+// variantOf maps a registry name back to its built-in enum value, so
+// selection by name keeps the right invariant checks. Externally
+// registered names report false and are invariant-checked like
+// VariantLean.
+func variantOf(name string) (Variant, bool) {
+	canon := registry.Canonical(name)
+	for _, v := range []Variant{VariantLean, VariantLeanOptimized, VariantCombined, VariantBackup} {
+		if n, _ := v.registryName(); n == canon {
+			return v, true
+		}
+	}
+	return 0, false
+}
 
 // SimConfig describes one simulated consensus execution.
 type SimConfig struct {
@@ -50,6 +81,11 @@ type SimConfig struct {
 	Seed uint64
 	// Variant selects the algorithm (default VariantLean).
 	Variant Variant
+	// VariantName, when non-empty, selects the algorithm by its engine
+	// registry name instead of Variant, making externally registered
+	// variants (engine.RegisterVariant) reachable. Names of built-in
+	// variants behave exactly like the corresponding Variant value.
+	VariantName string
 	// RMax and BackupRounds configure VariantCombined (defaults 32 / 64).
 	RMax, BackupRounds int
 	// Record captures a full operation history for invariant checking.
@@ -74,6 +110,12 @@ type SimRun struct {
 	Inputs  []int
 	Variant Variant
 	RMax    int
+	// External marks a run of an externally registered variant (a
+	// VariantName with no built-in Variant value). CheckRun holds such
+	// runs only to the algorithm-independent invariants — agreement and
+	// validity — since the lean-specific lemmas assume the a0/a1 access
+	// pattern.
+	External bool
 }
 
 // HalfInputs returns the Figure 1 input assignment: the first half of the
@@ -111,32 +153,40 @@ func RunSim(cfg SimConfig) (*SimRun, error) {
 		backupRounds = 64
 	}
 
-	var layout register.Layout
-	switch variant {
-	case VariantCombined, VariantBackup:
-		layout = register.Layout{N: cfg.N, BackupRounds: backupRounds}
-	default:
-		layout = register.Layout{}
+	name := cfg.VariantName
+	external := false
+	if name == "" {
+		var err error
+		name, err = variant.registryName()
+		if err != nil {
+			return nil, err
+		}
+	} else if v, ok := variantOf(name); ok {
+		variant = v
+	} else {
+		external = true
 	}
-	mem := register.NewSimMem(layout.Registers(8))
-	layout.InitMem(mem)
+	vr, err := engine.VariantByName(name)
+	if err != nil {
+		return nil, err
+	}
+
+	var layout register.Layout
+	if vr.Extended {
+		layout = register.Layout{N: cfg.N, BackupRounds: backupRounds}
+	}
+	mem := layout.NewMem(register.DefaultLeanRounds)
 
 	machines := make([]machine.Machine, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		switch variant {
-		case VariantLean:
-			machines[i] = core.NewLean(layout, inputs[i])
-		case VariantLeanOptimized:
-			machines[i] = core.NewLeanOptimized(layout, inputs[i])
-		case VariantCombined:
-			machines[i] = core.NewCombined(layout, i, cfg.N, inputs[i], rmax,
-				xrand.Mix(cfg.Seed, 0x636f6d62, uint64(i)))
-		case VariantBackup:
-			machines[i] = backup.New(layout, i, cfg.N, inputs[i],
-				xrand.Mix(cfg.Seed, 0x6261636b, uint64(i)))
-		default:
-			return nil, fmt.Errorf("harness: unknown variant %d", variant)
-		}
+		machines[i] = vr.New(engine.VariantSpec{
+			Layout: layout,
+			Proc:   i,
+			N:      cfg.N,
+			Input:  inputs[i],
+			RMax:   rmax,
+			Seed:   cfg.Seed,
+		})
 	}
 
 	var hist *register.History
@@ -167,7 +217,7 @@ func RunSim(cfg SimConfig) (*SimRun, error) {
 	}
 	return &SimRun{
 		Res: res, History: hist, Layout: layout, Inputs: inputs,
-		Variant: variant, RMax: rmax,
+		Variant: variant, RMax: rmax, External: external,
 	}, nil
 }
 
@@ -177,7 +227,8 @@ func RunSim(cfg SimConfig) (*SimRun, error) {
 // the Lemma 4 clauses apply to decisions made inside the racing counters,
 // so for the combined protocol only lean-round decisions are held to them,
 // and the backup-only variant skips them (its registers are not the a0/a1
-// arrays).
+// arrays). Externally registered variants (SimRun.External) are held only
+// to agreement and validity.
 func (r *SimRun) CheckRun() error {
 	if err := core.CheckValidity(r.Inputs, r.decisions()); err != nil {
 		return err
@@ -185,7 +236,7 @@ func (r *SimRun) CheckRun() error {
 	if err := core.CheckAgreement(r.decisions()); err != nil {
 		return err
 	}
-	if r.History == nil {
+	if r.History == nil || r.External {
 		return nil
 	}
 	if err := core.CheckLemma2(r.Layout, r.History, r.Inputs); err != nil {

@@ -66,7 +66,11 @@ type Result struct {
 	Steps int64
 }
 
-// View exposes scheduler state to adversaries.
+// View exposes scheduler state to adversaries. Its slices are snapshots
+// owned by the scheduler and valid only for the duration of Choose:
+// adversaries must treat them as read-only and must not retain them
+// across calls. The scheduler never reads them back, so a misbehaving
+// adversary can only corrupt its own view, not the execution.
 type View struct {
 	// Current is the running process, or -1 if none (start of execution or
 	// the previous process just decided).
@@ -219,26 +223,40 @@ func Run(cfg Config) (*Result, error) {
 		Decisions: make([]int, n),
 		OpCounts:  make([]int64, n),
 	}
-	for i := range res.Decisions {
-		res.Decisions[i] = -1
-	}
 
+	// The view buffers are reused across steps: View slices are per-step
+	// snapshots that protect engine state from adversary mutation (the
+	// eligibility check below reads the engine-owned eligible slice, never
+	// the copy handed to the adversary), and no adversary may retain them
+	// past Choose, so one allocation per run suffices.
+	var (
+		eligibleBuf  = make([]int, 0, n)
+		viewEligible = make([]int, 0, n)
+		viewOps      = make([]int64, n)
+		viewDecided  = make([]bool, n)
+		viewPri      = make([]int, n)
+		view         View
+	)
 	for st.live > 0 {
 		if res.Steps >= maxSteps {
 			return nil, fmt.Errorf("hybrid: no termination within %d steps", maxSteps)
 		}
-		eligible := st.Eligible()
+		eligible := st.EligibleInto(eligibleBuf)
 		choice := eligible[0]
 		if len(eligible) > 1 {
-			v := &View{
+			copy(viewOps, st.ops)
+			copy(viewDecided, st.decided)
+			copy(viewPri, pri)
+			viewEligible = append(viewEligible[:0], eligible...)
+			view = View{
 				Current:     st.current,
 				QuantumLeft: st.quantumLeft(),
-				OpCounts:    append([]int64(nil), st.ops...),
-				Decided:     append([]bool(nil), st.decided...),
-				Priorities:  append([]int(nil), pri...),
-				Eligible:    eligible,
+				OpCounts:    viewOps,
+				Decided:     viewDecided,
+				Priorities:  viewPri,
+				Eligible:    viewEligible,
 			}
-			choice = adv.Choose(v)
+			choice = adv.Choose(&view)
 			if !contains(eligible, choice) {
 				return nil, fmt.Errorf("hybrid: adversary chose ineligible process %d", choice)
 			}
@@ -251,7 +269,6 @@ func Run(cfg Config) (*Result, error) {
 		res.Steps++
 	}
 
-	res.Decisions = make([]int, n)
 	for i := 0; i < n; i++ {
 		res.Decisions[i] = st.machines[i].Decision()
 		res.OpCounts[i] = st.ops[i]

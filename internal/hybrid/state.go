@@ -130,8 +130,14 @@ func (st *State) quantumLeft() int {
 // 13-operation executions, which the model checker demonstrates if this
 // rule is relaxed.
 func (st *State) Eligible() []int {
+	return st.EligibleInto(nil)
+}
+
+// EligibleInto is Eligible with a caller-supplied buffer, so the per-step
+// scheduling loop in Run does not allocate.
+func (st *State) EligibleInto(out []int) []int {
 	n := len(st.machines)
-	var out []int
+	out = out[:0]
 	free := st.current < 0 || st.decided[st.current]
 	exhausted := st.current >= 0 && st.remaining[st.current] <= 0
 	for i := 0; i < n; i++ {

@@ -74,6 +74,27 @@ func (l Layout) Registers(leanRounds int) int {
 	return l.BackupSize() + 2*(leanRounds+1)
 }
 
+// DefaultLeanRounds is the round-capacity hint used to pre-size simulated
+// memories. Lean-consensus terminates in O(log n) expected rounds with an
+// exponential tail (Theorem 12), so 64 rounds covers any realistic run;
+// SimMem still grows on demand beyond the hint, so the value affects only
+// allocation behavior, never correctness.
+const DefaultLeanRounds = 64
+
+// NewMem returns a SimMem sized from the layout for runs reaching up to
+// leanRounds rounds (DefaultLeanRounds when leanRounds <= 0), with the
+// read-only prefix already initialized. It replaces hand-picked magic
+// capacities: the size is derived from the layout's own register count, so
+// a layout with a backup region can never alias into the lean arrays.
+func (l Layout) NewMem(leanRounds int) *SimMem {
+	if leanRounds <= 0 {
+		leanRounds = DefaultLeanRounds
+	}
+	m := NewSimMem(l.Registers(leanRounds))
+	l.InitMem(m)
+	return m
+}
+
 // InitMem establishes the read-only prefix a_0[0] = a_1[0] = 1 required by
 // the algorithm (paper, Section 4). It must be called once on a fresh
 // memory before any process takes a step; the two writes are part of the

@@ -79,6 +79,24 @@ func (m *SimMem) grow(n int) {
 // Len reports the number of registers that have been materialized.
 func (m *SimMem) Len() int { return len(m.cells) }
 
+// Reset zeroes every materialized register while keeping the backing
+// array, returning the memory to its freshly-constructed state without
+// allocating. Pooled sessions call it between runs; callers that need an
+// initialized prefix must re-run Layout.InitMem afterwards.
+func (m *SimMem) Reset() {
+	for i := range m.cells {
+		m.cells[i] = 0
+	}
+}
+
+// Grow ensures capacity for at least n registers without changing any
+// values, so later writes below n cannot allocate.
+func (m *SimMem) Grow(n int) {
+	if n > len(m.cells) {
+		m.grow(n)
+	}
+}
+
 // Snapshot returns a copy of the materialized registers; used by the model
 // checker to hash states and by tests to inspect memory.
 func (m *SimMem) Snapshot() []uint32 {

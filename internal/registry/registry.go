@@ -1,0 +1,115 @@
+// Package registry provides the one generic name→constructor registry
+// behind every pluggable dimension of the repository: execution models and
+// algorithm variants (internal/engine) and noise distributions
+// (internal/dist). Before it existed each of those kept its own ad-hoc
+// ByName switch or map; unifying them means a new entry registers itself
+// once and immediately resolves everywhere a name is accepted — CLIs,
+// the arena, the harness, and the public API.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry maps lower-case names to constructors of T. The zero value is
+// not usable; construct with New. Registration normally happens from
+// init functions; lookups may come from any goroutine, so the registry is
+// safe for concurrent use.
+type Registry[T any] struct {
+	// kind and noun render errors, e.g. "engine: unknown model %q".
+	kind, noun string
+
+	mu      sync.RWMutex
+	make    map[string]func() T
+	aliases map[string]string
+}
+
+// New returns an empty registry whose errors read "<kind>: unknown <noun>
+// %q (known: ...)".
+func New[T any](kind, noun string) *Registry[T] {
+	return &Registry[T]{
+		kind:    kind,
+		noun:    noun,
+		make:    make(map[string]func() T),
+		aliases: make(map[string]string),
+	}
+}
+
+// Register adds a constructor under name. Names are case-insensitive.
+// Registering a duplicate name panics: it is always a programming error,
+// and an init-time panic is the loudest possible report.
+func (r *Registry[T]) Register(name string, mk func() T) {
+	key := canon(name)
+	if key == "" || mk == nil {
+		panic(fmt.Sprintf("%s: invalid %s registration %q", r.kind, r.noun, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.make[key]; dup {
+		panic(fmt.Sprintf("%s: duplicate %s %q", r.kind, r.noun, name))
+	}
+	if _, dup := r.aliases[key]; dup {
+		panic(fmt.Sprintf("%s: %s %q already registered as an alias", r.kind, r.noun, name))
+	}
+	r.make[key] = mk
+}
+
+// Alias makes alias resolve to the already-registered name.
+func (r *Registry[T]) Alias(alias, name string) {
+	a, key := canon(alias), canon(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.make[key]; !ok {
+		panic(fmt.Sprintf("%s: alias %q targets unregistered %s %q", r.kind, alias, r.noun, name))
+	}
+	if _, dup := r.make[a]; dup {
+		panic(fmt.Sprintf("%s: alias %q collides with a registered %s", r.kind, alias, r.noun))
+	}
+	if _, dup := r.aliases[a]; dup {
+		panic(fmt.Sprintf("%s: duplicate alias %q", r.kind, alias))
+	}
+	r.aliases[a] = key
+}
+
+// Lookup constructs the T registered under name (or an alias of it).
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	key := canon(name)
+	r.mu.RLock()
+	if target, ok := r.aliases[key]; ok {
+		key = target
+	}
+	mk, ok := r.make[key]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%s: unknown %s %q (known: %s)",
+			r.kind, r.noun, name, strings.Join(r.Names(), ", "))
+	}
+	return mk(), nil
+}
+
+// Names returns the registered canonical names (aliases excluded), sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.make))
+	for name := range r.make {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Canonical returns the canonical form of a name — the key Register and
+// Lookup use. Callers keeping side tables keyed by name (descriptions,
+// briefs) must key them canonically so the tables can never disagree with
+// the registry.
+func Canonical(name string) string { return canon(name) }
+
+// canon normalizes a name for lookup and registration.
+func canon(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}

@@ -1,0 +1,76 @@
+package registry_test
+
+import (
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/registry"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	r := registry.New[int]("test", "thing")
+	r.Register("One", func() int { return 1 })
+	r.Register("two", func() int { return 2 })
+	r.Alias("uno", "one")
+
+	for name, want := range map[string]int{"one": 1, "ONE": 1, " one ": 1, "uno": 1, "two": 2} {
+		got, err := r.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("Lookup(%q) = %d, want %d", name, got, want)
+		}
+	}
+
+	if names := r.Names(); len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Errorf("Names() = %v, want [one two] (aliases excluded)", names)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	r := registry.New[int]("test", "thing")
+	r.Register("only", func() int { return 7 })
+	_, err := r.Lookup("missing")
+	if err == nil {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "test: unknown thing") || !strings.Contains(msg, "only") {
+		t.Errorf("error %q does not name the kind and the known set", msg)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := registry.New[int]("test", "thing")
+	r.Register("dup", func() int { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Register("dup", func() int { return 2 })
+}
+
+func TestDuplicateAliasPanics(t *testing.T) {
+	r := registry.New[int]("test", "thing")
+	r.Register("a", func() int { return 1 })
+	r.Register("b", func() int { return 2 })
+	r.Alias("x", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-binding an existing alias did not panic")
+		}
+	}()
+	r.Alias("x", "b")
+}
+
+func TestConstructorRunsPerLookup(t *testing.T) {
+	r := registry.New[*int]("test", "thing")
+	r.Register("fresh", func() *int { return new(int) })
+	a, _ := r.Lookup("fresh")
+	b, _ := r.Lookup("fresh")
+	if a == b {
+		t.Error("Lookup returned a shared instance; constructors must run per call")
+	}
+}

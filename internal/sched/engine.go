@@ -106,6 +106,35 @@ type Result struct {
 	Failed bool
 }
 
+// reset clears the result for a run of n processes, reusing its slices
+// when they are large enough.
+func (r *Result) reset(n int) {
+	*r = Result{
+		Decisions:         resize(r.Decisions, n),
+		DecisionRounds:    resize(r.DecisionRounds, n),
+		DecisionSeqs:      resize(r.DecisionSeqs, n),
+		OpCounts:          resize(r.OpCounts, n),
+		Halted:            resize(r.Halted, n),
+		FirstDecisionProc: -1,
+	}
+	for i := 0; i < n; i++ {
+		r.Decisions[i] = -1
+		r.DecisionRounds[i] = 0
+		r.DecisionSeqs[i] = -1
+		r.OpCounts[i] = 0
+		r.Halted[i] = false
+	}
+}
+
+// resize returns s truncated or regrown to length n, reusing its backing
+// array when large enough.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 // Agreement reports whether all decided processes agree, and the common
 // value (-1 if no process decided).
 func (r *Result) Agreement() (value int, ok bool) {
@@ -179,13 +208,16 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// procState is the engine's per-process bookkeeping.
+// procState is the engine's per-process bookkeeping. The src/rng pair
+// survives Reset so that a pooled engine reuses its rand.Rand allocations
+// across runs; everything else is per-run state.
 type procState struct {
 	m       machine.Machine
 	next    machine.Op
 	time    float64 // S_ij of the last scheduled operation
 	j       int64   // operation index (1-based)
 	ops     int64
+	src     *xrand.Source
 	rng     *rand.Rand
 	decided bool
 	halted  bool
@@ -194,7 +226,10 @@ type procState struct {
 	dec     int
 }
 
-// Engine runs one noisy-scheduling execution.
+// Engine runs one noisy-scheduling execution. An Engine may be reused for
+// many runs via Reset, which keeps the per-process buffers and RNG streams
+// allocated; a reused engine produces bit-identical results to a fresh
+// one, because Reset re-derives every random stream from the new seed.
 type Engine struct {
 	cfg        Config
 	mem        register.Mem
@@ -213,24 +248,44 @@ var (
 
 // NewEngine validates the configuration and prepares an execution.
 func NewEngine(cfg Config) (*Engine, error) {
+	e := &Engine{}
+	if err := e.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset validates a new configuration and arms the engine for one more
+// Run, reusing the engine's internal buffers. It is the allocation-light
+// path used by pooled sessions (internal/engine): after the first run at
+// a given N, subsequent Reset+Run cycles allocate nothing in the engine
+// itself.
+func (e *Engine) Reset(cfg Config) error {
 	if cfg.N <= 0 {
-		return nil, fmt.Errorf("%w: N must be positive", errBadConfig)
+		return fmt.Errorf("%w: N must be positive", errBadConfig)
 	}
 	if len(cfg.Machines) != cfg.N {
-		return nil, fmt.Errorf("%w: need %d machines, got %d", errBadConfig, cfg.N, len(cfg.Machines))
+		return fmt.Errorf("%w: need %d machines, got %d", errBadConfig, cfg.N, len(cfg.Machines))
 	}
 	if cfg.ReadNoise == nil {
-		return nil, fmt.Errorf("%w: ReadNoise is required", errBadConfig)
+		return fmt.Errorf("%w: ReadNoise is required", errBadConfig)
 	}
 	if cfg.FailureProb < 0 || cfg.FailureProb >= 1 {
-		return nil, fmt.Errorf("%w: FailureProb must be in [0,1)", errBadConfig)
+		return fmt.Errorf("%w: FailureProb must be in [0,1)", errBadConfig)
 	}
 	if cfg.Contention != nil && (cfg.Contention.HalfLife <= 0 || cfg.Contention.Penalty < 0) {
-		return nil, fmt.Errorf("%w: contention needs positive half-life and non-negative penalty", errBadConfig)
+		return fmt.Errorf("%w: contention needs positive half-life and non-negative penalty", errBadConfig)
 	}
-	e := &Engine{cfg: cfg, mem: cfg.Mem, adv: cfg.Adversary, wNoise: cfg.WriteNoise}
+	e.cfg = cfg
+	e.mem = cfg.Mem
+	e.adv = cfg.Adversary
+	e.wNoise = cfg.WriteNoise
+	e.seq = 0
+	e.contention = nil
 	if e.mem == nil {
-		e.mem = register.NewSimMem(64)
+		// Size the fallback memory from the plain lean layout rather than a
+		// magic constant; SimMem grows on demand regardless.
+		e.mem = register.NewSimMem(register.Layout{}.Registers(register.DefaultLeanRounds))
 	}
 	if e.adv == nil {
 		e.adv = Zero{}
@@ -241,7 +296,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Contention != nil {
 		e.contention = newContentionState(*cfg.Contention)
 	}
-	return e, nil
+	return nil
 }
 
 // View interface implementation (for adaptive adversaries).
@@ -312,8 +367,22 @@ func (e *Engine) schedule(i int) {
 	e.heap.push(event{t: p.time, proc: int32(i)})
 }
 
-// Run executes the configured simulation to completion.
+// Run executes the configured simulation to completion, returning a fresh
+// Result the caller may retain indefinitely.
 func (e *Engine) Run() (*Result, error) {
+	res := &Result{}
+	if err := e.RunInto(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto executes the configured simulation to completion, writing the
+// outcome into res. Any slices already present in res are reused when
+// large enough, so a pooled caller that passes the same Result each run
+// amortizes every result allocation away. Each Reset arms exactly one
+// run.
+func (e *Engine) RunInto(res *Result) error {
 	n := e.cfg.N
 	maxOps := e.cfg.MaxOpsPerProc
 	if maxOps == 0 {
@@ -327,17 +396,30 @@ func (e *Engine) Run() (*Result, error) {
 		dither = 0
 	}
 
-	e.procs = make([]procState, n)
-	e.heap = make(eventHeap, 0, n)
+	if cap(e.procs) >= n {
+		e.procs = e.procs[:n]
+	} else {
+		e.procs = make([]procState, n)
+	}
+	if cap(e.heap) >= n {
+		e.heap = e.heap[:0]
+	} else {
+		e.heap = make(eventHeap, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		p := &e.procs[i]
-		p.m = e.cfg.Machines[i]
-		p.rng = xrand.New(e.cfg.Seed, 0x70726f63, uint64(i)) // per-process stream
+		// Preserve the src/rng allocation across runs; re-derive the stream.
+		if p.src == nil {
+			p.src = xrand.NewSource(e.cfg.Seed, 0x70726f63, uint64(i)) // per-process stream
+			p.rng = rand.New(p.src)
+		} else {
+			p.src.Reset(e.cfg.Seed, 0x70726f63, uint64(i))
+		}
+		*p = procState{src: p.src, rng: p.rng, m: e.cfg.Machines[i], decSeq: -1}
 		p.next = p.m.Begin()
-		p.decSeq = -1
 		start := e.adv.StartDelay(i)
 		if start < 0 {
-			return nil, fmt.Errorf("%w: negative start delay for process %d", errBadConfig, i)
+			return fmt.Errorf("%w: negative start delay for process %d", errBadConfig, i)
 		}
 		if dither > 0 {
 			start += xrand.Dither(p.rng, dither)
@@ -346,19 +428,7 @@ func (e *Engine) Run() (*Result, error) {
 		e.schedule(i)
 	}
 
-	res := &Result{
-		Decisions:          make([]int, n),
-		DecisionRounds:     make([]int, n),
-		DecisionSeqs:       make([]int64, n),
-		OpCounts:           make([]int64, n),
-		Halted:             make([]bool, n),
-		FirstDecisionProc:  -1,
-		FirstDecisionRound: 0,
-	}
-	for i := range res.Decisions {
-		res.Decisions[i] = -1
-		res.DecisionSeqs[i] = -1
-	}
+	res.reset(n)
 
 	live := n
 	for i := range e.procs {
@@ -381,7 +451,7 @@ func (e *Engine) Run() (*Result, error) {
 			e.mem.Write(op.Reg, op.Val)
 			result = 0
 		default:
-			return nil, fmt.Errorf("sched: machine %d emitted invalid op kind %v", i, op.Kind)
+			return fmt.Errorf("sched: machine %d emitted invalid op kind %v", i, op.Kind)
 		}
 		p.ops++
 		res.TotalOps++
@@ -453,7 +523,7 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 	res.AllHalted = allHalted
-	return res, nil
+	return nil
 }
 
 // opValue is the value recorded in histories: for reads, the value read;

@@ -41,6 +41,14 @@ func NewSource(seed uint64, ids ...uint64) *Source {
 	return &Source{state: Mix(seed, ids...)}
 }
 
+// Reset re-derives the source's state from seed and stream identifiers,
+// exactly as NewSource would. A *rand.Rand built on the source replays the
+// stream from the beginning, which lets pooled sessions reuse one
+// rand.Rand allocation across many runs.
+func (s *Source) Reset(seed uint64, ids ...uint64) {
+	s.state = Mix(seed, ids...)
+}
+
 // Uint64 implements rand.Source64.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -14,9 +14,11 @@
 //   - Live executes it on real goroutines against sync/atomic registers,
 //     with the Go runtime as the noise source.
 //
-// The underlying machinery (schedulers, distributions, model checker,
-// experiment harness) lives in internal/; the cmd/leanbench tool
-// regenerates every figure and table of the paper's evaluation.
+// The underlying machinery lives in internal/: the execution-model layer
+// and its registries (internal/engine), schedulers, distributions, the
+// model checker, and the experiment harness. The cmd/leanbench tool
+// regenerates every figure and table of the paper's evaluation; Backends
+// lists the execution models available to NewArena.
 package leanconsensus
 
 import (
