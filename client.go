@@ -1,0 +1,370 @@
+package leanconsensus
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the typed Go client for the leanserve HTTP service
+// (internal/server, cmd/leanserve). The JSON shapes here mirror the
+// server's wire contract; the server's end-to-end tests drive the real
+// service through this client, so the two cannot drift silently.
+
+// Job lifecycle states reported by JobStatus.Status.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobSpec describes one batched consensus job: Instances independent
+// lean-consensus instances of N processes each, run under the named
+// execution model and noise distribution, deterministically from Seed.
+// Zero values select server-side defaults; names resolve through the
+// server's registries (see Client.Models).
+type JobSpec struct {
+	Model     string `json:"model,omitempty"`
+	Variant   string `json:"variant,omitempty"`
+	Dist      string `json:"dist,omitempty"`
+	N         int    `json:"n,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Instances int    `json:"instances"`
+}
+
+// JobStatus is one job's lifecycle state, live progress, and — once
+// finished — results.
+type JobStatus struct {
+	ID      string       `json:"id"`
+	Status  string       `json:"status"`
+	Created time.Time    `json:"created"`
+	Specs   []SpecStatus `json:"specs"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// Finished reports whether the job reached a terminal state.
+func (s *JobStatus) Finished() bool { return s.Status == JobDone || s.Status == JobFailed }
+
+// SpecStatus is one spec's progress within a job: Done of Instances
+// completed, broken down per arena shard, plus the final Result once the
+// spec has run.
+type SpecStatus struct {
+	Spec      JobSpec     `json:"spec"`
+	Instances int         `json:"instances"`
+	Done      int64       `json:"done"`
+	PerShard  []int64     `json:"perShard"`
+	Result    *SpecResult `json:"result,omitempty"`
+}
+
+// SpecResult aggregates one executed spec. All fields except ElapsedMS
+// and Throughput are pure functions of the spec and replay exactly.
+type SpecResult struct {
+	Model          string  `json:"model"`
+	Variant        string  `json:"variant"`
+	Dist           string  `json:"dist"`
+	N              int     `json:"n"`
+	Seed           uint64  `json:"seed"`
+	Instances      int     `json:"instances"`
+	Decided0       int64   `json:"decided0"`
+	Decided1       int64   `json:"decided1"`
+	Errors         int64   `json:"errors"`
+	Ops            int64   `json:"ops"`
+	RoundSum       int64   `json:"roundSum"`
+	MeanFirstRound float64 `json:"meanFirstRound"`
+	MaxRound       int     `json:"maxRound"`
+	ElapsedMS      float64 `json:"elapsedMs"`
+	Throughput     float64 `json:"throughput"`
+}
+
+// Catalog lists what the service's registries accept in a JobSpec.
+type Catalog struct {
+	DefaultModel string        `json:"defaultModel"`
+	Models       []ModelInfo   `json:"models"`
+	Variants     []VariantInfo `json:"variants"`
+	Dists        []string      `json:"dists"`
+}
+
+// ModelInfo describes one registered execution model.
+type ModelInfo struct {
+	Name  string `json:"name"`
+	Brief string `json:"brief"`
+}
+
+// VariantInfo describes one registered algorithm variant; only servable
+// variants are accepted in job specs.
+type VariantInfo struct {
+	Name     string `json:"name"`
+	Servable bool   `json:"servable"`
+}
+
+// Health is the service's liveness report.
+type Health struct {
+	Status          string `json:"status"`
+	QueuedInstances int64  `json:"queuedInstances"`
+	Jobs            int    `json:"jobs"`
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("leanserve: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// OverloadedError is a 429: the service shed the submission. Retry no
+// sooner than RetryAfter.
+type OverloadedError struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("leanserve: overloaded (retry after %v): %s", e.RetryAfter, e.Message)
+}
+
+// Client is a typed client for a leanserve service. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval is WaitJob's cadence (default 25ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the service rooted at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// httpClient returns the effective transport.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes a 2xx JSON body into out. Non-2xx
+// responses become *OverloadedError (429) or *APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return responseError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// responseError converts a non-2xx response into a typed error.
+func responseError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return &OverloadedError{RetryAfter: retry, Message: msg}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// SubmitJobs submits one batch of job specs and returns the job ID. The
+// batch is admitted or shed as a unit: on overload the typed
+// *OverloadedError carries the service's Retry-After hint.
+func (c *Client) SubmitJobs(ctx context.Context, specs ...JobSpec) (string, error) {
+	body, err := json.Marshal(struct {
+		Jobs []JobSpec `json:"jobs"`
+	}{Jobs: specs})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := c.do(req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls until the job finishes or ctx expires. A failed job
+// returns its final status together with a non-nil error.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Finished() {
+			return st, jobError(st)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// jobError maps a failed terminal status to an error.
+func jobError(st *JobStatus) error {
+	if st.Status == JobFailed {
+		return fmt.Errorf("leanserve: job %s failed: %s", st.ID, st.Error)
+	}
+	return nil
+}
+
+// StreamJob subscribes to the job's SSE progress stream, calling fn
+// (when non-nil) for every progress snapshot, and returns the final
+// status carried by the terminal "done" event. A failed job returns its
+// status together with a non-nil error, exactly like WaitJob.
+func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobStatus)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp)
+	}
+
+	var event string
+	var data bytes.Buffer
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if data.Len() == 0 {
+				continue
+			}
+			var st JobStatus
+			if err := json.Unmarshal(data.Bytes(), &st); err != nil {
+				return nil, fmt.Errorf("leanserve: bad stream payload: %v", err)
+			}
+			data.Reset()
+			if event == "done" {
+				return &st, jobError(&st)
+			}
+			if fn != nil {
+				fn(st)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("leanserve: stream ended without a done event")
+}
+
+// Models fetches the service's registry catalog.
+func (c *Client) Models(ctx context.Context) (*Catalog, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	var cat Catalog
+	if err := c.do(req, &cat); err != nil {
+		return nil, err
+	}
+	return &cat, nil
+}
+
+// Health fetches the liveness report. Both "ok" (200) and "draining"
+// (503) parse without error; inspect Health.Status.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, responseError(resp)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", responseError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

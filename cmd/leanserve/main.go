@@ -1,0 +1,120 @@
+// Command leanserve is the network-facing consensus service: an
+// HTTP/JSON daemon serving batched lean-consensus jobs over the sharded
+// arena, with admission control and Prometheus telemetry.
+//
+// Usage:
+//
+//	leanserve [-addr 127.0.0.1:8080] [-shards 8] [-workers 2]
+//	          [-highwater 262144] [-maxbatch 64]
+//	          [-maxjobs N]  (default GOMAXPROCS/2)  [-list]
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit a batch of job specs (202 + job id)
+//	GET  /v1/jobs/{id}       poll status and results
+//	GET  /v1/jobs/{id}/stream  per-shard progress as server-sent events
+//	GET  /v1/models          list registered models, variants, distributions
+//	GET  /healthz            liveness (200 ok / 503 draining)
+//	GET  /metrics            Prometheus text exposition
+//
+// Job specs resolve through the same registries as every other tool, so
+// -list shows exactly what the service accepts. On SIGINT/SIGTERM the
+// daemon stops admitting, drains in-flight jobs through the arena's
+// graceful Close, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leanconsensus/internal/cli"
+	"leanconsensus/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "leanserve:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownTimeout bounds how long drain waits for open connections
+// (long-lived SSE streams end when their jobs do; this is the backstop).
+const shutdownTimeout = 30 * time.Second
+
+// run starts the daemon and blocks until ctx is cancelled, then drains.
+// It prints the bound address as its first output line, so callers (and
+// tests) can use an ephemeral ":0" port.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("leanserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	shards := fs.Int("shards", 0, "arena shards per job (default 8)")
+	workers := fs.Int("workers", 0, "arena workers per shard (default 2)")
+	highwater := fs.Int64("highwater", 0, "queued-instance high-water mark for 429 shedding (default 262144)")
+	maxbatch := fs.Int("maxbatch", 0, "maximum job specs per POST (default 64)")
+	maxjobs := fs.Int("maxjobs", 0, "maximum concurrently executing jobs (default GOMAXPROCS/2)")
+	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	if done, err := cli.Parse(fs, args); done {
+		return err
+	}
+	if *list {
+		cli.List(stdout)
+		return nil
+	}
+
+	srv, err := server.New(server.Config{
+		Shards:            *shards,
+		Workers:           *workers,
+		HighWater:         *highwater,
+		MaxBatch:          *maxbatch,
+		MaxConcurrentJobs: *maxjobs,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "leanserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "leanserve: draining")
+	// Drain the job queue first: once every job has finished, the SSE
+	// streams have sent their terminal events and the connections can go
+	// idle, so the HTTP shutdown below completes promptly.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		hs.Close()
+	}
+	fmt.Fprintln(stdout, "leanserve: drained")
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leanconsensus"
+	"leanconsensus/internal/cli"
+)
+
+// addrWriter buffers run's output and signals once the first line — the
+// "listening on" announcement — is complete.
+type addrWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	first chan struct{}
+	done  bool
+}
+
+func newAddrWriter() *addrWriter { return &addrWriter{first: make(chan struct{})} }
+
+func (w *addrWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.Write(p)
+	if !w.done && strings.Contains(w.buf.String(), "\n") {
+		w.done = true
+		close(w.first)
+	}
+	return n, err
+}
+
+func (w *addrWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// startServer boots run on an ephemeral port and returns the base URL,
+// the shutdown trigger, and the exit-wait.
+func startServer(t *testing.T, args ...string) (baseURL string, shutdown func(), wait func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := newAddrWriter()
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+
+	select {
+	case <-out.first:
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("server exited before announcing its address: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatalf("server never announced its address:\n%s", out.String())
+	}
+	line := strings.SplitN(out.String(), "\n", 2)[0]
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("no URL in announcement %q", line)
+	}
+	t.Cleanup(cancel)
+	return strings.TrimSpace(line[i:]), cancel, func() error {
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(30 * time.Second):
+			return errors.New("run did not exit after shutdown")
+		}
+	}
+}
+
+// TestServeSubmitDrain boots the daemon, serves a real batch through the
+// typed client, checks the telemetry agrees with the results, and then
+// shuts down gracefully.
+func TestServeSubmitDrain(t *testing.T) {
+	baseURL, shutdown, wait := startServer(t, "-shards", "2", "-workers", "2")
+	client := leanconsensus.NewClient(baseURL)
+	ctx := context.Background()
+
+	id, err := client.SubmitJobs(ctx,
+		leanconsensus.JobSpec{Model: "sched", Instances: 300, Seed: 4},
+		leanconsensus.JobSpec{Model: "hybrid", Instances: 200, Seed: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.WaitJob(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decided int64
+	for _, ss := range st.Specs {
+		decided += ss.Result.Decided0 + ss.Result.Decided1
+	}
+	if decided != 500 {
+		t.Fatalf("decided %d of 500 instances", decided)
+	}
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `leanconsensus_decisions_total{model="sched"`) {
+		t.Errorf("metrics missing sched decision counters:\n%.400s", text)
+	}
+
+	shutdown()
+	if err := wait(); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"execution models:", "sched", "noise distributions:", "exponential"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &out); !errors.Is(err, cli.ErrUsage) {
+		t.Errorf("bad flag returned %v, want ErrUsage", err)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
+		t.Errorf("-h returned %v, want nil", err)
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,9 +1,12 @@
 package leanconsensus_test
 
 import (
+	"strings"
 	"testing"
 
 	"leanconsensus"
+	"leanconsensus/internal/engine"
+	"leanconsensus/internal/server"
 )
 
 // FuzzSimulateSafety fuzzes the public simulation entry point over seeds,
@@ -52,6 +55,62 @@ func FuzzSimulateSafety(f *testing.F) {
 		}
 		if ones == n && res.Value != 1 {
 			t.Fatalf("validity: all-one inputs decided %d", res.Value)
+		}
+	})
+}
+
+// FuzzJobSpecDecode fuzzes the serving layer's job-spec JSON decoder
+// (server.DecodeSubmit, the body of POST /v1/jobs). Hostile input —
+// malformed JSON, unknown fields, out-of-range n or instance counts,
+// unregistered model/variant/dist names — must come back as an error
+// (the handler's 400), never a panic, and anything the decoder accepts
+// must be a batch the engine registries fully resolved within the wire
+// limits.
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add(`{"jobs":[{"instances":10}]}`)
+	f.Add(`{"jobs":[{"model":"sched","dist":"exponential","n":8,"seed":1,"instances":100}]}`)
+	f.Add(`{"jobs":[{"model":"hybrid","instances":5},{"model":"msgnet","dist":"two-point","instances":5}]}`)
+	f.Add(`{"jobs":[{"model":"quantum","instances":1}]}`)
+	f.Add(`{"jobs":[{"variant":"combined","instances":1}]}`)
+	f.Add(`{"jobs":[{"n":-3,"instances":1}]}`)
+	f.Add(`{"jobs":[{"n":1000000,"instances":1}]}`)
+	f.Add(`{"jobs":[{"instances":0}]}`)
+	f.Add(`{"jobs":[]}`)
+	f.Add(`{"jobs":[{"instances":1,"bogus":7}]}`)
+	f.Add(`{"jobs": [`)
+	f.Add(`{"jobs":[{"instances":1}]} trailing`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add("\x00\xff\xfe")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		batch, err := server.DecodeSubmit(strings.NewReader(body), server.DefaultMaxBatch)
+		if err != nil {
+			if batch != nil {
+				t.Fatalf("decoder returned both a batch and error %v", err)
+			}
+			return
+		}
+		if len(batch.Jobs) == 0 || len(batch.Jobs) != len(batch.Specs) {
+			t.Fatalf("accepted batch is malformed: %d jobs, %d specs", len(batch.Jobs), len(batch.Specs))
+		}
+		for i, job := range batch.Jobs {
+			if job.Model == nil {
+				t.Fatalf("job %d accepted with unresolved model: %+v", i, job)
+			}
+			if job.Noise == nil && !engine.IgnoresNoise(job.Model) {
+				t.Fatalf("job %d accepted with unresolved noise for noisy model %q", i, job.ModelName)
+			}
+			if job.N < 1 || job.N > engine.MaxWireN {
+				t.Fatalf("job %d accepted with n=%d outside [1, %d]", i, job.N, engine.MaxWireN)
+			}
+			if job.Instances < 1 || job.Instances > engine.MaxWireInstances {
+				t.Fatalf("job %d accepted with instances=%d outside [1, %d]",
+					i, job.Instances, engine.MaxWireInstances)
+			}
+			if job.VariantName != engine.ServableVariant {
+				t.Fatalf("job %d accepted with unservable variant %q", i, job.VariantName)
+			}
 		}
 	})
 }

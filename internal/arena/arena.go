@@ -71,6 +71,15 @@ type Config struct {
 	// QueueDepth is the per-shard request buffer (default
 	// DefaultQueueDepth).
 	QueueDepth int
+	// Metrics, when non-nil, receives live telemetry: every decision,
+	// round count, operation count, and per-request latency is recorded on
+	// per-worker stripes (see NewMetrics). All bundle fields must be set.
+	Metrics *Metrics
+	// OnServe, when non-nil, is called from the serving worker after each
+	// instance completes, before its Result is delivered. It must be fast
+	// and must not block: it runs on the worker's serving loop. Serving
+	// layers use it for live per-shard progress.
+	OnServe func(Result)
 }
 
 // Result reports one served consensus instance.
@@ -241,7 +250,7 @@ func New(cfg Config) (*Arena, error) {
 		a.shards[i] = s
 		for w := 0; w < cfg.Workers; w++ {
 			a.wg.Add(1)
-			go a.worker(s)
+			go a.worker(s, i*cfg.Workers+w)
 		}
 	}
 	return a, nil
@@ -281,8 +290,31 @@ func (a *Arena) Submit(key string, bit int) (<-chan Result, error) {
 	if a.closed {
 		return nil, ErrClosed
 	}
+	if a.cfg.Metrics != nil {
+		// Balanced by the serving worker's decrement; stripes may go
+		// individually negative, only the cross-stripe sum is meaningful.
+		a.cfg.Metrics.Queued.Stripe(req.shard).Add(1)
+	}
 	a.shards[req.shard].reqs <- req
 	return req.done, nil
+}
+
+// QueueDepth reports the number of requests currently sitting in shard
+// queues (admitted by Submit, not yet picked up by a worker). It is a
+// live introspection signal — serving layers export it as a gauge and
+// shed load against it — not a synchronized count.
+func (a *Arena) QueueDepth() int {
+	depth := 0
+	for _, s := range a.shards {
+		depth += len(s.reqs)
+	}
+	return depth
+}
+
+// QueueCap reports the total queue capacity across shards: the maximum
+// number of requests that can wait before Submit blocks.
+func (a *Arena) QueueCap() int {
+	return len(a.shards) * a.cfg.QueueDepth
 }
 
 // Propose submits one proposal and waits for its decision or for ctx.
@@ -339,14 +371,24 @@ func (a *Arena) Close() error {
 // every instance the worker serves, which is what keeps steady-state
 // allocations near zero. Sessions never influence outcomes, so which
 // worker serves a request remains observationally irrelevant.
-func (a *Arena) worker(s *shard) {
+func (a *Arena) worker(s *shard, idx int) {
 	defer a.wg.Done()
 	sess := engine.NewSession()
+	var wm *workerMetrics
+	if a.cfg.Metrics != nil {
+		wm = a.cfg.Metrics.stripes(idx)
+	}
 	for req := range s.reqs {
 		res := a.serve(s, sess, req)
 		s.mu.Lock()
 		s.stats.add(res)
 		s.mu.Unlock()
+		if wm != nil {
+			wm.record(res)
+		}
+		if a.cfg.OnServe != nil {
+			a.cfg.OnServe(res)
+		}
 		req.done <- res
 	}
 }

@@ -1,0 +1,115 @@
+package cli_test
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/cli"
+	"leanconsensus/internal/engine"
+)
+
+// newFlagSet returns a quiet flag set with one -n flag, mirroring how
+// the cmd/ tools construct theirs.
+func newFlagSet() (*flag.FlagSet, *int) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 8, "processes")
+	return fs, n
+}
+
+func TestParseOK(t *testing.T) {
+	fs, n := newFlagSet()
+	done, err := cli.Parse(fs, []string{"-n", "16"})
+	if done || err != nil {
+		t.Fatalf("Parse = (%t, %v), want (false, nil)", done, err)
+	}
+	if *n != 16 {
+		t.Fatalf("-n = %d, want 16", *n)
+	}
+}
+
+func TestParseHelpIsSuccess(t *testing.T) {
+	// -h must report done with a nil error: mains return nil and exit 0,
+	// matching what flag.ExitOnError tools do.
+	for _, arg := range []string{"-h", "-help", "--help"} {
+		fs, _ := newFlagSet()
+		done, err := cli.Parse(fs, []string{arg})
+		if !done || err != nil {
+			t.Errorf("Parse(%s) = (%t, %v), want (true, nil)", arg, done, err)
+		}
+	}
+}
+
+func TestParseBadFlagIsErrUsage(t *testing.T) {
+	// A bad flag must map to ErrUsage (exit 2) — and to nothing heavier,
+	// so mains can distinguish usage errors from real failures.
+	for _, args := range [][]string{{"-bogus"}, {"-n", "notanint"}} {
+		fs, _ := newFlagSet()
+		done, err := cli.Parse(fs, args)
+		if !done || !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("Parse(%v) = (%t, %v), want (true, ErrUsage)", args, done, err)
+		}
+	}
+}
+
+func TestModelResolution(t *testing.T) {
+	m, err := cli.Model("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != engine.DefaultModel {
+		t.Errorf("empty model name resolved to %q, want %q", m.Name(), engine.DefaultModel)
+	}
+	if m, err = cli.Model("HYBRID"); err != nil || m.Name() != "hybrid" {
+		t.Errorf("Model(HYBRID) = (%v, %v), want case-insensitive hybrid", m, err)
+	}
+	if _, err := cli.Model("bogus"); err == nil {
+		t.Error("unknown model resolved")
+	}
+}
+
+func TestDistributionResolution(t *testing.T) {
+	d, err := cli.Distribution("two-point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.String(), "two-point") {
+		t.Errorf("Distribution(two-point) = %v", d)
+	}
+	if _, err := cli.Distribution("twopoint"); err != nil {
+		t.Errorf("alias twopoint did not resolve: %v", err)
+	}
+	if _, err := cli.Distribution("bogus"); err == nil {
+		t.Error("unknown distribution resolved")
+	}
+}
+
+func TestListOutput(t *testing.T) {
+	var out bytes.Buffer
+	cli.List(&out)
+	text := out.String()
+	for _, want := range []string{"execution models:", "noise distributions:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("List output missing %q:\n%s", want, text)
+		}
+	}
+	for _, name := range engine.Names() {
+		if !strings.Contains(text, name) {
+			t.Errorf("List output missing model %q", name)
+		}
+	}
+
+	var models, dists bytes.Buffer
+	cli.ListModels(&models)
+	cli.ListDistributions(&dists)
+	if strings.Contains(models.String(), "distributions") {
+		t.Error("ListModels leaked the distribution section")
+	}
+	if !strings.Contains(dists.String(), "exponential") {
+		t.Error("ListDistributions missing exponential")
+	}
+}

@@ -256,3 +256,7 @@ func Names() []string { return names.Names() }
 // name (see Names). Lookup is case-insensitive and accepts "twopoint" for
 // "two-point".
 func ByName(name string) (Distribution, error) { return names.Lookup(name) }
+
+// ResolveName returns the canonical registered name for name (following
+// aliases, e.g. "TwoPoint" → "two-point") and whether it is registered.
+func ResolveName(name string) (string, bool) { return names.Resolved(name) }

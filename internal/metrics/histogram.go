@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default bucket layout for wall-clock latencies
+// in seconds: 1µs to 2.5s in a 1-2.5-5 progression. The arena serves a
+// decision in tens of microseconds, so the interesting mass sits well
+// inside the range.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5,
+}
+
+// Histogram is a fixed-bucket striped histogram. Observe is lock-free:
+// one binary search over the (immutable) bucket bounds, one atomic add
+// on the caller's stripe, and one CAS loop folding the value into the
+// stripe's running sum. Each stripe's cells live in a private
+// cache-line-aligned row, so stripes never share a line.
+type Histogram struct {
+	upper []float64      // sorted upper bounds; the +Inf bucket is implicit
+	cells []atomic.Int64 // stripeCount rows of rowLen cells
+	row   int            // cells per row, padded to a 128-byte multiple
+}
+
+// Row layout: cells[row*i .. row*i+len(upper)] are the bucket counts
+// (index len(upper) is the +Inf bucket); the next cell holds the
+// stripe's sum as float64 bits.
+
+// NewHistogram returns a histogram over the given bucket upper bounds,
+// which must be sorted and non-empty (nil selects LatencyBuckets). A
+// trailing +Inf bound is redundant and stripped; the overflow bucket
+// always exists.
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	if math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	if !sort.Float64sAreSorted(upper) {
+		panic("metrics: histogram buckets must be sorted")
+	}
+	// len(upper) bucket cells + overflow + sum, rounded up to 16 cells
+	// (128 bytes) so rows start on their own line pair.
+	row := (len(upper) + 2 + 15) &^ 15
+	return &Histogram{
+		upper: upper,
+		cells: make([]atomic.Int64, row*stripeCount),
+		row:   row,
+	}
+}
+
+// Observe records v on stripe 0 (cold paths). Hot loops should hold a
+// Stripe.
+func (h *Histogram) Observe(v float64) { h.observe(0, v) }
+
+// Stripe returns a handle recording on row i (mod the stripe count).
+func (h *Histogram) Stripe(i int) HistogramStripe {
+	return HistogramStripe{h: h, base: (i & (stripeCount - 1)) * h.row}
+}
+
+// observe records v on the given row.
+func (h *Histogram) observe(base int, v float64) {
+	b := sort.SearchFloat64s(h.upper, v) // first bound >= v; len(upper) = +Inf
+	h.cells[base+b].Add(1)
+	sum := &h.cells[base+len(h.upper)+1]
+	for {
+		old := sum.Load()
+		next := int64(math.Float64bits(math.Float64frombits(uint64(old)) + v))
+		if sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramStripe is a single-row handle into a Histogram.
+type HistogramStripe struct {
+	h    *Histogram
+	base int
+}
+
+// Observe records v on the stripe.
+func (s HistogramStripe) Observe(v float64) { s.h.observe(s.base, v) }
+
+// snapshot sums the stripes: per-bucket cumulative counts (including the
+// +Inf bucket last), the total count, and the value sum.
+func (h *Histogram) snapshot() (cumulative []int64, count int64, sum float64) {
+	nb := len(h.upper) + 1
+	cumulative = make([]int64, nb)
+	for s := 0; s < stripeCount; s++ {
+		base := s * h.row
+		for b := 0; b < nb; b++ {
+			cumulative[b] += h.cells[base+b].Load()
+		}
+		sum += math.Float64frombits(uint64(h.cells[base+nb].Load()))
+	}
+	for b := 1; b < nb; b++ {
+		cumulative[b] += cumulative[b-1]
+	}
+	return cumulative, cumulative[nb-1], sum
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	_, count, _ := h.snapshot()
+	return count
+}
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	_, _, sum := h.snapshot()
+	return sum
+}

@@ -1,0 +1,320 @@
+// Package metrics is a dependency-free telemetry registry: sharded
+// counters and gauges plus a fixed-bucket histogram, rendered in the
+// Prometheus text exposition format.
+//
+// The design goal is a record path cheap enough to sit inside the arena's
+// serving loop. Every instrument is striped across a small power-of-two
+// number of cache-line-padded slots (one per CPU, roughly), so concurrent
+// writers on different Ps never contend on a line. The hot path is a
+// single uncontended atomic add: a worker resolves its stripe once
+// (Counter.Stripe, Histogram.Stripe) and then increments without hashing,
+// locking, or allocating. Reads (Value, WritePrometheus) sum the stripes;
+// they are linearizable per stripe but only loosely consistent across
+// stripes, which is the standard trade for contention-free writes.
+//
+// Instruments are registered under a full sample name that may carry a
+// pre-rendered label set — e.g. `decisions_total{model="sched"}` via
+// Labels — and re-registering the same name returns the same instrument,
+// so independent jobs sharing a label set share one time series. The
+// package deliberately has no dependencies beyond the standard library:
+// the serving layer must stay buildable in the bare container, and the
+// exposition format is stable enough to emit by hand (DESIGN.md,
+// "Service layer").
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// stripeCount is the number of padded slots per instrument: GOMAXPROCS
+// rounded up to a power of two, clamped to [1, 64]. It is fixed at
+// package init; later GOMAXPROCS changes only affect distribution, not
+// correctness.
+var stripeCount = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}()
+
+// slot is one padded counter cell. The padding spaces consecutive slots
+// a full cache-line pair apart (128 bytes covers the adjacent-line
+// prefetcher on x86), so stripes owned by different CPUs never share a
+// line.
+type slot struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// Counter is a monotonically increasing striped counter.
+type Counter struct {
+	slots []slot
+}
+
+// newCounter returns a counter with one padded slot per stripe.
+func newCounter() *Counter { return &Counter{slots: make([]slot, stripeCount)} }
+
+// Inc adds one on stripe 0. It is intended for cold paths (HTTP
+// handlers, job lifecycle events); hot loops should hold a Stripe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n on stripe 0. n must be non-negative; counters only go up.
+func (c *Counter) Add(n int64) { c.slots[0].v.Add(n) }
+
+// Stripe returns a handle on slot i (mod the stripe count) for
+// contention-free increments from a single worker. Distinct workers
+// should pass distinct i.
+func (c *Counter) Stripe(i int) CounterStripe {
+	return CounterStripe{v: &c.slots[i&(len(c.slots)-1)].v}
+}
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.slots {
+		sum += c.slots[i].v.Load()
+	}
+	return sum
+}
+
+// CounterStripe is a single-slot handle into a Counter. The zero value
+// is invalid; obtain one from Counter.Stripe.
+type CounterStripe struct{ v *atomic.Int64 }
+
+// Inc adds one to the stripe.
+func (s CounterStripe) Inc() { s.v.Add(1) }
+
+// Add adds n to the stripe.
+func (s CounterStripe) Add(n int64) { s.v.Add(n) }
+
+// Gauge is a striped gauge: a value that can go up and down. Add/Sub
+// distribute across stripes (callers may use per-worker stripes exactly
+// like counters); Set collapses the gauge to a single stripe and is only
+// safe when no concurrent Add is in flight.
+type Gauge struct {
+	slots []slot
+}
+
+// newGauge returns a gauge with one padded slot per stripe.
+func newGauge() *Gauge { return &Gauge{slots: make([]slot, stripeCount)} }
+
+// Inc adds one on stripe 0.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one on stripe 0.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add adds n (which may be negative) on stripe 0.
+func (g *Gauge) Add(n int64) { g.slots[0].v.Add(n) }
+
+// Stripe returns a handle on slot i (mod the stripe count). A worker
+// that increments on its own stripe must also decrement on it, so the
+// cross-stripe sum stays balanced.
+func (g *Gauge) Stripe(i int) GaugeStripe {
+	return GaugeStripe{v: &g.slots[i&(len(g.slots)-1)].v}
+}
+
+// Set overwrites the gauge: stripe 0 takes v, the rest are zeroed. Not
+// atomic with respect to concurrent Add.
+func (g *Gauge) Set(v int64) {
+	g.slots[0].v.Store(v)
+	for i := 1; i < len(g.slots); i++ {
+		g.slots[i].v.Store(0)
+	}
+}
+
+// Value sums the stripes.
+func (g *Gauge) Value() int64 {
+	var sum int64
+	for i := range g.slots {
+		sum += g.slots[i].v.Load()
+	}
+	return sum
+}
+
+// GaugeStripe is a single-slot handle into a Gauge.
+type GaugeStripe struct{ v *atomic.Int64 }
+
+// Add adds n (which may be negative) to the stripe.
+func (s GaugeStripe) Add(n int64) { s.v.Add(n) }
+
+// kind tags an instrument for TYPE lines and double-registration checks.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// typeName is the Prometheus TYPE keyword per kind.
+func (k kind) typeName() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGaugeFunc, kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// instrument is one registered time series.
+type instrument struct {
+	base   string // family name, labels stripped
+	labels string // rendered label pairs without braces ("" if none)
+	help   string
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// Registry holds named instruments and renders them. The zero value is
+// not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	byID map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byID: make(map[string]*instrument)} }
+
+// Labels renders a label set as a `{k="v",...}` suffix for instrument
+// names. Keys and values alternate; values are escaped per the text
+// exposition format. With no arguments it returns "".
+func Labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: Labels needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// splitName separates `base{labels}` into base and the label pairs
+// (braces stripped). A name without labels returns labels == "".
+func splitName(name string) (base, labels string, err error) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, "", validBase(name)
+	}
+	if !strings.HasSuffix(name, "}") || i == 0 {
+		return "", "", fmt.Errorf("metrics: malformed name %q", name)
+	}
+	base = name[:i]
+	return base, name[i+1 : len(name)-1], validBase(base)
+}
+
+// validBase checks the family name against the metric-name grammar.
+func validBase(base string) error {
+	if base == "" {
+		return fmt.Errorf("metrics: empty metric name")
+	}
+	for i, r := range base {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return fmt.Errorf("metrics: invalid metric name %q", base)
+		}
+	}
+	return nil
+}
+
+// register returns the instrument under name, creating it with mk on
+// first registration. Re-registering with a different kind panics: two
+// call sites disagreeing about what a name measures is a programming
+// error no fallback can repair.
+func (r *Registry) register(name, help string, k kind, mk func(base, labels string) *instrument) *instrument {
+	base, labels, err := splitName(name)
+	if err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.byID[name]; ok {
+		if in.kind != k {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s (was %s)", name, k.typeName(), in.kind.typeName()))
+		}
+		return in
+	}
+	in := mk(base, labels)
+	in.help = help
+	in.kind = k
+	r.byID[name] = in
+	return in
+}
+
+// Counter returns the counter registered under name (which may carry a
+// Labels suffix), creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	in := r.register(name, help, kindCounter, func(base, labels string) *instrument {
+		return &instrument{base: base, labels: labels, counter: newCounter()}
+	})
+	return in.counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	in := r.register(name, help, kindGauge, func(base, labels string) *instrument {
+		return &instrument{base: base, labels: labels, gauge: newGauge()}
+	})
+	return in.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time — live introspection (queue depths, goroutine counts) without a
+// write path. Re-registering the same name replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	in := r.register(name, help, kindGaugeFunc, func(base, labels string) *instrument {
+		return &instrument{base: base, labels: labels}
+	})
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given bucket upper bounds (see NewHistogram).
+// Buckets are fixed at first registration; later calls ignore theirs.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	in := r.register(name, help, kindHistogram, func(base, labels string) *instrument {
+		return &instrument{base: base, labels: labels, hist: NewHistogram(buckets)}
+	})
+	return in.hist
+}

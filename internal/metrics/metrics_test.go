@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testStripeSeq hands each benchmark goroutine its own stripe index.
+var testStripeSeq atomic.Int64
+
+func TestCounterStripes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := c.Stripe(w)
+			for i := 0; i < per; i++ {
+				s.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Add(5)
+	if got := c.Value(); got != workers*per+5 {
+		t.Fatalf("Value = %d, want %d", got, workers*per+5)
+	}
+}
+
+func TestCounterReregisterShares(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`x_total{model="sched"}`, "x")
+	b := r.Counter(`x_total{model="sched"}`, "x")
+	if a != b {
+		t.Fatal("re-registering the same name must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter did not share state")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "9lives", "a-b", `x{model="m"`, `{model="m"}`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "queued")
+	g.Add(10)
+	g.Stripe(3).Add(5)
+	g.Stripe(3).Add(-2)
+	g.Dec()
+	if got := g.Value(); got != 12 {
+		t.Fatalf("Value = %d, want 12", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("after Set: Value = %d, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	h.Stripe(1).Observe(2)
+	cum, count, sum := h.snapshot()
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	if math.Abs(sum-18) > 1e-9 {
+		t.Fatalf("sum = %g, want 18", sum)
+	}
+	// le=1: {0.5, 1}; le=2: +{1.5, 2}; le=5: +{3}; +Inf: +{10}.
+	want := []int64{2, 4, 5, 6}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := h.Stripe(w)
+			for i := 0; i < 1000; i++ {
+				s.Observe(0.25)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("Sum = %g, want 2000", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`decisions_total{model="sched",value="0"}`, "decisions by value").Add(3)
+	r.Counter(`decisions_total{model="sched",value="1"}`, "decisions by value").Add(4)
+	r.Gauge("queue_depth", "queued instances").Set(2)
+	r.GaugeFunc("live_jobs", "running jobs", func() int64 { return 1 })
+	h := r.Histogram(`latency_seconds{model="sched"}`, "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE decisions_total counter",
+		`decisions_total{model="sched",value="0"} 3`,
+		`decisions_total{model="sched",value="1"} 4`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"live_jobs 1",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{model="sched",le="0.1"} 1`,
+		`latency_seconds_bucket{model="sched",le="1"} 2`,
+		`latency_seconds_bucket{model="sched",le="+Inf"} 2`,
+		`latency_seconds_sum{model="sched"} 0.55`,
+		`latency_seconds_count{model="sched"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with two label sets.
+	if n := strings.Count(out, "# TYPE decisions_total"); n != 1 {
+		t.Errorf("TYPE decisions_total emitted %d times", n)
+	}
+}
+
+func TestLabelsEscaping(t *testing.T) {
+	got := Labels("dist", `two"point`+"\n"+`\`)
+	want := `{dist="two\"point\n\\"}`
+	if got != want {
+		t.Fatalf("Labels = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkCounterStripeInc(b *testing.B) {
+	c := newCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		s := c.Stripe(int(testStripeSeq.Add(1)))
+		for pb.Next() {
+			s.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramStripeObserve(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		s := h.Stripe(int(testStripeSeq.Add(1)))
+		for pb.Next() {
+			s.Observe(5e-5)
+		}
+	})
+}

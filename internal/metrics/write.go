@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format, sorted by family and label set, with one HELP
+// and TYPE line per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Everything but fn is immutable after registration; fn is snapshotted
+	// under the lock because GaugeFunc may replace it concurrently.
+	type entry struct {
+		*instrument
+		fn func() int64
+	}
+	r.mu.Lock()
+	ins := make([]entry, 0, len(r.byID))
+	for _, in := range r.byID {
+		ins = append(ins, entry{instrument: in, fn: in.fn})
+	}
+	r.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].base != ins[j].base {
+			return ins[i].base < ins[j].base
+		}
+		return ins[i].labels < ins[j].labels
+	})
+
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, in := range ins {
+		if in.base != prev {
+			prev = in.base
+			if in.help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(in.base)
+				bw.WriteByte(' ')
+				bw.WriteString(strings.ReplaceAll(in.help, "\n", " "))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(in.base)
+			bw.WriteByte(' ')
+			bw.WriteString(in.kind.typeName())
+			bw.WriteByte('\n')
+		}
+		switch in.kind {
+		case kindCounter:
+			writeSample(bw, in.base, "", in.labels, "", float64(in.counter.Value()))
+		case kindGauge:
+			writeSample(bw, in.base, "", in.labels, "", float64(in.gauge.Value()))
+		case kindGaugeFunc:
+			if in.fn != nil {
+				writeSample(bw, in.base, "", in.labels, "", float64(in.fn()))
+			}
+		case kindHistogram:
+			cumulative, count, sum := in.hist.snapshot()
+			for b, ub := range in.hist.upper {
+				writeSample(bw, in.base, "_bucket", in.labels,
+					`le="`+formatFloat(ub)+`"`, float64(cumulative[b]))
+			}
+			writeSample(bw, in.base, "_bucket", in.labels, `le="+Inf"`, float64(count))
+			writeSample(bw, in.base, "_sum", in.labels, "", sum)
+			writeSample(bw, in.base, "_count", in.labels, "", float64(count))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `base+suffix{labels,extra} value` line.
+func writeSample(bw *bufio.Writer, base, suffix, labels, extra string, v float64) {
+	bw.WriteString(base)
+	bw.WriteString(suffix)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

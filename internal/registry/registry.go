@@ -91,6 +91,21 @@ func (r *Registry[T]) Lookup(name string) (T, error) {
 	return mk(), nil
 }
 
+// Resolved returns the registered key name resolves to — canonicalized
+// and with aliases followed — and whether it is registered. It is the
+// name Lookup would construct from, suitable for labels and reports that
+// must not fork one entry into several spellings.
+func (r *Registry[T]) Resolved(name string) (string, bool) {
+	key := canon(name)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if target, ok := r.aliases[key]; ok {
+		key = target
+	}
+	_, ok := r.make[key]
+	return key, ok
+}
+
 // Names returns the registered canonical names (aliases excluded), sorted.
 func (r *Registry[T]) Names() []string {
 	r.mu.RLock()

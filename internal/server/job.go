@@ -1,0 +1,269 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leanconsensus/internal/arena"
+	"leanconsensus/internal/engine"
+	"leanconsensus/internal/xrand"
+)
+
+// jobState is a job's lifecycle position.
+type jobState int32
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateDone
+	stateFailed
+)
+
+// name renders the state for the wire.
+func (s jobState) name() string {
+	switch s {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
+
+// specRun is one spec's execution state inside a job. Progress fields
+// are atomics written from arena workers (via OnServe) and read by
+// status snapshots and the SSE stream without locks.
+type specRun struct {
+	spec engine.JobSpec
+	job  engine.Job
+
+	done     atomic.Int64
+	perShard []atomic.Int64
+
+	mu     sync.Mutex
+	result *SpecResult
+}
+
+// job is one admitted batch.
+type job struct {
+	id      string
+	created time.Time
+	specs   []*specRun
+
+	state atomic.Int32
+	errMu sync.Mutex
+	err   error
+
+	done chan struct{} // closed when the job finishes (done or failed)
+}
+
+// newJob builds the bookkeeping for one admitted batch.
+func newJob(id string, batch *Batch, shards int) *job {
+	j := &job{
+		id:      id,
+		created: time.Now(),
+		specs:   make([]*specRun, len(batch.Jobs)),
+		done:    make(chan struct{}),
+	}
+	for i := range batch.Jobs {
+		j.specs[i] = &specRun{
+			spec:     batch.Specs[i],
+			job:      batch.Jobs[i],
+			perShard: make([]atomic.Int64, shards),
+		}
+	}
+	return j
+}
+
+// statusName renders the current lifecycle state.
+func (j *job) statusName() string { return jobState(j.state.Load()).name() }
+
+// finished reports whether the job has reached a terminal state.
+func (j *job) finished() bool {
+	st := jobState(j.state.Load())
+	return st == stateDone || st == stateFailed
+}
+
+// snapshot assembles the wire status from the live counters.
+func (j *job) snapshot() JobStatus {
+	st := JobStatus{
+		ID:      j.id,
+		Status:  j.statusName(),
+		Created: j.created,
+		Specs:   make([]SpecStatus, len(j.specs)),
+	}
+	j.errMu.Lock()
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	j.errMu.Unlock()
+	for i, sr := range j.specs {
+		ss := SpecStatus{
+			Spec:      sr.spec,
+			Instances: sr.job.Instances,
+			Done:      sr.done.Load(),
+			PerShard:  make([]int64, len(sr.perShard)),
+		}
+		for s := range sr.perShard {
+			ss.PerShard[s] = sr.perShard[s].Load()
+		}
+		sr.mu.Lock()
+		if sr.result != nil {
+			r := *sr.result
+			ss.Result = &r
+		}
+		sr.mu.Unlock()
+		st.Specs[i] = ss
+	}
+	return st
+}
+
+// runJob executes every spec of one admitted job, in order, on its own
+// arenas. It owns the job's queued-instance reservation: each finished
+// instance returns its unit to the admission gate.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	j.state.Store(int32(stateRunning))
+	s.mRunning.Inc()
+	defer s.mRunning.Dec()
+
+	var failed error
+	for _, sr := range j.specs {
+		if err := s.runSpec(sr); err != nil && failed == nil {
+			failed = err
+		}
+	}
+	if failed != nil {
+		j.errMu.Lock()
+		j.err = failed
+		j.errMu.Unlock()
+		j.state.Store(int32(stateFailed))
+		s.mFailed.Inc()
+	} else {
+		j.state.Store(int32(stateDone))
+		s.mCompleted.Inc()
+	}
+	close(j.done)
+}
+
+// runSpec serves one spec on a fresh arena and folds the results into
+// its SpecResult. The workload derivation — keys "key-%08d", proposal
+// bits from the seed's "load" stream — matches cmd/leanarena exactly, so
+// a job replays byte-identically against the CLI's deterministic report.
+func (s *Server) runSpec(sr *specRun) error {
+	jb := sr.job
+	am := arena.NewMetrics(s.reg, "model", jb.ModelName, "dist", jb.DistName)
+	a, err := arena.New(arena.Config{
+		Shards:  s.cfg.Shards,
+		Workers: s.cfg.Workers,
+		N:       jb.N,
+		Noise:   jb.Noise,
+		Model:   jb.Model,
+		Seed:    jb.Seed,
+		Metrics: am,
+		OnServe: func(r arena.Result) {
+			if r.Shard >= 0 && r.Shard < len(sr.perShard) {
+				sr.perShard[r.Shard].Add(1)
+			}
+			sr.done.Add(1)
+		},
+	})
+	if err != nil {
+		s.queued.Add(-int64(jb.Instances))
+		return fmt.Errorf("server: job spec (model=%s): %v", jb.ModelName, err)
+	}
+
+	res := SpecResult{
+		Model:     jb.ModelName,
+		Variant:   jb.VariantName,
+		Dist:      jb.DistName,
+		N:         jb.N,
+		Seed:      jb.Seed,
+		Instances: jb.Instances,
+	}
+	fold := func(r arena.Result) {
+		if r.Err != nil {
+			res.Errors++
+		} else {
+			if r.Value == 0 {
+				res.Decided0++
+			} else {
+				res.Decided1++
+			}
+			res.Ops += r.Ops
+			res.RoundSum += int64(r.FirstRound)
+			if r.LastRound > res.MaxRound {
+				res.MaxRound = r.LastRound
+			}
+		}
+		s.queued.Add(-1)
+	}
+
+	// The submission window bounds memory: at most the arena's queue
+	// capacity plus its in-service slots stay outstanding, so a
+	// million-instance spec streams through a fixed-size ring instead of
+	// holding a buffered channel per instance. The window never deadlocks:
+	// result channels are buffered, so workers always make progress while
+	// the runner waits on the ring's oldest entry.
+	window := a.QueueCap() + s.cfg.Shards*s.cfg.Workers
+	if window > jb.Instances {
+		window = jb.Instances
+	}
+	if window < 1 {
+		window = 1
+	}
+	chans := make([]<-chan arena.Result, window)
+
+	start := time.Now()
+	bits := xrand.New(jb.Seed, 0x6c6f6164) // "load", the leanarena stream
+	for i := 0; i < jb.Instances; i++ {
+		if i >= window {
+			fold(<-chans[i%window])
+		}
+		done, err := a.Submit(fmt.Sprintf("key-%08d", i), bits.Intn(2))
+		if err != nil {
+			// Unreachable while the server owns the arena: return the
+			// never-submitted remainder's reservation, drain what is in
+			// flight, and surface the fault. Once the ring has wrapped,
+			// slot i%window was already folded above, so only the window-1
+			// slots after it are outstanding.
+			s.queued.Add(-int64(jb.Instances - i))
+			lo := 0
+			if i >= window {
+				lo = i - window + 1
+			}
+			for k := lo; k < i; k++ {
+				fold(<-chans[k%window])
+			}
+			a.Close()
+			return fmt.Errorf("server: submit failed mid-job: %v", err)
+		}
+		chans[i%window] = done
+	}
+	for k := jb.Instances - window; k < jb.Instances; k++ {
+		fold(<-chans[k%window])
+	}
+	elapsed := time.Since(start)
+	if err := a.Close(); err != nil {
+		return err
+	}
+
+	if decided := res.Decided0 + res.Decided1; decided > 0 {
+		res.MeanFirstRound = float64(res.RoundSum) / float64(decided)
+		res.Throughput = float64(decided) / elapsed.Seconds()
+	}
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+
+	sr.mu.Lock()
+	sr.result = &res
+	sr.mu.Unlock()
+	return nil
+}

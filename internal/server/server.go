@@ -1,0 +1,350 @@
+// Package server is the network-facing layer of the repository: an
+// HTTP/JSON consensus service over the sharded arena, with batching,
+// admission control, and live telemetry.
+//
+// A client POSTs a batch of job specs to /v1/jobs; each spec names an
+// execution model, noise distribution, instance shape, and seed, and is
+// validated through the engine's model/variant registries and the
+// distribution registry before anything runs (engine.JobSpec.Resolve).
+// Jobs execute asynchronously on per-job arenas sharing the server's
+// pool shape; clients poll GET /v1/jobs/{id}, or subscribe to
+// GET /v1/jobs/{id}/stream for per-shard progress as server-sent
+// events. GET /v1/models lists everything the registries know, /healthz
+// reports liveness, and /metrics exposes the internal/metrics registry
+// in Prometheus text format.
+//
+// Backpressure is explicit and two-layered. Inside a job, arena shard
+// queues bound in-flight requests and Submit blocks (the arena's own
+// backpressure). Across jobs, the server tracks admitted-but-unfinished
+// instances and sheds load once that queue depth crosses the configured
+// high-water mark: the POST is rejected with 429 and a Retry-After
+// estimate instead of being buffered without bound. Shutdown is a
+// drain, not a drop: Close stops admissions and waits for every running
+// job, which in turn waits on each arena's graceful Close.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"leanconsensus/internal/arena"
+	"leanconsensus/internal/engine"
+	"leanconsensus/internal/metrics"
+)
+
+// Defaults applied by New.
+const (
+	// DefaultHighWater is the queued-instance high-water mark: POSTs that
+	// would push the backlog past it are shed with 429.
+	DefaultHighWater = 1 << 18
+	// DefaultMaxBatch is the maximum specs per POST /v1/jobs.
+	DefaultMaxBatch = 64
+	// DefaultMaxJobsKept bounds the finished-job history; the oldest done
+	// jobs are evicted beyond it.
+	DefaultMaxJobsKept = 1024
+)
+
+// Config describes a server.
+type Config struct {
+	// Shards and Workers set the arena pool shape used for every job
+	// (defaults arena.DefaultShards / arena.DefaultWorkers).
+	Shards, Workers int
+	// HighWater is the queued-instance count past which POST /v1/jobs is
+	// rejected with 429 (default DefaultHighWater). A batch that arrives at
+	// an empty queue is always admitted, so one legal batch can never be
+	// unschedulable.
+	HighWater int64
+	// MaxBatch caps the specs in one POST (default DefaultMaxBatch).
+	MaxBatch int
+	// MaxConcurrentJobs bounds jobs executing at once; further admitted
+	// jobs wait in "queued" state (default GOMAXPROCS/2, min 1).
+	MaxConcurrentJobs int
+	// MaxJobsKept bounds the job table (default DefaultMaxJobsKept).
+	MaxJobsKept int
+	// Registry receives the server's and every job arena's telemetry; New
+	// creates one when nil. Expose it at /metrics or share it across
+	// subsystems.
+	Registry *metrics.Registry
+}
+
+// Server is the HTTP consensus service. Create one with New, mount
+// Handler, and Close it to drain.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // creation order, for eviction
+	seq    uint64
+	closed bool
+
+	wg     sync.WaitGroup // running jobs
+	sem    chan struct{}  // bounds concurrently executing jobs
+	queued atomic.Int64   // instances admitted but not yet finished
+
+	mAccepted  *metrics.Counter
+	mRejected  *metrics.Counter
+	mCompleted *metrics.Counter
+	mFailed    *metrics.Counter
+	mRunning   *metrics.Gauge
+}
+
+// New validates the configuration, applies defaults, registers the
+// server's own metrics, and mounts the routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = arena.DefaultShards
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = arena.DefaultWorkers
+	}
+	if cfg.HighWater == 0 {
+		cfg.HighWater = DefaultHighWater
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxConcurrentJobs == 0 {
+		cfg.MaxConcurrentJobs = runtime.GOMAXPROCS(0) / 2
+		if cfg.MaxConcurrentJobs < 1 {
+			cfg.MaxConcurrentJobs = 1
+		}
+	}
+	if cfg.MaxJobsKept == 0 {
+		cfg.MaxJobsKept = DefaultMaxJobsKept
+	}
+	if cfg.Shards < 0 || cfg.Workers < 0 || cfg.HighWater < 0 ||
+		cfg.MaxBatch < 0 || cfg.MaxConcurrentJobs < 0 || cfg.MaxJobsKept < 1 {
+		return nil, fmt.Errorf("server: negative configuration")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:  cfg,
+		reg:  cfg.Registry,
+		jobs: make(map[string]*job),
+		sem:  make(chan struct{}, cfg.MaxConcurrentJobs),
+	}
+	const jobsTotal = "leanconsensus_jobs_total"
+	s.mAccepted = s.reg.Counter(jobsTotal+metrics.Labels("event", "accepted"), "job batches by lifecycle event")
+	s.mRejected = s.reg.Counter(jobsTotal+metrics.Labels("event", "rejected"), "job batches by lifecycle event")
+	s.mCompleted = s.reg.Counter(jobsTotal+metrics.Labels("event", "completed"), "job batches by lifecycle event")
+	s.mFailed = s.reg.Counter(jobsTotal+metrics.Labels("event", "failed"), "job batches by lifecycle event")
+	s.mRunning = s.reg.Gauge("leanconsensus_jobs_running", "jobs currently executing")
+	s.reg.GaugeFunc("leanconsensus_queued_instances",
+		"instances admitted but not yet finished (the admission-control queue depth)",
+		s.queued.Load)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry the server records into.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// QueuedInstances reports the admission-control queue depth.
+func (s *Server) QueuedInstances() int64 { return s.queued.Load() }
+
+// Close stops admitting jobs and drains: it returns once every accepted
+// job has run to completion. It is idempotent and safe to call
+// concurrently with in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is the only failure mode
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits one batch of job specs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	batch, err := DecodeSubmit(http.MaxBytesReader(w, r.Body, 1<<20), s.cfg.MaxBatch)
+	if err != nil {
+		s.mRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var total int64
+	for _, jb := range batch.Jobs {
+		total += int64(jb.Instances)
+	}
+	// Admission control: shed rather than buffer. The reservation must be
+	// atomic with the check, or two racing POSTs could both slip under the
+	// mark; CompareAndSwap keeps the whole gate lock-free.
+	for {
+		cur := s.queued.Load()
+		if cur > 0 && cur+total > s.cfg.HighWater {
+			s.mRejected.Inc()
+			w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
+			writeError(w, http.StatusTooManyRequests,
+				"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
+			return
+		}
+		if s.queued.CompareAndSwap(cur, cur+total) {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.queued.Add(-total)
+		s.mRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server: draining, not accepting jobs")
+		return
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j-%06d", s.seq), batch, s.cfg.Shards)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.mAccepted.Inc()
+	go s.runJob(j)
+
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:              j.id,
+		Status:          j.statusName(),
+		Location:        "/v1/jobs/" + j.id,
+		QueuedInstances: s.queued.Load(),
+	})
+}
+
+// retryAfter estimates seconds until the backlog clears, assuming the
+// pool's rough steady-state throughput; clients treat it as a hint.
+func retryAfter(queued int64) int64 {
+	const assumedRate = 50_000 // decisions/sec, the PR 1 load-test figure
+	secs := queued/assumedRate + 1
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// evictLocked trims the job table to MaxJobsKept, oldest finished first.
+// Unfinished jobs are never evicted.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.cfg.MaxJobsKept {
+		evicted := false
+		for i, id := range s.order {
+			if j, ok := s.jobs[id]; ok && j.finished() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; let the table run long
+		}
+	}
+}
+
+// lookup returns the job or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, id string) *job {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "server: unknown job %q", id)
+	}
+	return j
+}
+
+// handleJob reports one job's status and, when finished, its results.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleModels lists the three registries the wire spec resolves
+// against.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	resp := modelsResponse{DefaultModel: engine.DefaultModel}
+	for _, info := range engine.List() {
+		resp.Models = append(resp.Models, modelInfo{Name: info.Name, Brief: info.Brief})
+	}
+	for _, name := range engine.VariantNames() {
+		resp.Variants = append(resp.Variants, variantInfo{
+			Name:     name,
+			Servable: name == engine.ServableVariant,
+		})
+	}
+	for _, name := range distNames() {
+		resp.Dists = append(resp.Dists, name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining.
+// The jobs field counts live (queued or running) jobs, not the finished
+// history the table retains for polling.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	live := 0
+	for _, j := range s.jobs {
+		if !j.finished() {
+			live++
+		}
+	}
+	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	if closed {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthResponse{
+		Status:          status,
+		QueuedInstances: s.queued.Load(),
+		Jobs:            live,
+	})
+}
+
+// handleMetrics renders the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.reg.WritePrometheus(w) //nolint:errcheck // the connection is the only failure mode
+}

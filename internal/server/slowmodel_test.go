@@ -1,0 +1,53 @@
+package server_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"leanconsensus/internal/engine"
+)
+
+// slowGate, when armed, blocks every slowModel run until the test
+// releases it — the deterministic way to keep instances parked in the
+// admission queue. Unarmed (nil), slowModel decides immediately.
+var slowGate atomic.Pointer[chan struct{}]
+
+// slowModel is a test-only execution model: it registers through the
+// same engine registry as the real models (proving an external model is
+// servable with zero server changes) and decides process 0's input
+// after the gate opens.
+type slowModel struct{}
+
+func (slowModel) Name() string { return "slowtest" }
+
+func (slowModel) Run(spec engine.Spec, _ *engine.Session) (engine.Result, error) {
+	if ch := slowGate.Load(); ch != nil {
+		<-*ch
+	}
+	return engine.Result{Value: spec.Inputs[0]}, nil
+}
+
+func init() {
+	engine.Register("slowtest", "test-only gated model", func() engine.Model { return slowModel{} })
+}
+
+// gateSlowModel arms the gate and returns the (idempotent) release. The
+// gate is disarmed when the test ends, so other tests see an instant
+// model.
+func gateSlowModel(t *testing.T) (release func()) {
+	t.Helper()
+	ch := make(chan struct{})
+	slowGate.Store(&ch)
+	released := false
+	release = func() {
+		if !released {
+			released = true
+			close(ch)
+		}
+	}
+	t.Cleanup(func() {
+		release()
+		slowGate.Store(nil)
+	})
+	return release
+}

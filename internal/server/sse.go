@@ -1,0 +1,70 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// streamInterval is the progress cadence of /v1/jobs/{id}/stream.
+const streamInterval = 100 * time.Millisecond
+
+// handleStream serves one job's progress as server-sent events: an
+// immediate "progress" event, one more per tick while the job runs, and
+// a terminal "done" event carrying the final status (including
+// results). The stream ends after "done" or when the client goes away;
+// a reconnecting client simply gets a fresh snapshot, since events are
+// snapshots rather than deltas.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "server: response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(event string) bool {
+		data, err := json.Marshal(j.snapshot())
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte("event: " + event + "\ndata: ")); err != nil {
+			return false
+		}
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte("\n\n")); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	if !write("progress") {
+		return
+	}
+	ticker := time.NewTicker(streamInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.done:
+			write("done")
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if !write("progress") {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
+)
+
+// The JSON wire contract. The root package's Client mirrors these
+// shapes; the end-to-end tests drive the real server through that
+// client, so the two cannot drift silently.
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Jobs []engine.JobSpec `json:"jobs"`
+}
+
+// submitResponse is the 202 body.
+type submitResponse struct {
+	ID              string `json:"id"`
+	Status          string `json:"status"`
+	Location        string `json:"location"`
+	QueuedInstances int64  `json:"queuedInstances"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body and the SSE event payload.
+type JobStatus struct {
+	ID      string       `json:"id"`
+	Status  string       `json:"status"` // queued | running | done | failed
+	Created time.Time    `json:"created"`
+	Specs   []SpecStatus `json:"specs"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// SpecStatus is one spec's live progress and, once finished, result.
+type SpecStatus struct {
+	Spec      engine.JobSpec `json:"spec"`
+	Instances int            `json:"instances"`
+	Done      int64          `json:"done"`
+	PerShard  []int64        `json:"perShard"`
+	Result    *SpecResult    `json:"result,omitempty"`
+}
+
+// SpecResult aggregates one executed spec. Every field except the
+// wall-clock ones (ElapsedMS, Throughput) is a pure function of the
+// spec — byte-identical across replays, and matching what cmd/leanarena
+// reports for the same shape, since the server derives the workload from
+// the same seed streams.
+type SpecResult struct {
+	Model          string  `json:"model"`
+	Variant        string  `json:"variant"`
+	Dist           string  `json:"dist"`
+	N              int     `json:"n"`
+	Seed           uint64  `json:"seed"`
+	Instances      int     `json:"instances"`
+	Decided0       int64   `json:"decided0"`
+	Decided1       int64   `json:"decided1"`
+	Errors         int64   `json:"errors"`
+	Ops            int64   `json:"ops"`
+	RoundSum       int64   `json:"roundSum"`
+	MeanFirstRound float64 `json:"meanFirstRound"`
+	MaxRound       int     `json:"maxRound"`
+	ElapsedMS      float64 `json:"elapsedMs"`
+	Throughput     float64 `json:"throughput"`
+}
+
+// modelsResponse is the GET /v1/models body.
+type modelsResponse struct {
+	DefaultModel string        `json:"defaultModel"`
+	Models       []modelInfo   `json:"models"`
+	Variants     []variantInfo `json:"variants"`
+	Dists        []string      `json:"dists"`
+}
+
+type modelInfo struct {
+	Name  string `json:"name"`
+	Brief string `json:"brief"`
+}
+
+type variantInfo struct {
+	Name     string `json:"name"`
+	Servable bool   `json:"servable"`
+}
+
+// healthResponse is the GET /healthz body. Jobs counts live (queued or
+// running) jobs only.
+type healthResponse struct {
+	Status          string `json:"status"`
+	QueuedInstances int64  `json:"queuedInstances"`
+	Jobs            int    `json:"jobs"`
+}
+
+// distNames lists the registered distribution names.
+func distNames() []string { return dist.Names() }
+
+// Batch is a decoded, fully validated POST /v1/jobs body: the raw specs
+// side by side with their resolved jobs.
+type Batch struct {
+	Specs []engine.JobSpec
+	Jobs  []engine.Job
+}
+
+// DecodeSubmit parses and validates a POST /v1/jobs body. Every failure
+// is a client error (HTTP 400): malformed JSON, unknown fields, trailing
+// garbage, an empty or oversized batch, and any spec the engine
+// registries refuse. It never panics on hostile input — the root
+// package's FuzzJobSpecDecode holds it to that.
+func DecodeSubmit(r io.Reader, maxBatch int) (*Batch, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("server: bad request body: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("server: trailing data after request body")
+	}
+	if len(req.Jobs) == 0 {
+		return nil, fmt.Errorf("server: batch is empty: provide at least one job spec")
+	}
+	if maxBatch > 0 && len(req.Jobs) > maxBatch {
+		return nil, fmt.Errorf("server: batch has %d specs, maximum is %d", len(req.Jobs), maxBatch)
+	}
+	b := &Batch{Specs: req.Jobs, Jobs: make([]engine.Job, len(req.Jobs))}
+	for i, spec := range req.Jobs {
+		job, err := spec.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("server: job spec %d: %v", i, err)
+		}
+		b.Jobs[i] = job
+	}
+	return b, nil
+}
