@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"leanconsensus"
+	"leanconsensus/internal/arena"
+	"leanconsensus/internal/campaign"
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/harness"
 	"leanconsensus/internal/renewal"
@@ -227,6 +229,39 @@ func BenchmarkRenewalRace(b *testing.B) {
 					Seed:  uint64(i),
 				}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignAggregate pins the campaign aggregation path's memory
+// shape: folding one repetition into a cell's streaming aggregate
+// (campaign.CellStats.Add — Welford moments plus a fixed-size percentile
+// sketch) allocates nothing, so campaign memory is O(cells), never
+// O(instances). The instances dimension exists to make the claim visible:
+// allocs/op stays flat (the one CellStats) while the folded volume grows
+// 100×.
+func BenchmarkCampaignAggregate(b *testing.B) {
+	mk := func(i int) arena.Result {
+		return arena.Result{
+			Value:      i & 1,
+			FirstRound: 2 + i%5,
+			LastRound:  3 + i%5,
+			Ops:        int64(40 + i%17),
+			SimTime:    float64(i % 10),
+		}
+	}
+	for _, instances := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("instances=%d", instances), func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				var cs campaign.CellStats
+				for i := 0; i < instances; i++ {
+					cs.Add(8, mk(i))
+				}
+				if cs.Reps != int64(instances) {
+					b.Fatalf("folded %d of %d", cs.Reps, instances)
 				}
 			}
 		})

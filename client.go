@@ -110,7 +110,29 @@ type Health struct {
 	Status          string `json:"status"`
 	QueuedInstances int64  `json:"queuedInstances"`
 	Jobs            int    `json:"jobs"`
+	Campaigns       int    `json:"campaigns"`
 }
+
+// CampaignStatus is one campaign's lifecycle state, live progress, and —
+// once finished — its deterministic report.
+type CampaignStatus struct {
+	ID       string    `json:"id"`
+	Status   string    `json:"status"`
+	Created  time.Time `json:"created"`
+	Name     string    `json:"name,omitempty"`
+	SpecHash string    `json:"specHash"`
+
+	CellsDone      int   `json:"cellsDone"`
+	CellsTotal     int   `json:"cellsTotal"`
+	InstancesDone  int64 `json:"instancesDone"`
+	InstancesTotal int64 `json:"instancesTotal"`
+
+	Error  string          `json:"error,omitempty"`
+	Report *CampaignReport `json:"report,omitempty"`
+}
+
+// Finished reports whether the campaign reached a terminal state.
+func (s *CampaignStatus) Finished() bool { return s.Status == JobDone || s.Status == JobFailed }
 
 // APIError is a non-2xx response from the service.
 type APIError struct {
@@ -263,29 +285,32 @@ func jobError(st *JobStatus) error {
 	return nil
 }
 
-// StreamJob subscribes to the job's SSE progress stream, calling fn
-// (when non-nil) for every progress snapshot, and returns the final
-// status carried by the terminal "done" event. A failed job returns its
-// status together with a non-nil error, exactly like WaitJob.
-func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobStatus)) (*JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+// streamEvents subscribes to an SSE endpoint and calls each for every
+// event payload; each returning true ends the stream as successfully
+// terminal. Both StreamJob and StreamCampaign are this loop with a
+// different payload type.
+func (c *Client) streamEvents(ctx context.Context, path string, each func(event string, data []byte) (bool, error)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, responseError(resp)
+		return responseError(resp)
 	}
 
 	var event string
 	var data bytes.Buffer
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// The terminal "done" event carries the whole final status on one
+	// data line; for a maximal legal campaign (4096 cells, ~450 bytes of
+	// JSON each) that is ~2 MB, so the line cap must sit well above it.
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -297,23 +322,139 @@ func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobStatus)) (
 			if data.Len() == 0 {
 				continue
 			}
-			var st JobStatus
-			if err := json.Unmarshal(data.Bytes(), &st); err != nil {
-				return nil, fmt.Errorf("leanserve: bad stream payload: %v", err)
+			done, err := each(event, data.Bytes())
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
 			}
 			data.Reset()
-			if event == "done" {
-				return &st, jobError(&st)
-			}
-			if fn != nil {
-				fn(st)
-			}
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("leanserve: stream ended without a done event")
+}
+
+// StreamJob subscribes to the job's SSE progress stream, calling fn
+// (when non-nil) for every progress snapshot, and returns the final
+// status carried by the terminal "done" event. A failed job returns its
+// status together with a non-nil error, exactly like WaitJob.
+func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobStatus)) (*JobStatus, error) {
+	var final *JobStatus
+	err := c.streamEvents(ctx, "/v1/jobs/"+id+"/stream", func(event string, data []byte) (bool, error) {
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return false, fmt.Errorf("leanserve: bad stream payload: %v", err)
+		}
+		if event == "done" {
+			final = &st
+			return true, nil
+		}
+		if fn != nil {
+			fn(st)
+		}
+		return false, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return nil, fmt.Errorf("leanserve: stream ended without a done event")
+	return final, jobError(final)
+}
+
+// SubmitCampaign submits one campaign spec and returns the campaign ID.
+// The whole grid is admitted or shed as a unit: on overload the typed
+// *OverloadedError carries the service's Retry-After hint, and an
+// oversized grid comes back as a 400 *APIError before anything runs.
+func (c *Client) SubmitCampaign(ctx context.Context, spec CampaignSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Campaign fetches one campaign's status (and, once finished, report).
+func (c *Client) Campaign(ctx context.Context, id string) (*CampaignStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st CampaignStatus
+	if err := c.do(req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitCampaign polls until the campaign finishes or ctx expires. A
+// failed campaign returns its final status together with a non-nil
+// error.
+func (c *Client) WaitCampaign(ctx context.Context, id string) (*CampaignStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		st, err := c.Campaign(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Finished() {
+			return st, campaignError(st)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// campaignError maps a failed terminal status to an error.
+func campaignError(st *CampaignStatus) error {
+	if st.Status == JobFailed {
+		return fmt.Errorf("leanserve: campaign %s failed: %s", st.ID, st.Error)
+	}
+	return nil
+}
+
+// StreamCampaign subscribes to the campaign's SSE progress stream,
+// calling fn (when non-nil) for every cell-progress snapshot, and
+// returns the final status carried by the terminal "done" event.
+func (c *Client) StreamCampaign(ctx context.Context, id string, fn func(CampaignStatus)) (*CampaignStatus, error) {
+	var final *CampaignStatus
+	err := c.streamEvents(ctx, "/v1/campaigns/"+id+"/stream", func(event string, data []byte) (bool, error) {
+		var st CampaignStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return false, fmt.Errorf("leanserve: bad stream payload: %v", err)
+		}
+		if event == "done" {
+			final = &st
+			return true, nil
+		}
+		if fn != nil {
+			fn(st)
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return final, campaignError(final)
 }
 
 // Models fetches the service's registry catalog.

@@ -13,6 +13,9 @@
 //	POST /v1/jobs            submit a batch of job specs (202 + job id)
 //	GET  /v1/jobs/{id}       poll status and results
 //	GET  /v1/jobs/{id}/stream  per-shard progress as server-sent events
+//	POST /v1/campaigns       submit a declarative campaign grid (202 + id)
+//	GET  /v1/campaigns/{id}  poll campaign status and the final report
+//	GET  /v1/campaigns/{id}/stream  cell progress as server-sent events
 //	GET  /v1/models          list registered models, variants, distributions
 //	GET  /healthz            liveness (200 ok / 503 draining)
 //	GET  /metrics            Prometheus text exposition

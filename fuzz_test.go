@@ -1,10 +1,12 @@
 package leanconsensus_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"leanconsensus"
+	"leanconsensus/internal/campaign"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/server"
 )
@@ -110,6 +112,76 @@ func FuzzJobSpecDecode(f *testing.F) {
 			}
 			if job.VariantName != engine.ServableVariant {
 				t.Fatalf("job %d accepted with unservable variant %q", i, job.VariantName)
+			}
+		}
+	})
+}
+
+// FuzzCampaignSpecDecode fuzzes the campaign spec decoder
+// (campaign.DecodeSpec, the body of POST /v1/campaigns). Hostile input —
+// malformed JSON, unknown fields, unregistered names, out-of-range reps,
+// and above all oversized grids — must come back as an error (a typed
+// *campaign.LimitError for anything over the wire limits), never a panic
+// or an attempt to materialize the named grid; anything the decoder
+// accepts must be a campaign whose every cell the engine registries
+// fully resolved within the limits.
+func FuzzCampaignSpecDecode(f *testing.F) {
+	f.Add(`{"reps":10}`)
+	f.Add(`{"name":"fig1","models":["sched"],"dists":["exponential","uniform","normal","geometric","two-point","delayed"],"ns":[1,10,100],"seeds":[1],"reps":50}`)
+	f.Add(`{"models":["hybrid","sched"],"dists":["exponential","uniform"],"ns":[4],"reps":3}`)
+	f.Add(`{"models":["nope"],"reps":1}`)
+	f.Add(`{"dists":["none"],"reps":1}`)
+	f.Add(`{"ns":[0,-1],"reps":1}`)
+	f.Add(`{"ns":[1000000],"reps":1}`)
+	f.Add(`{"seeds":[18446744073709551615],"reps":1}`)
+	f.Add(`{"reps":1000000,"ns":[4,8]}`)
+	f.Add(`{"reps":0}`)
+	f.Add(`{"reps":1,"bogus":7}`)
+	f.Add(`{"reps":1} trailing`)
+	f.Add(`{"dists":["two-point","twopoint"],"reps":1}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add("\x00\xff\xfe")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		c, err := campaign.DecodeSpec(strings.NewReader(body))
+		if err != nil {
+			if c != nil {
+				t.Fatalf("decoder returned both a campaign and error %v", err)
+			}
+			var le *campaign.LimitError
+			if errors.As(err, &le) && le.Got <= le.Max {
+				t.Fatalf("limit error for a value within the limit: %+v", le)
+			}
+			return
+		}
+		if len(c.Cells) == 0 || int64(len(c.Cells)) > campaign.MaxWireCells {
+			t.Fatalf("accepted campaign has %d cells", len(c.Cells))
+		}
+		if c.Instances < 1 || c.Instances > campaign.MaxWireInstances {
+			t.Fatalf("accepted campaign has %d instances", c.Instances)
+		}
+		if len(c.Hash) != 64 {
+			t.Fatalf("accepted campaign has bad hash %q", c.Hash)
+		}
+		seen := make(map[string]bool)
+		for _, cell := range c.Cells {
+			if seen[cell.Key] {
+				t.Fatalf("duplicate cell %q survived dedup", cell.Key)
+			}
+			seen[cell.Key] = true
+			job := cell.Job
+			if job.Model == nil {
+				t.Fatalf("cell %q accepted with unresolved model", cell.Key)
+			}
+			if job.Noise == nil && !engine.IgnoresNoise(job.Model) {
+				t.Fatalf("cell %q accepted with unresolved noise for noisy model %q", cell.Key, job.ModelName)
+			}
+			if job.N < 1 || job.N > engine.MaxWireN {
+				t.Fatalf("cell %q accepted with n=%d", cell.Key, job.N)
+			}
+			if job.Instances != c.Spec.Reps {
+				t.Fatalf("cell %q carries %d instances, spec says %d", cell.Key, job.Instances, c.Spec.Reps)
 			}
 		}
 	})

@@ -103,13 +103,20 @@ type Result struct {
 	Err error
 }
 
-// request is one queued proposal.
+// request is one queued proposal. A request is either derived (the
+// Propose/Submit path: the instance's seed and inputs come from the arena
+// seed and the key) or explicit (the SubmitSpec path: the caller supplies
+// the full engine.Spec, and may override the arena's model).
 type request struct {
 	key   string
 	shard int
 	bit   int
 	enq   time.Time
 	done  chan Result
+
+	explicit bool
+	model    engine.Model // nil selects the arena's configured model
+	spec     engine.Spec  // valid only when explicit
 }
 
 // ShardStats accumulates one shard's deterministic counters. All fields
@@ -281,6 +288,11 @@ func (a *Arena) Submit(key string, bit int) (<-chan Result, error) {
 		enq:   time.Now(),
 		done:  make(chan Result, 1),
 	}
+	return a.enqueue(req)
+}
+
+// enqueue routes one prepared request onto its shard queue.
+func (a *Arena) enqueue(req *request) (<-chan Result, error) {
 	// The read lock is held across the send so Close cannot close the
 	// queue between the closed-check and the send. Workers keep draining
 	// while Close waits for the write lock, so a blocked send still makes
@@ -297,6 +309,126 @@ func (a *Arena) Submit(key string, bit int) (<-chan Result, error) {
 	}
 	a.shards[req.shard].reqs <- req
 	return req.done, nil
+}
+
+// SpecRequest is one explicitly specified instance for SubmitSpec: the
+// caller controls the seed, the process count, and (optionally) the
+// inputs, the noise distribution, and the execution model, instead of
+// having them derived from the arena configuration and the key. It is how
+// orchestration layers (internal/campaign) run heterogeneous work — cells
+// varying model, dist, N, and seed — through one shared worker pool.
+type SpecRequest struct {
+	// Model executes the instance; nil selects the arena's configured
+	// model.
+	Model engine.Model
+	// Spec is passed to the model as given, except that Spec.Shard is
+	// overwritten with the serving shard and a nil Spec.Inputs selects the
+	// paper's Figure 1 half-and-half assignment (process i gets input 0
+	// for i < N/2, else 1), built in the worker's pooled buffer. Spec.Key
+	// routes exactly like Submit's key. A non-nil Inputs slice is borrowed
+	// until the Result is delivered; the caller must not modify it before
+	// then. A nil Spec.Noise is passed through as-is — valid only for
+	// models that declare engine.NoiseFree.
+	Spec engine.Spec
+}
+
+// SubmitSpec enqueues one explicit instance and returns the channel its
+// Result will be delivered on. Like Submit it blocks only on a full shard
+// queue and returns ErrClosed after Close. The outcome is a pure function
+// of the request — the arena seed plays no part — so identical requests
+// replay identically on any arena shape.
+func (a *Arena) SubmitSpec(sr SpecRequest) (<-chan Result, error) {
+	if sr.Spec.N < 1 {
+		return nil, fmt.Errorf("arena: spec N must be positive, got %d", sr.Spec.N)
+	}
+	if sr.Spec.Inputs != nil && len(sr.Spec.Inputs) != sr.Spec.N {
+		return nil, fmt.Errorf("arena: spec has %d inputs for %d processes", len(sr.Spec.Inputs), sr.Spec.N)
+	}
+	req := &request{
+		key:      sr.Spec.Key,
+		shard:    a.ShardFor(sr.Spec.Key),
+		enq:      time.Now(),
+		done:     make(chan Result, 1),
+		explicit: true,
+		model:    sr.Model,
+		spec:     sr.Spec,
+	}
+	return a.enqueue(req)
+}
+
+// SubmitWait submits one explicit instance and waits for its decision or
+// for ctx. On ctx expiry the instance still runs to completion in the
+// background; only the wait is abandoned.
+func (a *Arena) SubmitWait(ctx context.Context, sr SpecRequest) (Result, error) {
+	done, err := a.SubmitSpec(sr)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case res := <-done:
+		return res, res.Err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// RunSpecs pipelines count explicit instances through the arena with a
+// bounded submission window and delivers results to fn in submission
+// order — fn(i, result of gen(i)) — which is what lets a caller fold a
+// deterministic aggregate while memory stays bounded by the window, not
+// the batch. gen(i) is called once per index, in order; fn runs on the
+// caller's goroutine.
+//
+// Cancellation is clean by construction: when ctx is cancelled RunSpecs
+// stops submitting, drains every already-submitted instance to
+// completion (delivering each to fn), and returns ctx.Err(). The arena
+// is left fully drainable — Close succeeds and no goroutine or queue
+// entry leaks — so an aborted batch costs only the instances already in
+// flight.
+func (a *Arena) RunSpecs(ctx context.Context, count int, gen func(i int) SpecRequest, fn func(i int, r Result)) error {
+	if count <= 0 {
+		return nil
+	}
+	// The window bounds outstanding instances: at most the arena's queue
+	// capacity plus its in-service slots wait at once, so submission can
+	// never deadlock against a full queue while every worker is busy.
+	window := a.QueueCap() + len(a.shards)*a.cfg.Workers
+	if window > count {
+		window = count
+	}
+	if window < 1 {
+		window = 1
+	}
+	chans := make([]<-chan Result, window)
+	submitted, delivered := 0, 0
+	deliver := func() {
+		r := <-chans[delivered%window]
+		fn(delivered, r)
+		delivered++
+	}
+	var err error
+	for i := 0; i < count; i++ {
+		if e := ctx.Err(); e != nil {
+			err = e
+			break
+		}
+		done, e := a.SubmitSpec(gen(i))
+		if e != nil {
+			err = e
+			break
+		}
+		chans[i%window] = done
+		submitted++
+		// Keep the window full but never over-full: the slot the next
+		// iteration writes must already have been delivered.
+		if submitted-delivered == window && i+1 < count {
+			deliver()
+		}
+	}
+	for delivered < submitted {
+		deliver()
+	}
+	return err
 }
 
 // QueueDepth reports the number of requests currently sitting in shard
@@ -393,26 +525,51 @@ func (a *Arena) worker(s *shard, idx int) {
 	}
 }
 
-// serve runs one instance. The instance seed mixes the shard's
-// deterministic sub-seed with the key's stable hash, so the outcome does
-// not depend on which worker runs it or in what order.
+// serve runs one instance. On the derived path the instance seed mixes
+// the shard's deterministic sub-seed with the key's stable hash; on the
+// explicit path the request carries its own spec verbatim. Either way the
+// outcome does not depend on which worker runs it or in what order.
 func (a *Arena) serve(s *shard, sess *engine.Session, req *request) Result {
-	seed := xrand.Mix(s.seed, hash64(req.key))
-	inputs := sess.Inputs(a.cfg.N)
-	inputs[0] = req.bit
-	rng := sess.RNG(seed, 0x696e70757473) // "inputs"
-	for i := 1; i < a.cfg.N; i++ {
-		inputs[i] = rng.Intn(2)
+	model := a.cfg.Model
+	var spec engine.Spec
+	if req.explicit {
+		if req.model != nil {
+			model = req.model
+		}
+		spec = req.spec
+		spec.Shard = s.id
+		if spec.Inputs == nil {
+			// The Figure 1 assignment (harness.HalfInputs): first half 0,
+			// rest 1, built in the pooled buffer.
+			inputs := sess.Inputs(spec.N)
+			for i := range inputs {
+				if i < spec.N/2 {
+					inputs[i] = 0
+				} else {
+					inputs[i] = 1
+				}
+			}
+			spec.Inputs = inputs
+		}
+	} else {
+		seed := xrand.Mix(s.seed, hash64(req.key))
+		inputs := sess.Inputs(a.cfg.N)
+		inputs[0] = req.bit
+		rng := sess.RNG(seed, 0x696e70757473) // "inputs"
+		for i := 1; i < a.cfg.N; i++ {
+			inputs[i] = rng.Intn(2)
+		}
+		spec = engine.Spec{
+			Key:    req.key,
+			Shard:  s.id,
+			N:      a.cfg.N,
+			Inputs: inputs,
+			Noise:  a.cfg.Noise,
+			Seed:   seed,
+		}
 	}
 	res := Result{Key: req.key, Shard: s.id}
-	ir, err := a.cfg.Model.Run(engine.Spec{
-		Key:    req.key,
-		Shard:  s.id,
-		N:      a.cfg.N,
-		Inputs: inputs,
-		Noise:  a.cfg.Noise,
-		Seed:   seed,
-	}, sess)
+	ir, err := model.Run(spec, sess)
 	if err != nil {
 		res.Err = err
 	} else {

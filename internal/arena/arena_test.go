@@ -3,7 +3,9 @@ package arena_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -334,5 +336,175 @@ func TestReportAggregation(t *testing.T) {
 	}
 	if rep.MeanOps <= 0 || rep.MeanFirstRound <= 0 {
 		t.Errorf("degenerate means: %+v", rep)
+	}
+}
+
+// TestSubmitSpecMatchesHarness checks the explicit path end to end: an
+// explicit spec with a verbatim seed and nil inputs must reproduce
+// engine.Model.Run on the half-and-half input assignment, independent of
+// the arena's own seed, shape, and configured N.
+func TestSubmitSpecMatchesHarness(t *testing.T) {
+	model, err := engine.ByName("sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := arena.New(arena.Config{Shards: 3, Workers: 2, N: 4, Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	noise := dist.Exponential{MeanVal: 1}
+	for i := 0; i < 50; i++ {
+		n := 2 + i%7
+		seed := uint64(1000 + i)
+		res, err := a.SubmitWait(context.Background(), arena.SpecRequest{
+			Spec: engine.Spec{Key: fmt.Sprintf("cell-%d", i), N: n, Noise: noise, Seed: seed},
+		})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		inputs := make([]int, n)
+		for j := n / 2; j < n; j++ {
+			inputs[j] = 1
+		}
+		want, err := model.Run(engine.Spec{N: n, Inputs: inputs, Noise: noise, Seed: seed}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want.Value || res.FirstRound != want.FirstRound ||
+			res.LastRound != want.LastRound || res.Ops != want.Ops || res.SimTime != want.SimTime {
+			t.Fatalf("instance %d diverged from direct run:\n  arena  %+v\n  direct %+v", i, res, want)
+		}
+	}
+}
+
+// TestSubmitSpecValidation covers the client-error paths.
+func TestSubmitSpecValidation(t *testing.T) {
+	a, err := arena.New(arena.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.SubmitSpec(arena.SpecRequest{Spec: engine.Spec{Key: "x", N: 0}}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, err := a.SubmitSpec(arena.SpecRequest{Spec: engine.Spec{Key: "x", N: 3, Inputs: []int{0, 1}}}); err == nil {
+		t.Fatal("accepted mismatched inputs")
+	}
+}
+
+// TestRunSpecsOrderedDelivery checks that fn sees results in submission
+// order with the right indexes, whatever the worker interleaving.
+func TestRunSpecsOrderedDelivery(t *testing.T) {
+	a, err := arena.New(arena.Config{Shards: 4, Workers: 3, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	noise := dist.Exponential{MeanVal: 1}
+	const count = 300
+	next := 0
+	err = a.RunSpecs(context.Background(), count,
+		func(i int) arena.SpecRequest {
+			return arena.SpecRequest{Spec: engine.Spec{
+				Key: fmt.Sprintf("k-%d", i), N: 4, Noise: noise, Seed: uint64(i),
+			}}
+		},
+		func(i int, r arena.Result) {
+			if i != next {
+				t.Fatalf("delivery out of order: got index %d, want %d", i, next)
+			}
+			if r.Err != nil {
+				t.Fatalf("instance %d: %v", i, r.Err)
+			}
+			if r.Key != fmt.Sprintf("k-%d", i) {
+				t.Fatalf("index %d delivered result for %q", i, r.Key)
+			}
+			next++
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != count {
+		t.Fatalf("delivered %d of %d results", next, count)
+	}
+}
+
+// TestRunSpecsCancelMidBatchLeavesArenaDrainable is the regression test
+// for clean campaign-cell aborts: cancelling mid-batch must stop
+// submissions, drain what was already submitted (in order), leave the
+// arena fully usable and closable, and leak no goroutines.
+func TestRunSpecsCancelMidBatchLeavesArenaDrainable(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	a, err := arena.New(arena.Config{Shards: 2, Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := dist.Exponential{MeanVal: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	const count = 10_000
+	submittedWhenCancelled := -1
+	delivered := 0
+	err = a.RunSpecs(ctx, count,
+		func(i int) arena.SpecRequest {
+			if i == 40 {
+				cancel()
+				submittedWhenCancelled = i
+			}
+			return arena.SpecRequest{Spec: engine.Spec{
+				Key: fmt.Sprintf("k-%d", i), N: 4, Noise: noise, Seed: uint64(i),
+			}}
+		},
+		func(i int, r arena.Result) {
+			if i != delivered {
+				t.Fatalf("delivery out of order after cancel: got %d, want %d", i, delivered)
+			}
+			delivered++
+		})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSpecs returned %v, want context.Canceled", err)
+	}
+	if submittedWhenCancelled < 0 {
+		t.Fatal("generator never reached the cancellation point")
+	}
+	if delivered <= submittedWhenCancelled || delivered >= count/2 {
+		t.Fatalf("delivered %d results; want every submitted instance (~%d) and nowhere near %d",
+			delivered, submittedWhenCancelled, count)
+	}
+
+	// The arena must still serve fresh work after an aborted batch ...
+	res, err := a.SubmitWait(context.Background(), arena.SpecRequest{
+		Spec: engine.Spec{Key: "after-cancel", N: 4, Noise: noise, Seed: 9},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("arena unusable after cancelled batch: %v / %v", err, res.Err)
+	}
+	// ... and Close must drain promptly.
+	closed := make(chan error, 1)
+	go func() { closed <- a.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close after cancelled batch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after cancelled batch")
+	}
+
+	// Workers and helpers must all have exited; allow the runtime a moment
+	// to reap.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled batch: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestVersion guards the checkpoint schema.
+const manifestVersion = 1
+
+// manifest is the on-disk checkpoint: the normalized spec, its content
+// hash, and every completed cell's aggregate, keyed by cell key. It is
+// written atomically (temp file + rename in the manifest's directory)
+// after each completed cell, so a crash at any instant leaves either the
+// previous or the next consistent snapshot — never a torn one.
+type manifest struct {
+	Version  int                   `json:"version"`
+	Name     string                `json:"name,omitempty"`
+	SpecHash string                `json:"specHash"`
+	Spec     Spec                  `json:"spec"`
+	Cells    map[string]*CellStats `json:"cells"`
+}
+
+// loadManifest reads the checkpoint at path for campaign c. A missing
+// file is an empty checkpoint. An existing file requires resume=true —
+// otherwise a stale manifest would be silently clobbered — and must
+// carry c's spec hash and internally consistent cells.
+func loadManifest(path string, c *Campaign, resume bool) (map[string]*CellStats, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]*CellStats{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	if !resume {
+		return nil, fmt.Errorf("campaign: checkpoint %s already exists; pass resume to continue it or remove it to start over", path)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt checkpoint %s: %v", path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, m.Version, manifestVersion)
+	}
+	if m.SpecHash != c.Hash {
+		return nil, fmt.Errorf("campaign: checkpoint %s belongs to a different spec (hash %.12s..., campaign %.12s...)",
+			path, m.SpecHash, c.Hash)
+	}
+	byKey := make(map[string]bool, len(c.Cells))
+	for i := range c.Cells {
+		byKey[c.Cells[i].Key] = true
+	}
+	for key, cs := range m.Cells {
+		if !byKey[key] {
+			return nil, fmt.Errorf("campaign: checkpoint %s holds unknown cell %q", path, key)
+		}
+		if cs == nil || cs.Reps != int64(c.Spec.Reps) {
+			return nil, fmt.Errorf("campaign: checkpoint %s holds incomplete cell %q", path, key)
+		}
+	}
+	if m.Cells == nil {
+		m.Cells = map[string]*CellStats{}
+	}
+	return m.Cells, nil
+}
+
+// saveManifest atomically rewrites the checkpoint with every completed
+// cell in results.
+func saveManifest(path string, c *Campaign, results []*CellStats) error {
+	m := manifest{
+		Version:  manifestVersion,
+		Name:     c.Spec.Name,
+		SpecHash: c.Hash,
+		Spec:     c.Spec,
+		Cells:    make(map[string]*CellStats),
+	}
+	for i, cs := range results {
+		if cs != nil {
+			m.Cells[c.Cells[i].Key] = cs
+		}
+	}
+	b, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	// Sync before rename: without it, a power loss could make the rename
+	// durable before the data blocks, leaving a truncated manifest at the
+	// final path — exactly the torn state the temp-file dance exists to
+	// prevent. After a crash the path holds either the previous or the
+	// next snapshot (whichever rename the filesystem persisted), both
+	// consistent.
+	_, werr := tmp.Write(b)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package campaign
+
+// Fig1Spec is the shipped campaign port of the harness's Figure 1
+// reproduction (experiment E1) at bench scale: the paper's six
+// interarrival distributions, n ∈ {1, 10, 100}, 50 trials per cell, the
+// harness's seed. Because campaign instance seeds use the harness's own
+// per-trial derivation (InstanceSeed) and the same half-and-half input
+// assignment, running this spec reproduces harness.Fig1's table byte for
+// byte — the regression test TestFig1CampaignMatchesHarness holds the two
+// paths together. Scale it up by raising Reps and extending Ns; the
+// paper's full figure is Ns up to 100000 at 10000 trials.
+func Fig1Spec() Spec {
+	return Spec{
+		Name:   "fig1-bench",
+		Models: []string{"sched"},
+		// dist.Figure1 order: the six curves of the paper's Figure 1.
+		Dists: []string{"exponential", "uniform", "normal", "geometric", "two-point", "delayed"},
+		Ns:    []int{1, 10, 100},
+		Seeds: []uint64{1},
+		Reps:  50,
+	}
+}

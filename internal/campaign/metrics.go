@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"leanconsensus/internal/metrics"
+)
+
+// Metric families emitted by NewMetrics.
+const (
+	MetricCells       = "leanconsensus_campaign_cells_total"
+	MetricInstances   = "leanconsensus_campaign_instances_total"
+	MetricErrors      = "leanconsensus_campaign_instance_errors_total"
+	MetricViolations  = "leanconsensus_campaign_violations_total"
+	MetricCellRounds  = "leanconsensus_campaign_cell_mean_rounds"
+	MetricCellOpsProc = "leanconsensus_campaign_cell_ops_per_proc"
+)
+
+// RoundBuckets is the bucket layout for per-cell mean first-decision
+// rounds: the paper's Θ(log n) bound keeps real campaigns in single or
+// low double digits, so unit-ish resolution there and coarse tail
+// buckets above.
+var RoundBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64}
+
+// OpsPerProcBuckets is the bucket layout for per-cell mean operation
+// counts per process.
+var OpsPerProcBuckets = []float64{4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// Metrics is the campaign telemetry bundle: cell/instance counters and
+// per-cell shape histograms, recorded once per completed cell (cold
+// path — no striping needed). Build one with NewMetrics so every
+// campaign emits the same families.
+type Metrics struct {
+	// Cells counts completed cells; Instances counts executed
+	// repetitions.
+	Cells     *metrics.Counter
+	Instances *metrics.Counter
+	// Errors counts failed instances; Violations counts
+	// agreement/validity violations among them (zero in any correct
+	// build — it exists to make "the sweep saw no safety violation"
+	// observable).
+	Errors     *metrics.Counter
+	Violations *metrics.Counter
+	// CellRounds and CellOpsPerProc observe each completed cell's mean
+	// first-decision round and mean per-process operation count.
+	CellRounds     *metrics.Histogram
+	CellOpsPerProc *metrics.Histogram
+}
+
+// NewMetrics registers (or re-resolves) the campaign metric families in
+// reg under the given label key/value pairs. Campaigns sharing a
+// registry and labels share series, exactly like arena.NewMetrics.
+func NewMetrics(reg *metrics.Registry, kv ...string) *Metrics {
+	l := func(extra ...string) string {
+		return metrics.Labels(append(append([]string{}, kv...), extra...)...)
+	}
+	return &Metrics{
+		Cells:          reg.Counter(MetricCells+l(), "campaign cells completed"),
+		Instances:      reg.Counter(MetricInstances+l(), "campaign repetitions executed"),
+		Errors:         reg.Counter(MetricErrors+l(), "campaign repetitions that failed"),
+		Violations:     reg.Counter(MetricViolations+l(), "agreement/validity violations observed by campaigns"),
+		CellRounds:     reg.Histogram(MetricCellRounds+l(), "per-cell mean first-decision round", RoundBuckets),
+		CellOpsPerProc: reg.Histogram(MetricCellOpsProc+l(), "per-cell mean operations per process", OpsPerProcBuckets),
+	}
+}
+
+// record folds one completed cell into the bundle.
+func (m *Metrics) record(cs *CellStats) {
+	m.Cells.Inc()
+	m.Instances.Add(cs.Reps)
+	m.Errors.Add(cs.Errors)
+	m.Violations.Add(cs.AgreementViolations + cs.ValidityViolations)
+	if cs.Rounds.N() > 0 {
+		m.CellRounds.Observe(cs.Rounds.Mean())
+		m.CellOpsPerProc.Observe(cs.OpsPerProc.Mean())
+	}
+}

@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/stats"
+)
+
+// Report is a completed campaign: one flattened row per cell, in grid
+// order. Every field is a pure function of the resolved spec — no
+// wall-clock quantities — so two runs of the same spec (fresh, resumed,
+// any pool shape) emit byte-identical JSON and CSV.
+type Report struct {
+	// Name and SpecHash echo the campaign identity.
+	Name     string `json:"name,omitempty"`
+	SpecHash string `json:"specHash"`
+	// Spec is the normalized spec the cells were expanded from.
+	Spec Spec `json:"spec"`
+	// Cells holds one row per grid cell.
+	Cells []CellReport `json:"cells"`
+}
+
+// CellReport is one cell's derived statistics.
+type CellReport struct {
+	Model string `json:"model"`
+	Dist  string `json:"dist"`
+	N     int    `json:"n"`
+	Seed  uint64 `json:"seed"`
+	Reps  int64  `json:"reps"`
+
+	Decided0            int64 `json:"decided0"`
+	Decided1            int64 `json:"decided1"`
+	Errors              int64 `json:"errors"`
+	AgreementViolations int64 `json:"agreementViolations"`
+	ValidityViolations  int64 `json:"validityViolations"`
+	Undecided           int64 `json:"undecided"`
+
+	// MeanRound through P99Round describe first-decision rounds of
+	// decided instances — the paper's Figure 1 y-axis plus tail shape.
+	MeanRound    float64 `json:"meanRound"`
+	RoundCI95    float64 `json:"roundCi95"`
+	MinRound     float64 `json:"minRound"`
+	MaxRound     float64 `json:"maxRound"`
+	P50Round     float64 `json:"p50Round"`
+	P90Round     float64 `json:"p90Round"`
+	P99Round     float64 `json:"p99Round"`
+	MaxLastRound int     `json:"maxLastRound"`
+
+	// Ops, MeanOpsPerProc, and SimTime aggregate work and simulated time.
+	Ops            int64   `json:"ops"`
+	MeanOpsPerProc float64 `json:"meanOpsPerProc"`
+	SimTime        float64 `json:"simTime"`
+}
+
+// buildReport flattens the per-cell aggregates; results must hold one
+// non-nil entry per cell.
+func (c *Campaign) buildReport(results []*CellStats) *Report {
+	rep := &Report{
+		Name:     c.Spec.Name,
+		SpecHash: c.Hash,
+		Spec:     c.Spec,
+		Cells:    make([]CellReport, len(c.Cells)),
+	}
+	for i := range c.Cells {
+		job, cs := c.Cells[i].Job, results[i]
+		rep.Cells[i] = CellReport{
+			Model: job.ModelName,
+			Dist:  job.DistName,
+			N:     job.N,
+			Seed:  job.Seed,
+			Reps:  cs.Reps,
+
+			Decided0:            cs.Decided[0],
+			Decided1:            cs.Decided[1],
+			Errors:              cs.Errors,
+			AgreementViolations: cs.AgreementViolations,
+			ValidityViolations:  cs.ValidityViolations,
+			Undecided:           cs.Undecided,
+
+			MeanRound:    cs.Rounds.Mean(),
+			RoundCI95:    cs.Rounds.CI95(),
+			MinRound:     cs.Rounds.Min(),
+			MaxRound:     cs.Rounds.Max(),
+			P50Round:     cs.Rounds.Percentile(50),
+			P90Round:     cs.Rounds.Percentile(90),
+			P99Round:     cs.Rounds.Percentile(99),
+			MaxLastRound: cs.MaxLastRound,
+
+			Ops:            cs.Ops,
+			MeanOpsPerProc: cs.OpsPerProc.Mean(),
+			SimTime:        cs.SimTime,
+		}
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON with a trailing newline,
+// byte-identical across replays.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// csvHeader is the column order of Report.CSV.
+var csvHeader = []string{
+	"model", "dist", "n", "seed", "reps",
+	"decided0", "decided1", "errors", "agreement_violations", "validity_violations", "undecided",
+	"mean_round", "round_ci95", "min_round", "max_round", "p50_round", "p90_round", "p99_round", "max_last_round",
+	"ops", "mean_ops_per_proc", "sim_time",
+}
+
+// CSV renders the report as comma-separated values at full float
+// precision (strconv 'g', shortest round-trip form), byte-identical
+// across replays. Registry names never need quoting, so the encoding is
+// plain.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(csvHeader, ","))
+	b.WriteByte('\n')
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		cols := []string{
+			c.Model, c.Dist, strconv.Itoa(c.N), strconv.FormatUint(c.Seed, 10), strconv.FormatInt(c.Reps, 10),
+			strconv.FormatInt(c.Decided0, 10), strconv.FormatInt(c.Decided1, 10),
+			strconv.FormatInt(c.Errors, 10), strconv.FormatInt(c.AgreementViolations, 10),
+			strconv.FormatInt(c.ValidityViolations, 10), strconv.FormatInt(c.Undecided, 10),
+			f(c.MeanRound), f(c.RoundCI95), f(c.MinRound), f(c.MaxRound),
+			f(c.P50Round), f(c.P90Round), f(c.P99Round), strconv.Itoa(c.MaxLastRound),
+			strconv.FormatInt(c.Ops, 10), f(c.MeanOpsPerProc), f(c.SimTime),
+		}
+		b.WriteString(strings.Join(cols, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig1Table renders the report in the exact shape of the harness's
+// Figure 1 table (internal/harness.Fig1): distribution, n, trials, mean
+// round of first termination, ci95, mean ops/proc. Distribution labels
+// use the distribution's display string (e.g. "exponential(mean=1)")
+// when the registry knows the name, so a campaign over the Figure 1 grid
+// reproduces the harness table byte for byte. For multi-model or
+// multi-seed grids the table simply carries one row per cell in grid
+// order.
+func (r *Report) Fig1Table() *stats.Table {
+	t := stats.NewTable("distribution", "n", "trials", "mean round of first termination", "ci95", "mean ops/proc")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		label := c.Dist
+		if d, err := dist.ByName(c.Dist); err == nil {
+			label = d.String()
+		}
+		t.AddRow(label, c.N, int(c.Reps), c.MeanRound, c.RoundCI95, c.MeanOpsPerProc)
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"leanconsensus/internal/engine"
+)
+
+// Wire limits for network-facing campaign specs. They bound what one
+// HTTP request (or one spec file) can ask a pool to do; the grid-size
+// check runs on axis lengths alone, before any cell is materialized, so
+// an oversized spec costs its own JSON size and nothing more.
+const (
+	// MaxWireCells caps the grid (|Models| × |Dists| × |Ns| × |Seeds|).
+	MaxWireCells = 4096
+	// MaxWireInstances caps the campaign's total repetition count,
+	// matching the per-job wire limit of the serving layer.
+	MaxWireInstances = engine.MaxWireInstances
+)
+
+// LimitError reports a spec that names more work than the wire limits
+// allow. It is a client error: the serving layer maps it to HTTP 400,
+// and the root package's FuzzCampaignSpecDecode holds the decoder to
+// returning it — typed, allocation-free — rather than attempting the
+// grid.
+type LimitError struct {
+	// What names the exceeded quantity ("grid cells", "total instances",
+	// "reps per cell").
+	What string
+	// Got and Max are the requested and permitted sizes.
+	Got, Max int64
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("campaign: %s %d exceeds the wire limit %d", e.What, e.Got, e.Max)
+}
+
+// DecodeSpec parses and fully resolves one campaign spec. Every failure
+// is a client error: malformed JSON, unknown fields, trailing garbage,
+// unregistered names, out-of-range reps, and oversized grids (a typed
+// *LimitError). Anything it accepts is a Campaign whose every cell the
+// engine registries resolved within the wire limits. It never panics on
+// hostile input — the root package's FuzzCampaignSpecDecode holds it to
+// that.
+func DecodeSpec(r io.Reader) (*Campaign, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("campaign: bad spec: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("campaign: trailing data after spec")
+	}
+	return s.Resolve()
+}
+
+// specHash is the hex SHA-256 of the normalized spec's canonical
+// (compact, fixed field order) JSON. It is the identity that binds a
+// checkpoint manifest to its grid: same hash, same cells, same seeds.
+func specHash(norm Spec) string {
+	b, err := json.Marshal(norm)
+	if err != nil {
+		// A Spec of scalars and slices cannot fail to marshal.
+		panic(fmt.Sprintf("campaign: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -20,10 +20,23 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/registry"
+)
+
+// Failure classes a model may wrap into its Run error. Aggregation layers
+// (the campaign's violation counters) classify instance failures with
+// errors.Is against these instead of parsing messages.
+var (
+	// ErrDisagreement marks a safety violation: two processes decided
+	// different values.
+	ErrDisagreement = errors.New("agreement violated")
+	// ErrUndecided marks a liveness failure: the run ended with at least
+	// one process undecided.
+	ErrUndecided = errors.New("no decision")
 )
 
 // Spec fully determines one consensus instance. Everything an instance's

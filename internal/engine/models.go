@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"leanconsensus/internal/hybrid"
@@ -61,8 +62,11 @@ func (m *Sched) Run(spec Spec, s *Session) (Result, error) {
 		return Result{}, fmt.Errorf("engine: instance %q hit the operation cap", spec.Key)
 	}
 	value, ok := res.Agreement()
-	if !ok || value < 0 {
-		return Result{}, fmt.Errorf("engine: instance %q did not decide: %v", spec.Key, res.Decisions)
+	if !ok {
+		return Result{}, fmt.Errorf("engine: instance %q: %w: %v", spec.Key, ErrDisagreement, res.Decisions)
+	}
+	if value < 0 {
+		return Result{}, fmt.Errorf("engine: instance %q: %w: %v", spec.Key, ErrUndecided, res.Decisions)
 	}
 	return Result{
 		Value:      value,
@@ -116,12 +120,12 @@ func (m *Hybrid) Run(spec Spec, s *Session) (Result, error) {
 	value := -1
 	for _, d := range res.Decisions {
 		if d < 0 {
-			return Result{}, fmt.Errorf("engine: hybrid instance %q left a process undecided", spec.Key)
+			return Result{}, fmt.Errorf("engine: hybrid instance %q: %w", spec.Key, ErrUndecided)
 		}
 		if value < 0 {
 			value = d
 		} else if value != d {
-			return Result{}, fmt.Errorf("engine: hybrid instance %q disagreed: %v", spec.Key, res.Decisions)
+			return Result{}, fmt.Errorf("engine: hybrid instance %q: %w: %v", spec.Key, ErrDisagreement, res.Decisions)
 		}
 	}
 	return Result{Value: value, Ops: res.Steps}, nil
@@ -147,6 +151,15 @@ func (*MsgNet) Run(spec Spec, _ *Session) (Result, error) {
 		Seed:   spec.Seed,
 	})
 	if err != nil {
+		// Re-wrap the network's failure classes into the engine's
+		// sentinels so aggregation layers classify msgnet failures like
+		// any other model's.
+		switch {
+		case errors.Is(err, msgnet.ErrDisagreement):
+			err = fmt.Errorf("engine: msgnet instance %q: %w: %v", spec.Key, ErrDisagreement, err)
+		case errors.Is(err, msgnet.ErrUndecided):
+			err = fmt.Errorf("engine: msgnet instance %q: %w: %v", spec.Key, ErrUndecided, err)
+		}
 		return Result{}, err
 	}
 	return Result{

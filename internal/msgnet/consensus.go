@@ -53,6 +53,7 @@ type ConsensusResult struct {
 var (
 	ErrNoMajority   = errors.New("msgnet: crashes leave no live majority")
 	ErrDisagreement = errors.New("msgnet: processes decided different values")
+	ErrUndecided    = errors.New("msgnet: a process did not decide")
 )
 
 // Consensus runs one lean-consensus instance over the emulated registers.
@@ -138,7 +139,7 @@ func Consensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 			return nil, fmt.Errorf("msgnet: process %d exhausted the backup budget", i)
 		}
 		if !a.Decided() {
-			return nil, fmt.Errorf("msgnet: process %d did not decide (quiescent network)", i)
+			return nil, fmt.Errorf("%w: process %d (quiescent network)", ErrUndecided, i)
 		}
 		out.Decisions[i] = a.Decision()
 		if r, ok := a.Machine().(machine.Rounder); ok && r.Round() > out.Rounds {

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leanconsensus/internal/campaign"
+)
+
+// CampaignStatus is the GET /v1/campaigns/{id} body and the campaign SSE
+// event payload. Report appears once the campaign is done; everything in
+// it is deterministic, so two services running the same spec serve
+// byte-identical reports.
+type CampaignStatus struct {
+	ID       string    `json:"id"`
+	Status   string    `json:"status"` // queued | running | done | failed
+	Created  time.Time `json:"created"`
+	Name     string    `json:"name,omitempty"`
+	SpecHash string    `json:"specHash"`
+
+	CellsDone      int   `json:"cellsDone"`
+	CellsTotal     int   `json:"cellsTotal"`
+	InstancesDone  int64 `json:"instancesDone"`
+	InstancesTotal int64 `json:"instancesTotal"`
+
+	Error  string           `json:"error,omitempty"`
+	Report *campaign.Report `json:"report,omitempty"`
+}
+
+// campaignRun is one admitted campaign's execution state. Progress
+// fields are atomics written by the runner's serial callbacks and read
+// by status snapshots and the SSE stream without locks.
+type campaignRun struct {
+	id      string
+	created time.Time
+	camp    *campaign.Campaign
+
+	cellsDone     atomic.Int64
+	instancesDone atomic.Int64
+
+	state atomic.Int32 // jobState: the campaign lifecycle reuses it
+	errMu sync.Mutex
+	err   error
+
+	repMu  sync.Mutex
+	report *campaign.Report
+
+	done chan struct{} // closed when the campaign finishes
+}
+
+// finished reports whether the campaign reached a terminal state.
+func (cr *campaignRun) finished() bool {
+	st := jobState(cr.state.Load())
+	return st == stateDone || st == stateFailed
+}
+
+// snapshot assembles the wire status from the live counters.
+func (cr *campaignRun) snapshot() CampaignStatus {
+	st := CampaignStatus{
+		ID:             cr.id,
+		Status:         jobState(cr.state.Load()).name(),
+		Created:        cr.created,
+		Name:           cr.camp.Spec.Name,
+		SpecHash:       cr.camp.Hash,
+		CellsDone:      int(cr.cellsDone.Load()),
+		CellsTotal:     len(cr.camp.Cells),
+		InstancesDone:  cr.instancesDone.Load(),
+		InstancesTotal: cr.camp.Instances,
+	}
+	cr.errMu.Lock()
+	if cr.err != nil {
+		st.Error = cr.err.Error()
+	}
+	cr.errMu.Unlock()
+	cr.repMu.Lock()
+	st.Report = cr.report
+	cr.repMu.Unlock()
+	return st
+}
+
+// handleCampaignSubmit admits one campaign spec: decode and fully
+// resolve (400 on any client error, including typed grid-limit
+// rejections), reserve the whole grid against the admission gate (429
+// past the high-water mark), and run asynchronously.
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	camp, err := campaign.DecodeSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.mCampRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if cur, ok := s.reserve(camp.Instances); !ok {
+		s.mCampRejected.Inc()
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
+		writeError(w, http.StatusTooManyRequests,
+			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.queued.Add(-camp.Instances)
+		s.mCampRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server: draining, not accepting campaigns")
+		return
+	}
+	s.cseq++
+	cr := &campaignRun{
+		id:      fmt.Sprintf("c-%06d", s.cseq),
+		created: time.Now(),
+		camp:    camp,
+		done:    make(chan struct{}),
+	}
+	s.campaigns[cr.id] = cr
+	s.corder = append(s.corder, cr.id)
+	s.evictCampaignsLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.mCampAccepted.Inc()
+	go s.runCampaign(cr)
+
+	w.Header().Set("Location", "/v1/campaigns/"+cr.id)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:              cr.id,
+		Status:          jobState(cr.state.Load()).name(),
+		Location:        "/v1/campaigns/" + cr.id,
+		QueuedInstances: s.queued.Load(),
+	})
+}
+
+// runCampaign executes one admitted campaign. It owns the campaign's
+// queued-instance reservation: each executed repetition returns its unit
+// to the admission gate, and whatever an aborted campaign never ran is
+// returned in one piece at the end.
+func (s *Server) runCampaign(cr *campaignRun) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	cr.state.Store(int32(stateRunning))
+	s.mCampRunning.Inc()
+	defer s.mCampRunning.Dec()
+
+	// Campaigns are never cancelled server-side: Close drains, exactly
+	// like jobs.
+	remaining := cr.camp.Instances
+	rep, err := cr.camp.Run(context.Background(), campaign.Config{
+		Shards:  s.cfg.Shards,
+		Workers: s.cfg.Workers,
+		Metrics: s.campMetrics,
+		OnInstance: func() {
+			// Serial with respect to itself (the runner folds results on
+			// one goroutine), concurrent with admission CAS loops.
+			s.queued.Add(-1)
+			remaining--
+			cr.instancesDone.Add(1)
+		},
+		OnCell: func(p campaign.Progress) {
+			cr.cellsDone.Store(int64(p.CellsDone))
+		},
+	})
+	s.queued.Add(-remaining)
+	if err != nil {
+		cr.errMu.Lock()
+		cr.err = err
+		cr.errMu.Unlock()
+		cr.state.Store(int32(stateFailed))
+		s.mCampFailed.Inc()
+	} else {
+		cr.repMu.Lock()
+		cr.report = rep
+		cr.repMu.Unlock()
+		cr.state.Store(int32(stateDone))
+		s.mCampCompleted.Inc()
+	}
+	close(cr.done)
+}
+
+// evictCampaignsLocked trims the campaign table to MaxJobsKept, oldest
+// finished first. Unfinished campaigns are never evicted.
+func (s *Server) evictCampaignsLocked() {
+	for len(s.campaigns) > s.cfg.MaxJobsKept {
+		evicted := false
+		for i, id := range s.corder {
+			if cr, ok := s.campaigns[id]; ok && cr.finished() {
+				delete(s.campaigns, id)
+				s.corder = append(s.corder[:i], s.corder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// lookupCampaign returns the campaign or writes a 404.
+func (s *Server) lookupCampaign(w http.ResponseWriter, id string) *campaignRun {
+	s.mu.Lock()
+	cr := s.campaigns[id]
+	s.mu.Unlock()
+	if cr == nil {
+		writeError(w, http.StatusNotFound, "server: unknown campaign %q", id)
+	}
+	return cr
+}
+
+// handleCampaign reports one campaign's status and, when finished, its
+// report.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	cr := s.lookupCampaign(w, r.PathValue("id"))
+	if cr == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, cr.snapshot())
+}
+
+// handleCampaignStream serves one campaign's progress as server-sent
+// events, through the same snapshot-stream machinery as the job stream.
+func (s *Server) handleCampaignStream(w http.ResponseWriter, r *http.Request) {
+	cr := s.lookupCampaign(w, r.PathValue("id"))
+	if cr == nil {
+		return
+	}
+	streamSnapshots(w, r, cr.done, func() any { return cr.snapshot() })
+}

@@ -1,0 +1,202 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"leanconsensus"
+	"leanconsensus/internal/campaign"
+	"leanconsensus/internal/server"
+)
+
+// TestCampaignEndToEnd drives a campaign through the HTTP surface with
+// the typed client and holds the served report to the exact bytes a
+// direct in-process run produces — the server adds transport, not
+// nondeterminism.
+func TestCampaignEndToEnd(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 4, Workers: 2})
+	ctx := context.Background()
+
+	spec := leanconsensus.CampaignSpec{
+		Name:  "e2e",
+		Dists: []string{"exponential", "uniform"},
+		Ns:    []int{4, 8},
+		Seeds: []uint64{1, 2},
+		Reps:  25,
+	}
+	id, err := client.SubmitCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "c-") {
+		t.Fatalf("campaign id %q", id)
+	}
+
+	var events int
+	final, err := client.StreamCampaign(ctx, id, func(st leanconsensus.CampaignStatus) {
+		events++
+		if st.ID != id {
+			t.Errorf("stream event for campaign %q, want %q", st.ID, id)
+		}
+		if st.CellsTotal != 8 || st.InstancesTotal != 8*25 {
+			t.Errorf("stream totals %d cells / %d instances, want 8 / 200", st.CellsTotal, st.InstancesTotal)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("no progress events before done")
+	}
+	if final.Status != leanconsensus.JobDone || final.Report == nil {
+		t.Fatalf("final status %q, report %v", final.Status, final.Report != nil)
+	}
+	if final.CellsDone != 8 || final.InstancesDone != 200 {
+		t.Fatalf("final progress %d cells / %d instances", final.CellsDone, final.InstancesDone)
+	}
+
+	// Polling must agree with streaming.
+	polled, err := client.WaitCampaign(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled.Report == nil || polled.Report.SpecHash != final.Report.SpecHash {
+		t.Fatal("polled report disagrees with streamed report")
+	}
+
+	// The served report equals a direct run, byte for byte.
+	direct, err := campaign.Run(ctx, campaign.Spec{
+		Name:  spec.Name,
+		Dists: spec.Dists,
+		Ns:    spec.Ns,
+		Seeds: spec.Seeds,
+		Reps:  spec.Reps,
+	}, campaign.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := direct.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedJSON, err := final.Report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(servedJSON, directJSON) {
+		t.Fatalf("served report differs from direct run:\n%s\nvs\n%s", servedJSON, directJSON)
+	}
+
+	// The admission gate returned every reserved unit.
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Fatalf("queued instances %d after campaign, want 0", q)
+	}
+
+	// Campaign metric families are live.
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, text, `leanconsensus_campaigns_total{event="completed"}`); got != 1 {
+		t.Fatalf("completed campaigns metric = %v, want 1", got)
+	}
+	if got := metricValue(t, text, campaign.MetricCells); got != 8 {
+		t.Fatalf("campaign cells metric = %v, want 8", got)
+	}
+	if got := metricValue(t, text, campaign.MetricInstances); got != 200 {
+		t.Fatalf("campaign instances metric = %v, want 200", got)
+	}
+}
+
+// TestCampaignRejectsBadSpecs covers the 400 paths, including the typed
+// grid limit.
+func TestCampaignRejectsBadSpecs(t *testing.T) {
+	_, client := newTestServer(t, server.Config{Shards: 1, Workers: 1})
+	ctx := context.Background()
+
+	for _, spec := range []leanconsensus.CampaignSpec{
+		{Reps: 0},
+		{Reps: 1, Models: []string{"nope"}},
+		{Reps: 1, Dists: []string{"nope"}},
+		{Reps: 1_000_000, Ns: []int{4, 8}}, // total instances over the wire limit
+	} {
+		_, err := client.SubmitCampaign(ctx, spec)
+		var apiErr *leanconsensus.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+			t.Errorf("spec %+v: err = %v, want HTTP 400", spec, err)
+		}
+	}
+
+	// Unknown campaign IDs 404 on both endpoints.
+	if _, err := client.Campaign(ctx, "c-999999"); err == nil {
+		t.Fatal("lookup of unknown campaign succeeded")
+	}
+	if _, err := client.StreamCampaign(ctx, "c-999999", nil); err == nil {
+		t.Fatal("stream of unknown campaign succeeded")
+	}
+}
+
+// TestCampaignAdmissionControl parks a slow job in the queue and checks
+// that a campaign is shed with 429 + Retry-After while the backlog
+// stands, then admitted once it drains.
+func TestCampaignAdmissionControl(t *testing.T) {
+	release := gateSlowModel(t)
+	_, client := newTestServer(t, server.Config{Shards: 1, Workers: 1, HighWater: 50})
+	ctx := context.Background()
+
+	jobID, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{Model: "slowtest", Instances: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{Ns: []int{4}, Reps: 20})
+	var over *leanconsensus.OverloadedError
+	if !errors.As(err, &over) {
+		t.Fatalf("campaign admitted over high-water: err = %v", err)
+	}
+	if over.RetryAfter <= 0 {
+		t.Fatalf("no Retry-After hint: %+v", over)
+	}
+
+	release()
+	if _, err := client.WaitJob(ctx, jobID); err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{Ns: []int{4}, Reps: 20})
+	if err != nil {
+		t.Fatalf("campaign rejected after drain: %v", err)
+	}
+	if _, err := client.WaitCampaign(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignDrain checks Close waits for running campaigns and new
+// submissions are refused while draining.
+func TestCampaignDrain(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 2})
+	ctx := context.Background()
+
+	id, err := client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{
+		Dists: []string{"exponential"}, Ns: []int{4, 8}, Reps: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Campaign(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != leanconsensus.JobDone {
+		t.Fatalf("campaign %q after drain, want done", st.Status)
+	}
+	if _, err := client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{Ns: []int{4}, Reps: 1}); err == nil {
+		t.Fatal("draining server admitted a campaign")
+	}
+}

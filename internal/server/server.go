@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"leanconsensus/internal/arena"
+	"leanconsensus/internal/campaign"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/metrics"
 )
@@ -79,14 +80,17 @@ type Server struct {
 	reg *metrics.Registry
 	mux *http.ServeMux
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // creation order, for eviction
-	seq    uint64
-	closed bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // creation order, for eviction
+	seq       uint64
+	campaigns map[string]*campaignRun
+	corder    []string // campaign creation order, for eviction
+	cseq      uint64
+	closed    bool
 
-	wg     sync.WaitGroup // running jobs
-	sem    chan struct{}  // bounds concurrently executing jobs
+	wg     sync.WaitGroup // running jobs and campaigns
+	sem    chan struct{}  // bounds concurrently executing jobs/campaigns
 	queued atomic.Int64   // instances admitted but not yet finished
 
 	mAccepted  *metrics.Counter
@@ -94,6 +98,13 @@ type Server struct {
 	mCompleted *metrics.Counter
 	mFailed    *metrics.Counter
 	mRunning   *metrics.Gauge
+
+	mCampAccepted  *metrics.Counter
+	mCampRejected  *metrics.Counter
+	mCampCompleted *metrics.Counter
+	mCampFailed    *metrics.Counter
+	mCampRunning   *metrics.Gauge
+	campMetrics    *campaign.Metrics
 }
 
 // New validates the configuration, applies defaults, registers the
@@ -128,10 +139,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.Registry = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:  cfg,
-		reg:  cfg.Registry,
-		jobs: make(map[string]*job),
-		sem:  make(chan struct{}, cfg.MaxConcurrentJobs),
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		jobs:      make(map[string]*job),
+		campaigns: make(map[string]*campaignRun),
+		sem:       make(chan struct{}, cfg.MaxConcurrentJobs),
 	}
 	const jobsTotal = "leanconsensus_jobs_total"
 	s.mAccepted = s.reg.Counter(jobsTotal+metrics.Labels("event", "accepted"), "job batches by lifecycle event")
@@ -139,6 +151,13 @@ func New(cfg Config) (*Server, error) {
 	s.mCompleted = s.reg.Counter(jobsTotal+metrics.Labels("event", "completed"), "job batches by lifecycle event")
 	s.mFailed = s.reg.Counter(jobsTotal+metrics.Labels("event", "failed"), "job batches by lifecycle event")
 	s.mRunning = s.reg.Gauge("leanconsensus_jobs_running", "jobs currently executing")
+	const campaignsTotal = "leanconsensus_campaigns_total"
+	s.mCampAccepted = s.reg.Counter(campaignsTotal+metrics.Labels("event", "accepted"), "campaigns by lifecycle event")
+	s.mCampRejected = s.reg.Counter(campaignsTotal+metrics.Labels("event", "rejected"), "campaigns by lifecycle event")
+	s.mCampCompleted = s.reg.Counter(campaignsTotal+metrics.Labels("event", "completed"), "campaigns by lifecycle event")
+	s.mCampFailed = s.reg.Counter(campaignsTotal+metrics.Labels("event", "failed"), "campaigns by lifecycle event")
+	s.mCampRunning = s.reg.Gauge("leanconsensus_campaigns_running", "campaigns currently executing")
+	s.campMetrics = campaign.NewMetrics(s.reg)
 	s.reg.GaugeFunc("leanconsensus_queued_instances",
 		"instances admitted but not yet finished (the admission-control queue depth)",
 		s.queued.Load)
@@ -147,6 +166,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -205,21 +227,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for _, jb := range batch.Jobs {
 		total += int64(jb.Instances)
 	}
-	// Admission control: shed rather than buffer. The reservation must be
-	// atomic with the check, or two racing POSTs could both slip under the
-	// mark; CompareAndSwap keeps the whole gate lock-free.
-	for {
-		cur := s.queued.Load()
-		if cur > 0 && cur+total > s.cfg.HighWater {
-			s.mRejected.Inc()
-			w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
-			writeError(w, http.StatusTooManyRequests,
-				"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
-			return
-		}
-		if s.queued.CompareAndSwap(cur, cur+total) {
-			break
-		}
+	if cur, ok := s.reserve(total); !ok {
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
+		writeError(w, http.StatusTooManyRequests,
+			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
+		return
 	}
 
 	s.mu.Lock()
@@ -248,6 +261,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Location:        "/v1/jobs/" + j.id,
 		QueuedInstances: s.queued.Load(),
 	})
+}
+
+// reserve is the admission gate shared by jobs and campaigns: shed
+// rather than buffer. The reservation must be atomic with the check, or
+// two racing POSTs could both slip under the mark; CompareAndSwap keeps
+// the whole gate lock-free. A submission arriving at an empty queue is
+// always admitted, so one legal request can never be unschedulable. On
+// rejection it reports the observed backlog for the Retry-After hint.
+func (s *Server) reserve(total int64) (observed int64, ok bool) {
+	for {
+		cur := s.queued.Load()
+		if cur > 0 && cur+total > s.cfg.HighWater {
+			return cur, false
+		}
+		if s.queued.CompareAndSwap(cur, cur+total) {
+			return cur + total, true
+		}
+	}
 }
 
 // retryAfter estimates seconds until the backlog clears, assuming the
@@ -331,6 +362,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			live++
 		}
 	}
+	liveCampaigns := 0
+	for _, cr := range s.campaigns {
+		if !cr.finished() {
+			liveCampaigns++
+		}
+	}
 	s.mu.Unlock()
 	status, code := "ok", http.StatusOK
 	if closed {
@@ -340,6 +377,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:          status,
 		QueuedInstances: s.queued.Load(),
 		Jobs:            live,
+		Campaigns:       liveCampaigns,
 	})
 }
 

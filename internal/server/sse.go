@@ -6,20 +6,17 @@ import (
 	"time"
 )
 
-// streamInterval is the progress cadence of /v1/jobs/{id}/stream.
+// streamInterval is the progress cadence of the SSE endpoints.
 const streamInterval = 100 * time.Millisecond
 
-// handleStream serves one job's progress as server-sent events: an
-// immediate "progress" event, one more per tick while the job runs, and
-// a terminal "done" event carrying the final status (including
-// results). The stream ends after "done" or when the client goes away;
-// a reconnecting client simply gets a fresh snapshot, since events are
-// snapshots rather than deltas.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r.PathValue("id"))
-	if j == nil {
-		return
-	}
+// streamSnapshots serves a long-running object's progress as server-sent
+// events: an immediate "progress" event, one more per tick until done
+// closes, and a terminal "done" event carrying the final snapshot. The
+// stream ends after "done" or when the client goes away; a reconnecting
+// client simply gets a fresh snapshot, since events are snapshots rather
+// than deltas. Both the job and campaign stream endpoints are this
+// function with a different snapshot closure.
+func streamSnapshots(w http.ResponseWriter, r *http.Request, done <-chan struct{}, snapshot func() any) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "server: response writer cannot stream")
@@ -32,7 +29,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	write := func(event string) bool {
-		data, err := json.Marshal(j.snapshot())
+		data, err := json.Marshal(snapshot())
 		if err != nil {
 			return false
 		}
@@ -56,7 +53,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer ticker.Stop()
 	for {
 		select {
-		case <-j.done:
+		case <-done:
 			write("done")
 			return
 		case <-r.Context().Done():
@@ -67,4 +64,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleStream serves one job's progress as server-sent events.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	streamSnapshots(w, r, j.done, func() any { return j.snapshot() })
 }

@@ -86,12 +86,13 @@ type variantInfo struct {
 	Servable bool   `json:"servable"`
 }
 
-// healthResponse is the GET /healthz body. Jobs counts live (queued or
-// running) jobs only.
+// healthResponse is the GET /healthz body. Jobs and Campaigns count live
+// (queued or running) work only.
 type healthResponse struct {
 	Status          string `json:"status"`
 	QueuedInstances int64  `json:"queuedInstances"`
 	Jobs            int    `json:"jobs"`
+	Campaigns       int    `json:"campaigns"`
 }
 
 // distNames lists the registered distribution names.

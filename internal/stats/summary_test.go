@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSummaryMatchesAcc holds Summary to Acc's Welford recurrence: folding
+// the same sequence must give bit-identical mean, variance, min, and max —
+// the property that makes campaign reports reproduce harness output.
+func TestSummaryMatchesAcc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Acc
+	var s Summary
+	for i := 0; i < 10_000; i++ {
+		x := math.Floor(rng.Float64() * 40)
+		a.Add(x)
+		s.Add(x)
+	}
+	if a.N() != s.N() {
+		t.Fatalf("n: acc %d, summary %d", a.N(), s.N())
+	}
+	if a.Mean() != s.Mean() {
+		t.Fatalf("mean diverged: acc %v, summary %v", a.Mean(), s.Mean())
+	}
+	if a.Var() != s.Var() {
+		t.Fatalf("var diverged: acc %v, summary %v", a.Var(), s.Var())
+	}
+	if a.CI95() != s.CI95() {
+		t.Fatalf("ci95 diverged: acc %v, summary %v", a.CI95(), s.CI95())
+	}
+	if a.Min() != s.Min() || a.Max() != s.Max() {
+		t.Fatalf("min/max diverged: acc [%v %v], summary [%v %v]", a.Min(), a.Max(), s.Min(), s.Max())
+	}
+}
+
+// TestSummaryPercentileExact checks the sketch against the sorting
+// Percentile for integer samples inside the sketch range.
+func TestSummaryPercentileExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Summary
+	var samples []float64
+	for i := 0; i < 5000; i++ {
+		x := float64(rng.Intn(100))
+		s.Add(x)
+		samples = append(samples, x)
+	}
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		// Nearest-rank on integers: the sketch reports the sample at
+		// ceil(p/100*n), which for p in (0,100] is within one unit bucket
+		// of the interpolated estimate.
+		got := s.Percentile(p)
+		want := Percentile(samples, p)
+		if math.Abs(got-want) > 1 {
+			t.Errorf("p%.0f: sketch %v, exact %v", p, got, want)
+		}
+	}
+	if got := s.Percentile(100); got != s.Max() {
+		t.Errorf("p100 = %v, want max %v", got, s.Max())
+	}
+}
+
+// TestSummaryMerge checks that merging partial summaries agrees with one
+// big fold: exactly for counts, min/max and the sketch, and to floating
+// tolerance for the moments.
+func TestSummaryMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var whole Summary
+	parts := make([]Summary, 4)
+	for i := 0; i < 8000; i++ {
+		x := float64(rng.Intn(60)) + rng.Float64()
+		whole.Add(x)
+		parts[i%4].Add(x)
+	}
+	var merged Summary
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("n: merged %d, whole %d", merged.N(), whole.N())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("min/max: merged [%v %v], whole [%v %v]", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("mean: merged %v, whole %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Var()-whole.Var()) > 1e-6 {
+		t.Fatalf("var: merged %v, whole %v", merged.Var(), whole.Var())
+	}
+	for _, p := range []float64{50, 90, 99} {
+		if merged.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%.0f: merged %v, whole %v", p, merged.Percentile(p), whole.Percentile(p))
+		}
+	}
+	// Merging into an empty summary copies, and merging an empty one is a
+	// no-op.
+	var empty, target Summary
+	target.Merge(&whole)
+	if target.Mean() != whole.Mean() || target.N() != whole.N() {
+		t.Fatalf("merge into empty lost data")
+	}
+	target.Merge(&empty)
+	if target.Mean() != whole.Mean() || target.N() != whole.N() {
+		t.Fatalf("merging an empty summary perturbed the target")
+	}
+}
+
+// TestSummaryJSONRoundTrip requires restore-from-checkpoint to be exact:
+// every statistic of the unmarshaled summary must equal the original bit
+// for bit, and further Adds must continue identically.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var s Summary
+	for i := 0; i < 3000; i++ {
+		s.Add(float64(rng.Intn(30)))
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip not exact:\n  got  %+v\n  want %+v", back.String(), s.String())
+	}
+	s.Add(12)
+	back.Add(12)
+	if back != s {
+		t.Fatalf("post-restore Add diverged")
+	}
+}
+
+// TestSummaryJSONRejectsCorrupt checks the decoder refuses manifests whose
+// sketch disagrees with the header.
+func TestSummaryJSONRejectsCorrupt(t *testing.T) {
+	for _, bad := range []string{
+		`{"n":2,"mean":1,"m2":0,"min":1,"max":1,"buckets":[1]}`, // count mismatch
+		`{"n":1,"mean":1,"m2":0,"min":1,"max":1,"buckets":[-1,2]}`,
+	} {
+		var s Summary
+		if err := json.Unmarshal([]byte(bad), &s); err == nil {
+			t.Errorf("accepted corrupt summary %s", bad)
+		}
+	}
+}
+
+// TestSummaryClamping covers the sketch edges: negatives and NaN land in
+// bucket 0, huge samples saturate.
+func TestSummaryClamping(t *testing.T) {
+	var s Summary
+	s.Add(-3)
+	s.Add(math.NaN())
+	s.Add(1e9)
+	if got := s.Percentile(100); got != SummaryBuckets {
+		t.Fatalf("saturated percentile = %v, want %v", got, float64(SummaryBuckets))
+	}
+	if s.N() != 3 {
+		t.Fatalf("n = %d, want 3", s.N())
+	}
+}
