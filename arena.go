@@ -46,6 +46,11 @@ type ArenaConfig struct {
 	// Backend selects the execution model: BackendSched, BackendHybrid,
 	// or BackendMsgNet.
 	Backend string
+	// Adversary names an adversarial schedule from the engine's adversary
+	// registry, optionally parameterized (e.g. "antileader:m=8"); empty
+	// selects the zero schedule (pure noise). Backends that cannot run
+	// the named schedule are rejected by NewArena with a typed error.
+	Adversary string
 	// Seed makes the whole arena reproducible: with a fixed seed, the
 	// same keys and bits yield identical decisions and simulated metrics
 	// regardless of goroutine scheduling.
@@ -111,6 +116,10 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 	if err != nil {
 		return nil, err
 	}
+	adv, err := engine.ResolveAdversary(cfg.Adversary)
+	if err != nil {
+		return nil, err
+	}
 	var reg *metrics.Registry
 	var am *arena.Metrics
 	if cfg.Telemetry {
@@ -123,6 +132,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		N:          cfg.N,
 		Noise:      cfg.Distribution,
 		Model:      model,
+		Adversary:  adv,
 		Seed:       cfg.Seed,
 		QueueDepth: cfg.QueueDepth,
 		Metrics:    am,

@@ -25,6 +25,11 @@ type CampaignSpec struct {
 	Models []string `json:"models,omitempty"`
 	// Dists are noise-distribution names (see the dist registry).
 	Dists []string `json:"dists,omitempty"`
+	// Adversaries are adversarial-schedule names, optionally
+	// parameterized ("antileader:m=8"); empty selects the zero schedule.
+	// A model outside the adversary axis (msgnet) collapses the axis to a
+	// single "none" cell, exactly as noise-free models collapse Dists.
+	Adversaries []string `json:"adversaries,omitempty"`
 	// Ns are process counts per instance.
 	Ns []int `json:"ns,omitempty"`
 	// Seeds are cell seeds; each repetition's instance seed derives from
@@ -47,13 +52,15 @@ type CampaignProgress struct {
 }
 
 // CampaignCell is one completed grid cell's statistics. Every field is
-// deterministic: a pure function of (model, dist, n, seed, reps).
+// deterministic: a pure function of (model, dist, adversary, n, seed,
+// reps).
 type CampaignCell struct {
-	Model string `json:"model"`
-	Dist  string `json:"dist"`
-	N     int    `json:"n"`
-	Seed  uint64 `json:"seed"`
-	Reps  int64  `json:"reps"`
+	Model     string `json:"model"`
+	Dist      string `json:"dist"`
+	Adversary string `json:"adversary"`
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
+	Reps      int64  `json:"reps"`
 
 	Decided0            int64 `json:"decided0"`
 	Decided1            int64 `json:"decided1"`

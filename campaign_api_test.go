@@ -71,7 +71,7 @@ func TestCampaignPublicAPI(t *testing.T) {
 	if !bytes.Equal(j1, j2) {
 		t.Fatal("public reports differ across pool shapes")
 	}
-	if !strings.HasPrefix(rep.CSV(), "model,dist,n,seed,reps,") {
+	if !strings.HasPrefix(rep.CSV(), "model,dist,adversary,n,seed,reps,") {
 		t.Fatalf("unexpected CSV header:\n%s", rep.CSV())
 	}
 

@@ -32,9 +32,13 @@ const (
 // Zero values select server-side defaults; names resolve through the
 // server's registries (see Client.Models).
 type JobSpec struct {
-	Model     string `json:"model,omitempty"`
-	Variant   string `json:"variant,omitempty"`
-	Dist      string `json:"dist,omitempty"`
+	Model   string `json:"model,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	Dist    string `json:"dist,omitempty"`
+	// Adversary names an adversarial schedule, optionally parameterized
+	// ("antileader:m=8"); see Client.Adversaries for the registry. Models
+	// outside the adversary axis reject a named schedule with a 400.
+	Adversary string `json:"adversary,omitempty"`
 	N         int    `json:"n,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
 	Instances int    `json:"instances"`
@@ -70,6 +74,7 @@ type SpecResult struct {
 	Model          string  `json:"model"`
 	Variant        string  `json:"variant"`
 	Dist           string  `json:"dist"`
+	Adversary      string  `json:"adversary"`
 	N              int     `json:"n"`
 	Seed           uint64  `json:"seed"`
 	Instances      int     `json:"instances"`
@@ -103,6 +108,32 @@ type ModelInfo struct {
 type VariantInfo struct {
 	Name     string `json:"name"`
 	Servable bool   `json:"servable"`
+}
+
+// AdversaryCatalog lists the service's registered adversarial schedules
+// (GET /v1/adversaries).
+type AdversaryCatalog struct {
+	DefaultAdversary string          `json:"defaultAdversary"`
+	Adversaries      []AdversaryInfo `json:"adversaries"`
+}
+
+// AdversaryInfo describes one registered adversarial schedule: its
+// parameter schema (specs are written "name:param=value:param=value")
+// and the execution models that can run it.
+type AdversaryInfo struct {
+	Name      string           `json:"name"`
+	Canonical string           `json:"canonical"`
+	Brief     string           `json:"brief"`
+	Params    []AdversaryParam `json:"params,omitempty"`
+	Models    []string         `json:"models"`
+}
+
+// AdversaryParam is one named parameter of an adversarial schedule;
+// Integer parameters only accept whole values.
+type AdversaryParam struct {
+	Name    string  `json:"name"`
+	Default float64 `json:"default"`
+	Integer bool    `json:"integer,omitempty"`
 }
 
 // Health is the service's liveness report.
@@ -464,6 +495,19 @@ func (c *Client) Models(ctx context.Context) (*Catalog, error) {
 		return nil, err
 	}
 	var cat Catalog
+	if err := c.do(req, &cat); err != nil {
+		return nil, err
+	}
+	return &cat, nil
+}
+
+// Adversaries fetches the service's adversary registry catalog.
+func (c *Client) Adversaries(ctx context.Context) (*AdversaryCatalog, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/adversaries", nil)
+	if err != nil {
+		return nil, err
+	}
+	var cat AdversaryCatalog
 	if err := c.do(req, &cat); err != nil {
 		return nil, err
 	}

@@ -7,7 +7,7 @@
 //
 //	leanarena -instances 10000 -shards 8 [-workers 2] [-n 8]
 //	          [-dist exponential] [-backend sched|hybrid|msgnet]
-//	          [-seed 1] [-json] [-list]
+//	          [-adversary NAME[:param=value...]] [-seed 1] [-json] [-list]
 //
 // The -backend flag resolves through the engine's model registry, so any
 // newly registered execution model is immediately available; -list prints
@@ -52,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	n := fs.Int("n", arena.DefaultN, "processes per consensus instance")
 	distName := fs.String("dist", "exponential", "noise distribution (see -list)")
 	backendName := fs.String("backend", "sched", "execution model (see -list)")
+	advName := fs.String("adversary", "", "adversarial schedule, e.g. antileader:m=8 (see -list)")
 	seed := fs.Uint64("seed", 1, "arena seed (fixes decisions and simulated metrics)")
 	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report on stdout")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
@@ -74,6 +75,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// arena.New validates the model/adversary pairing with the engine's
+	// typed error, so no pre-check is needed here.
+	adv, err := cli.Adversary(*advName)
+	if err != nil {
+		return err
+	}
 	if engine.IgnoresNoise(model) {
 		// An explicitly chosen distribution that can't affect the outcome is
 		// an error, not a silently wrong run (default noise still appears in
@@ -87,12 +94,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	a, err := arena.New(arena.Config{
-		Shards:  *shards,
-		Workers: *workers,
-		N:       *n,
-		Noise:   d,
-		Model:   model,
-		Seed:    *seed,
+		Shards:    *shards,
+		Workers:   *workers,
+		N:         *n,
+		Noise:     d,
+		Model:     model,
+		Adversary: adv,
+		Seed:      *seed,
 	})
 	if err != nil {
 		return err
@@ -144,7 +152,12 @@ func run(args []string, stdout io.Writer) error {
 	for _, r := range results {
 		lat.Add(r.Latency.Seconds() * 1e6)
 	}
-	fmt.Fprintf(stdout, "leanarena: backend=%s dist=%s seed=%d\n", model.Name(), d, *seed)
+	if adv.IsZero() {
+		fmt.Fprintf(stdout, "leanarena: backend=%s dist=%s seed=%d\n", model.Name(), d, *seed)
+	} else {
+		fmt.Fprintf(stdout, "leanarena: backend=%s dist=%s adversary=%s seed=%d\n",
+			model.Name(), d, adv.Name(), *seed)
+	}
 	fmt.Fprintf(stdout, "  instances:   %d across %d shards × %d workers (n=%d per instance)\n",
 		*instances, a.Config().Shards, a.Config().Workers, a.Config().N)
 	fmt.Fprintf(stdout, "  decided:     %d zeros, %d ones, %d errors\n",

@@ -39,6 +39,56 @@ func TestRunJSONReplay(t *testing.T) {
 	}
 }
 
+// TestRunAdversaryFlag drives the -adversary flag end to end: the JSON
+// report carries the canonical label, replays byte-identically, and
+// differs from the zero-schedule run's decisions; pairings the backend
+// cannot run are rejected up front.
+func TestRunAdversaryFlag(t *testing.T) {
+	base := []string{"-instances", "120", "-shards", "3", "-workers", "2", "-n", "4", "-seed", "17", "-json"}
+	var zero, first, second bytes.Buffer
+	if err := run(base, &zero); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-adversary", "anti-leader:m=2"}, base...)
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("adversarial run is not replayable:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	if !strings.Contains(first.String(), `"adversary": "antileader:m=2"`) {
+		t.Errorf("JSON report missing canonical adversary label:\n%s", first.String())
+	}
+	if bytes.Equal(zero.Bytes(), first.Bytes()) {
+		t.Error("antileader:m=2 report equals the zero-schedule report; the schedule never armed")
+	}
+
+	// The hybrid backend runs the schedule's quantum/priority face.
+	var out bytes.Buffer
+	if err := run([]string{"-instances", "20", "-shards", "2", "-n", "4",
+		"-backend", "hybrid", "-adversary", "antileader"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adversary=antileader:m=1") {
+		t.Errorf("hybrid adversarial header:\n%s", out.String())
+	}
+
+	// msgnet is outside the axis; halfsplit has no hybrid face.
+	for _, args := range [][]string{
+		{"-backend", "msgnet", "-adversary", "antileader"},
+		{"-backend", "hybrid", "-adversary", "halfsplit"},
+		{"-adversary", "bogus"},
+		{"-adversary", "antileader:m="},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestRunBackendFlag(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-instances", "20", "-shards", "2", "-n", "4", "-backend", "hybrid"}, &out)

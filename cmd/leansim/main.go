@@ -6,13 +6,19 @@
 // Usage:
 //
 //	leansim -n 8 -dist exponential -seed 42 [-trace] [-failures 0.01]
-//	        [-adversary none|constant|stagger|anti-leader|half-split]
-//	        [-bounded RMAX] [-m BOUND] [-model sched|hybrid|msgnet] [-list]
+//	        [-adversary NAME[:param=value...]] [-m BOUND]
+//	        [-bounded RMAX] [-model sched|hybrid|msgnet] [-list]
 //
-// The default model, sched, exposes the full noisy-scheduling
-// instrumentation (trace, adversaries, invariant checking). Any other
-// registered execution model runs one instance through the engine's model
-// registry and reports its Result.
+// The -adversary flag resolves through the engine's adversary registry
+// (see -list), so any registered adversarial schedule — parameterized
+// like "antileader:m=8" — is available; -m is shorthand for the
+// schedule's primary parameter. The default model, sched, exposes the
+// full noisy-scheduling instrumentation (trace, invariant checking). Any
+// other registered execution model runs one instance through the
+// engine's model registry and reports its Result; models that accept
+// adversaries (hybrid) run the schedule's form for that model, while
+// models outside the adversary axis (msgnet) reject the flag with the
+// engine's typed error.
 package main
 
 import (
@@ -26,7 +32,6 @@ import (
 	"leanconsensus/internal/cli"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/harness"
-	"leanconsensus/internal/sched"
 )
 
 func main() {
@@ -45,8 +50,8 @@ func run(args []string, stdout io.Writer) error {
 	distName := fs.String("dist", "exponential", "noise distribution (see -list)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	failures := fs.Float64("failures", 0, "per-operation halting probability h(n)")
-	advName := fs.String("adversary", "none", "delay adversary: none, constant, stagger, anti-leader, half-split")
-	m := fs.Float64("m", 1, "adversary delay bound M")
+	advName := fs.String("adversary", "none", "adversarial schedule, e.g. antileader:m=8 (see -list)")
+	m := fs.Float64("m", 1, "shorthand for the adversary's primary parameter (its delay bound or gap)")
 	bounded := fs.Int("bounded", 0, "run the bounded-space protocol with this rmax (0: unbounded)")
 	trace := fs.Bool("trace", false, "print the full operation trace")
 	optimized := fs.Bool("optimized", false, "run the elided-operations ablation variant")
@@ -72,14 +77,41 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// The adversary resolves through the engine's registry; -m is
+	// shorthand for the schedule's primary parameter, kept for the
+	// one-knob ergonomics the tool always had.
+	mSet := false
+	fs.Visit(func(f *flag.Flag) { mSet = mSet || f.Name == "m" })
+	adv, err := cli.Adversary(*advName)
+	if err != nil {
+		return err
+	}
+	if mSet {
+		if strings.Contains(*advName, ":") {
+			return fmt.Errorf("-m and inline adversary parameters are mutually exclusive")
+		}
+		p, ok := engine.AdversaryPrimaryParam(*advName)
+		if !ok {
+			return fmt.Errorf("-m does not apply to adversary %q: it takes no parameters", adv.Name())
+		}
+		if adv, err = cli.Adversary(fmt.Sprintf("%s:%s=%g", *advName, p, *m)); err != nil {
+			return err
+		}
+	}
+	if err := engine.CheckAdversary(model, adv); err != nil {
+		return err
+	}
+
 	if model.Name() != engine.DefaultModel {
 		// Any non-default execution model: run one instance through the
 		// registry. The sched-specific knobs below do not apply, so an
 		// explicitly set one is an error rather than a silently wrong run;
 		// likewise -dist for models that declare noise can't affect them.
+		// The adversary is not sched-only any more: models that accept
+		// adversaries run the schedule's own form (checked above).
 		schedOnly := map[string]bool{
-			"failures": true, "adversary": true, "m": true,
-			"bounded": true, "trace": true, "optimized": true,
+			"failures": true, "bounded": true, "trace": true, "optimized": true,
 		}
 		var ignored []string
 		distSet := false
@@ -100,40 +132,28 @@ func run(args []string, stdout io.Writer) error {
 				model.Name())
 		}
 		res, err := model.Run(engine.Spec{
-			Key:    "leansim",
-			N:      *n,
-			Inputs: harness.HalfInputs(*n),
-			Noise:  d,
-			Seed:   *seed,
+			Key:       "leansim",
+			N:         *n,
+			Inputs:    harness.HalfInputs(*n),
+			Noise:     d,
+			Adversary: adv,
+			Seed:      *seed,
 		}, nil)
 		if err != nil {
 			return err
 		}
-		if engine.IgnoresNoise(model) {
-			fmt.Fprintf(stdout, "n=%d model=%s seed=%d\n", *n, model.Name(), *seed)
-		} else {
-			fmt.Fprintf(stdout, "n=%d model=%s dist=%s seed=%d\n", *n, model.Name(), d, *seed)
+		header := fmt.Sprintf("n=%d model=%s", *n, model.Name())
+		if !engine.IgnoresNoise(model) {
+			header += fmt.Sprintf(" dist=%s", d)
 		}
+		if !adv.IsZero() {
+			header += fmt.Sprintf(" adversary=%s", adv.Name())
+		}
+		fmt.Fprintf(stdout, "%s seed=%d\n", header, *seed)
 		fmt.Fprintf(stdout, "decision: %d\n", res.Value)
 		fmt.Fprintf(stdout, "rounds: first %d, last %d   total ops: %d   simulated time: %.4f\n",
 			res.FirstRound, res.LastRound, res.Ops, res.SimTime)
 		return nil
-	}
-
-	var adv sched.Adversary
-	switch *advName {
-	case "none":
-		adv = nil
-	case "constant":
-		adv = sched.Constant{D: *m}
-	case "stagger":
-		adv = sched.Stagger{Gap: *m}
-	case "anti-leader":
-		adv = sched.AntiLeader{M: *m}
-	case "half-split":
-		adv = sched.HalfSplit{M: *m}
-	default:
-		return fmt.Errorf("unknown adversary %q", *advName)
 	}
 
 	variant := harness.VariantLean
@@ -147,7 +167,7 @@ func run(args []string, stdout io.Writer) error {
 	run, err := harness.RunSim(harness.SimConfig{
 		N:           *n,
 		ReadNoise:   d,
-		Adversary:   adv,
+		Adversary:   adv.Sched(),
 		FailureProb: *failures,
 		Seed:        *seed,
 		Variant:     variant,
@@ -170,7 +190,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(stdout, "n=%d dist=%s seed=%d\n", *n, d, *seed)
+	if adv.IsZero() {
+		fmt.Fprintf(stdout, "n=%d dist=%s seed=%d\n", *n, d, *seed)
+	} else {
+		fmt.Fprintf(stdout, "n=%d dist=%s adversary=%s seed=%d\n", *n, d, adv.Name(), *seed)
+	}
 	if v, ok := res.Agreement(); ok && v >= 0 {
 		fmt.Fprintf(stdout, "decision: %d\n", v)
 	} else if res.AllHalted {

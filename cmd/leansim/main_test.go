@@ -84,8 +84,57 @@ func TestRunList(t *testing.T) {
 }
 
 func TestRunRejectsUnknownAdversary(t *testing.T) {
-	if err := run([]string{"-adversary", "bogus"}, &bytes.Buffer{}); err == nil {
-		t.Error("unknown adversary accepted")
+	for _, args := range [][]string{
+		{"-adversary", "bogus"},
+		{"-adversary", "antileader:m="},             // malformed parameter
+		{"-adversary", "antileader:x=1"},            // unknown parameter
+		{"-adversary", "antileader:m=2", "-m", "3"}, // -m vs inline params
+		{"-m", "5"},              // -m with the parameterless zero schedule
+		{"-adversary", "sticky"}, // hybrid-only schedule on sched
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunRegistryAdversaries drives parameterized and aliased adversary
+// specs through both the sched instrumentation path and an adversarial
+// non-default model.
+func TestRunRegistryAdversaries(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-adversary", "anti-leader:m=8", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adversary=antileader:m=8") ||
+		!strings.Contains(out.String(), "invariants:") {
+		t.Errorf("sched adversarial output:\n%s", out.String())
+	}
+
+	// -m binds the primary parameter, exactly as it always did.
+	out.Reset()
+	if err := run([]string{"-n", "4", "-adversary", "stagger", "-m", "2.5", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adversary=stagger:gap=2.5") {
+		t.Errorf("-m did not bind stagger's gap:\n%s", out.String())
+	}
+
+	// hybrid accepts schedules with a quantum/priority face.
+	out.Reset()
+	if err := run([]string{"-n", "4", "-model", "hybrid", "-adversary", "antileader", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adversary=antileader:m=1") ||
+		!strings.Contains(out.String(), "decision:") {
+		t.Errorf("hybrid adversarial output:\n%s", out.String())
+	}
+
+	// msgnet is outside the adversary axis: typed rejection.
+	if err := run([]string{"-n", "4", "-model", "msgnet", "-adversary", "antileader"}, &bytes.Buffer{}); err == nil {
+		t.Error("msgnet accepted an adversary")
+	} else if !strings.Contains(err.Error(), "adversary") {
+		t.Errorf("msgnet rejection %q does not mention the adversary", err)
 	}
 }
 

@@ -8,7 +8,8 @@
 //	leansweep -spec fig1 [-format csv|json|table]
 //	leansweep -spec sweep.json [-checkpoint sweep.ckpt] [-resume]
 //	leansweep -dists exponential,uniform -ns 4,8 -seeds 1,2 -reps 100
-//	          [-models sched] [-name mysweep] [-shards 8] [-workers 2]
+//	          [-models sched] [-adversaries zero,antileader:m=8]
+//	          [-name mysweep] [-shards 8] [-workers 2]
 //	leansweep -list
 //
 // A campaign is specified either by a JSON file (-spec path; the
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	name := fs.String("name", "", "campaign name for reports and manifests (inline grids)")
 	models := fs.String("models", "", "comma-separated execution models (see -list; default sched)")
 	dists := fs.String("dists", "", "comma-separated noise distributions (see -list; default exponential)")
+	adversaries := fs.String("adversaries", "", "comma-separated adversarial schedules, e.g. zero,antileader:m=8 (see -list; default zero)")
 	ns := fs.String("ns", "", "comma-separated process counts (default 8)")
 	seeds := fs.String("seeds", "", "comma-separated cell seeds (default 1)")
 	reps := fs.Int("reps", 0, "repetitions per grid cell (required for inline grids)")
@@ -87,12 +89,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	camp, err := resolveSpec(*specSrc, campaign.Spec{
-		Name:   *name,
-		Models: splitList(*models),
-		Dists:  splitList(*dists),
-		Ns:     nil,
-		Seeds:  nil,
-		Reps:   *reps,
+		Name:        *name,
+		Models:      splitList(*models),
+		Dists:       splitList(*dists),
+		Adversaries: splitList(*adversaries),
+		Ns:          nil,
+		Seeds:       nil,
+		Reps:        *reps,
 	}, *ns, *seeds, fs)
 	if err != nil {
 		return err
@@ -153,7 +156,7 @@ func resolveSpec(src string, inline campaign.Spec, ns, seeds string, fs *flag.Fl
 	gridFlags := false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "name", "models", "dists", "ns", "seeds", "reps":
+		case "name", "models", "dists", "adversaries", "ns", "seeds", "reps":
 			gridFlags = true
 		}
 	})

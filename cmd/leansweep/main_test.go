@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"leanconsensus/internal/cli"
 )
@@ -63,10 +64,10 @@ func TestInlineGridCSV(t *testing.T) {
 	if len(lines) != 1+8 {
 		t.Fatalf("CSV has %d lines, want header + 8 cells:\n%s", len(lines), out)
 	}
-	if !strings.HasPrefix(lines[0], "model,dist,n,seed,reps,") {
+	if !strings.HasPrefix(lines[0], "model,dist,adversary,n,seed,reps,") {
 		t.Fatalf("unexpected CSV header %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "sched,exponential,4,1,5,") {
+	if !strings.HasPrefix(lines[1], "sched,exponential,zero,4,1,5,") {
 		t.Fatalf("unexpected first cell %q", lines[1])
 	}
 }
@@ -98,6 +99,65 @@ func TestBuiltinFig1Table(t *testing.T) {
 	}
 	if !strings.Contains(out, "exponential(mean=1)") {
 		t.Fatalf("fig1 table missing distribution label:\n%s", out)
+	}
+}
+
+// TestAdversarialGridGoldenAcrossShapesAndResume is the cross-layer
+// golden check for the adversary axis: an adversary-bearing campaign —
+// two schedules, two pool shapes — emits byte-identical CSV whether run
+// straight through, on a different pool, or interrupted after its first
+// checkpointed cell and resumed with -resume.
+func TestAdversarialGridGoldenAcrossShapesAndResume(t *testing.T) {
+	grid := []string{"-models", "sched", "-dists", "exponential",
+		"-adversaries", "antileader:m=2,stagger:gap=1.5",
+		"-ns", "4,8", "-seeds", "1", "-reps", "25", "-q"}
+
+	shapes := [][]string{
+		{"-shards", "1", "-workers", "1"},
+		{"-shards", "4", "-workers", "2"},
+	}
+	golden := sweep(t, append(append([]string{}, shapes[0]...), grid...)...)
+	if got := sweep(t, append(append([]string{}, shapes[1]...), grid...)...); got != golden {
+		t.Fatalf("adversarial grid differs across pool shapes:\n%s\nvs\n%s", golden, got)
+	}
+	for _, label := range []string{",antileader:m=2,", ",stagger:gap=1.5,"} {
+		if !strings.Contains(golden, label) {
+			t.Fatalf("adversarial CSV missing label %q:\n%s", label, golden)
+		}
+	}
+
+	// Interrupt each shape's checkpointed run once the manifest appears,
+	// then resume on that shape: same bytes as the golden run.
+	for i, shape := range shapes {
+		ckpt := filepath.Join(t.TempDir(), "adv.ckpt.json")
+		ctx, cancel := context.WithCancel(context.Background())
+		watch := make(chan struct{})
+		go func() {
+			defer close(watch)
+			for {
+				if _, err := os.Stat(ckpt); err == nil {
+					cancel()
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+		}()
+		args := append(append([]string{"-checkpoint", ckpt}, shape...), grid...)
+		var out bytes.Buffer
+		err := run(ctx, args, &out)
+		cancel()
+		<-watch
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("shape %d interrupted run: %v", i, err)
+		}
+		resumed := sweep(t, append([]string{"-resume"}, args...)...)
+		if resumed != golden {
+			t.Fatalf("shape %d adversarial resume differs from golden:\n%s\nvs\n%s", i, resumed, golden)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package leanconsensus_test
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -61,6 +62,19 @@ func FuzzSimulateSafety(f *testing.F) {
 	})
 }
 
+// oversizedAdversaryAxis builds a campaign spec whose adversaries × seeds
+// product exceeds the cell limit using only registered names, so the
+// failure must be the limit gate, not name resolution.
+func oversizedAdversaryAxis() string {
+	var advs, seeds []string
+	for i := 1; i <= 70; i++ {
+		advs = append(advs, fmt.Sprintf("%q", fmt.Sprintf("random:seed=%d", i)))
+		seeds = append(seeds, fmt.Sprintf("%d", i))
+	}
+	return fmt.Sprintf(`{"adversaries":[%s],"seeds":[%s],"reps":1}`,
+		strings.Join(advs, ","), strings.Join(seeds, ","))
+}
+
 // FuzzJobSpecDecode fuzzes the serving layer's job-spec JSON decoder
 // (server.DecodeSubmit, the body of POST /v1/jobs). Hostile input —
 // malformed JSON, unknown fields, out-of-range n or instance counts,
@@ -74,6 +88,13 @@ func FuzzJobSpecDecode(f *testing.F) {
 	f.Add(`{"jobs":[{"model":"hybrid","instances":5},{"model":"msgnet","dist":"two-point","instances":5}]}`)
 	f.Add(`{"jobs":[{"model":"quantum","instances":1}]}`)
 	f.Add(`{"jobs":[{"variant":"combined","instances":1}]}`)
+	f.Add(`{"jobs":[{"adversary":"antileader:m=8","instances":10}]}`)
+	f.Add(`{"jobs":[{"model":"hybrid","adversary":"random:m=1:seed=2","instances":1}]}`)
+	f.Add(`{"jobs":[{"model":"msgnet","adversary":"antileader","instances":1}]}`)
+	f.Add(`{"jobs":[{"adversary":"antileader:m=","instances":1}]}`)
+	f.Add(`{"jobs":[{"adversary":"sticky","instances":1}]}`)
+	f.Add(`{"jobs":[{"adversary":"bogus","instances":1}]}`)
+	f.Add(`{"jobs":[{"adversary":"none","model":"msgnet","instances":1}]}`)
 	f.Add(`{"jobs":[{"n":-3,"instances":1}]}`)
 	f.Add(`{"jobs":[{"n":1000000,"instances":1}]}`)
 	f.Add(`{"jobs":[{"instances":0}]}`)
@@ -113,6 +134,17 @@ func FuzzJobSpecDecode(f *testing.F) {
 			if job.VariantName != engine.ServableVariant {
 				t.Fatalf("job %d accepted with unservable variant %q", i, job.VariantName)
 			}
+			if job.AdvName == "" {
+				t.Fatalf("job %d accepted with no adversary label", i)
+			}
+			if job.Adversary != nil && !engine.AcceptsAdversary(job.Model, job.Adversary) {
+				t.Fatalf("job %d accepted adversary %q the model %q cannot run",
+					i, job.AdvName, job.ModelName)
+			}
+			if _, ok := job.Model.(engine.Adversarial); !ok && job.AdvName != engine.NoAdversary {
+				t.Fatalf("job %d: model %q outside the adversary axis carries label %q",
+					i, job.ModelName, job.AdvName)
+			}
 		}
 	})
 }
@@ -139,6 +171,15 @@ func FuzzCampaignSpecDecode(f *testing.F) {
 	f.Add(`{"reps":1,"bogus":7}`)
 	f.Add(`{"reps":1} trailing`)
 	f.Add(`{"dists":["two-point","twopoint"],"reps":1}`)
+	f.Add(`{"adversaries":["zero","antileader:m=8","stagger:gap=2"],"reps":2}`)
+	f.Add(`{"models":["msgnet"],"adversaries":["zero","antileader:m=2"],"reps":1}`)
+	f.Add(`{"models":["hybrid"],"adversaries":["halfsplit"],"reps":1}`)
+	f.Add(`{"adversaries":["antileader:m="],"reps":1}`)
+	f.Add(`{"adversaries":["antileader","anti-leader:m=1"],"reps":1}`)
+	f.Add(`{"adversaries":["bogus"],"reps":1}`)
+	// An oversized adversary axis (70 × 70 seeds > 4096 cells) must come
+	// back as the typed *LimitError, never an attempt at the grid.
+	f.Add(oversizedAdversaryAxis())
 	f.Add(`[1,2,3]`)
 	f.Add(`null`)
 	f.Add("\x00\xff\xfe")
@@ -182,6 +223,13 @@ func FuzzCampaignSpecDecode(f *testing.F) {
 			}
 			if job.Instances != c.Spec.Reps {
 				t.Fatalf("cell %q carries %d instances, spec says %d", cell.Key, job.Instances, c.Spec.Reps)
+			}
+			if job.AdvName == "" {
+				t.Fatalf("cell %q accepted with no adversary label", cell.Key)
+			}
+			if _, ok := job.Model.(engine.Adversarial); !ok && job.AdvName != engine.NoAdversary {
+				t.Fatalf("cell %q: model %q outside the adversary axis carries label %q",
+					cell.Key, job.ModelName, job.AdvName)
 			}
 		}
 	})

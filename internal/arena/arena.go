@@ -65,6 +65,11 @@ type Config struct {
 	// Model selects the execution model (default the engine's "sched"
 	// model; see engine.ByName for resolution from a name).
 	Model engine.Model
+	// Adversary is the adversarial schedule armed for every derived
+	// (Submit/Propose) instance; nil selects the zero schedule. New
+	// rejects a schedule the model cannot run with the engine's typed
+	// error. Explicit-spec requests carry their own via Spec.Adversary.
+	Adversary *engine.Adversary
 	// Seed makes the whole arena reproducible: same seed, same keys, same
 	// bits — byte-identical decisions and simulated metrics.
 	Seed uint64
@@ -246,6 +251,9 @@ func New(cfg Config) (*Arena, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("arena: N must be positive, got %d", cfg.N)
 	}
+	if err := engine.CheckAdversary(cfg.Model, cfg.Adversary); err != nil {
+		return nil, fmt.Errorf("arena: %w", err)
+	}
 	a := &Arena{cfg: cfg, start: time.Now()}
 	a.shards = make([]*shard, cfg.Shards)
 	for i := range a.shards {
@@ -328,7 +336,9 @@ type SpecRequest struct {
 	// routes exactly like Submit's key. A non-nil Inputs slice is borrowed
 	// until the Result is delivered; the caller must not modify it before
 	// then. A nil Spec.Noise is passed through as-is — valid only for
-	// models that declare engine.NoiseFree.
+	// models that declare engine.NoiseFree. Spec.Adversary likewise rides
+	// through verbatim; a model that cannot run it fails the instance with
+	// the engine's typed error.
 	Spec engine.Spec
 }
 
@@ -560,12 +570,13 @@ func (a *Arena) serve(s *shard, sess *engine.Session, req *request) Result {
 			inputs[i] = rng.Intn(2)
 		}
 		spec = engine.Spec{
-			Key:    req.key,
-			Shard:  s.id,
-			N:      a.cfg.N,
-			Inputs: inputs,
-			Noise:  a.cfg.Noise,
-			Seed:   seed,
+			Key:       req.key,
+			Shard:     s.id,
+			N:         a.cfg.N,
+			Inputs:    inputs,
+			Noise:     a.cfg.Noise,
+			Adversary: a.cfg.Adversary,
+			Seed:      seed,
 		}
 	}
 	res := Result{Key: req.key, Shard: s.id}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"leanconsensus/internal/engine"
 )
 
 // Report is the deterministic summary of a batch of arena results: every
@@ -13,9 +15,12 @@ import (
 // (latency, throughput) are deliberately excluded — read those from
 // Stats.
 type Report struct {
-	// Backend and Noise echo the execution model.
-	Backend string `json:"backend"`
-	Noise   string `json:"noise"`
+	// Backend, Noise, and Adversary echo the execution environment
+	// (Adversary is "none" for models outside the adversary axis, "zero"
+	// when no schedule was armed).
+	Backend   string `json:"backend"`
+	Noise     string `json:"noise"`
+	Adversary string `json:"adversary"`
 	// Seed, Shards, Workers, and N echo the configuration.
 	Seed    uint64 `json:"seed"`
 	Shards  int    `json:"shards"`
@@ -50,14 +55,19 @@ func BuildReport(cfg Config, results []Result) *Report {
 	sorted := append([]Result(nil), results...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 
+	advName := engine.NoAdversary
+	if _, ok := cfg.Model.(engine.Adversarial); ok {
+		advName = cfg.Adversary.Name()
+	}
 	rep := &Report{
-		Backend:  cfg.Model.Name(),
-		Noise:    cfg.Noise.String(),
-		Seed:     cfg.Seed,
-		Shards:   cfg.Shards,
-		Workers:  cfg.Workers,
-		N:        cfg.N,
-		PerShard: make([]int64, cfg.Shards),
+		Backend:   cfg.Model.Name(),
+		Noise:     cfg.Noise.String(),
+		Adversary: advName,
+		Seed:      cfg.Seed,
+		Shards:    cfg.Shards,
+		Workers:   cfg.Workers,
+		N:         cfg.N,
+		PerShard:  make([]int64, cfg.Shards),
 	}
 	sum := fnvOffset64
 	fnv := func(s string) { sum = fnvAdd(sum, s) }

@@ -1,0 +1,209 @@
+package campaign_test
+
+// Tests for the adversary grid axis: expansion and collapse, canonical
+// dedup, the wire limit, the typed unsupported-pairing error, and
+// deterministic replay of adversarial cells across checkpoint boundaries
+// and pool shapes.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/campaign"
+	"leanconsensus/internal/engine"
+)
+
+// adversarialSpec is a small grid with a real adversary axis.
+func adversarialSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:        "adv-micro",
+		Models:      []string{"sched"},
+		Dists:       []string{"exponential"},
+		Adversaries: []string{"antileader:m=2", "stagger:gap=1.5"},
+		Ns:          []int{4, 8},
+		Seeds:       []uint64{1},
+		Reps:        20,
+	}
+}
+
+// TestAdversaryAxisExpandsAndCollapses: an adversarial model gets one
+// cell per schedule; a model outside the axis collapses to the single
+// "none" label, exactly as the dist axis collapses for noise-free
+// models.
+func TestAdversaryAxisExpandsAndCollapses(t *testing.T) {
+	c, err := campaign.Spec{
+		Models:      []string{"sched", "msgnet"},
+		Dists:       []string{"exponential"},
+		Adversaries: []string{"zero", "antileader:m=2"},
+		Ns:          []int{4},
+		Reps:        1,
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, cell := range c.Cells {
+		keys = append(keys, cell.Key)
+	}
+	want := []string{
+		"model=sched,dist=exponential,adv=zero,n=4,seed=1",
+		"model=sched,dist=exponential,adv=antileader:m=2,n=4,seed=1",
+		"model=msgnet,dist=exponential,adv=none,n=4,seed=1",
+	}
+	if strings.Join(keys, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("cells:\n%s\nwant:\n%s", strings.Join(keys, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestAdversaryCanonicalSpellingsDedupe: parameter-equivalent spellings
+// ("antileader", alias, explicit default) collapse to one cell, like
+// dist aliases.
+func TestAdversaryCanonicalSpellingsDedupe(t *testing.T) {
+	c, err := campaign.Spec{
+		Adversaries: []string{"antileader", "anti-leader:m=1", "AntiLeader"},
+		Ns:          []int{4},
+		Reps:        1,
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cells) != 1 {
+		t.Fatalf("equivalent adversary spellings produced %d cells", len(c.Cells))
+	}
+	if got := c.Cells[0].Job.AdvName; got != "antileader:m=1" {
+		t.Fatalf("canonical adversary name %q", got)
+	}
+	if got := c.Spec.Adversaries; len(got) != 3 || got[0] != "antileader:m=1" {
+		t.Fatalf("normalized adversaries %v", got)
+	}
+}
+
+// TestAdversaryAxisLimitError: an oversized adversaries axis is refused
+// with the typed *LimitError before any cell is materialized.
+func TestAdversaryAxisLimitError(t *testing.T) {
+	advs := make([]string, 70)
+	seeds := make([]uint64, 70)
+	for i := range advs {
+		advs[i] = fmt.Sprintf("random:seed=%d", i+1)
+		seeds[i] = uint64(i + 1)
+	}
+	_, err := campaign.Spec{Adversaries: advs, Seeds: seeds, Reps: 1}.Resolve()
+	var le *campaign.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("oversized adversary axis: error %T (%v), want *LimitError", err, err)
+	}
+	if le.Got != 70*70 || le.Max != campaign.MaxWireCells {
+		t.Fatalf("limit error %+v", le)
+	}
+}
+
+// TestAdversaryUnsupportedPairingFails: an adversarial model paired with
+// a schedule it has no face for fails resolution with the engine's typed
+// error — never a silently different schedule.
+func TestAdversaryUnsupportedPairingFails(t *testing.T) {
+	_, err := campaign.Spec{
+		Models:      []string{"hybrid"},
+		Adversaries: []string{"stagger:gap=2"},
+		Ns:          []int{4},
+		Reps:        1,
+	}.Resolve()
+	var ae *engine.AdversaryError
+	if !errors.As(err, &ae) {
+		t.Fatalf("hybrid+stagger: error %T (%v), want *engine.AdversaryError", err, err)
+	}
+	if ae.ModelName != "hybrid" {
+		t.Fatalf("error blames %q", ae.ModelName)
+	}
+}
+
+// TestAdversarialResumeByteIdenticalAcrossPoolShapes is the
+// campaign-level half of the cross-layer golden check: an
+// adversary-bearing campaign interrupted after its first completed cell
+// and resumed on a different pool shape emits exactly the bytes of an
+// uninterrupted run.
+func TestAdversarialResumeByteIdenticalAcrossPoolShapes(t *testing.T) {
+	ctx := context.Background()
+	spec := adversarialSpec()
+
+	full, err := campaign.Run(ctx, spec, campaign.Config{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON, err := full.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "adv.ckpt.json")
+
+	// Interrupted run on a narrow pool: cancel as soon as the first cell
+	// lands in the manifest.
+	cctx, cancel := context.WithCancel(ctx)
+	cells := 0
+	_, err = campaign.Run(cctx, spec, campaign.Config{
+		Shards: 1, Workers: 1, Checkpoint: ckpt,
+		OnCell: func(p campaign.Progress) {
+			cells++
+			if cells == 1 {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	// Resume on a wide pool.
+	resumed, err := campaign.Run(ctx, spec, campaign.Config{
+		Shards: 8, Workers: 4, Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedJSON, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullJSON, resumedJSON) {
+		t.Fatalf("adversarial resume diverged:\n%s\nvs\n%s", fullJSON, resumedJSON)
+	}
+	if full.CSV() != resumed.CSV() {
+		t.Fatal("adversarial resume CSV diverged")
+	}
+
+	// The adversary column must carry the canonical labels.
+	csv := full.CSV()
+	for _, label := range []string{",antileader:m=2,", ",stagger:gap=1.5,"} {
+		if !strings.Contains(csv, label) {
+			t.Fatalf("CSV missing adversary label %q:\n%s", label, csv)
+		}
+	}
+}
+
+// TestAdversaryChangesOutcomes is the axis's smoke of substance: an armed
+// schedule must actually reach the discrete-event engine (the delayed
+// run's simulated time differs from the pure-noise run's).
+func TestAdversaryChangesOutcomes(t *testing.T) {
+	ctx := context.Background()
+	base := campaign.Spec{Ns: []int{8}, Reps: 10}
+	delayed := campaign.Spec{Adversaries: []string{"constant:d=5"}, Ns: []int{8}, Reps: 10}
+
+	repA, err := campaign.Run(ctx, base, campaign.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := campaign.Run(ctx, delayed, campaign.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Cells[0].SimTime >= repB.Cells[0].SimTime {
+		t.Fatalf("constant:d=5 did not slow simulated time: %v vs %v",
+			repA.Cells[0].SimTime, repB.Cells[0].SimTime)
+	}
+}

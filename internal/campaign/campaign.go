@@ -43,9 +43,10 @@ import (
 
 // Spec is the declarative form of a campaign: run Reps independent
 // lean-consensus instances for every cell of the cartesian grid
-// Models × Dists × Ns × Seeds. Empty lists select defaults (the default
-// model, exponential noise, the wire-default N, seed 1). It is the JSON
-// contract of POST /v1/campaigns and of cmd/leansweep spec files.
+// Models × Dists × Adversaries × Ns × Seeds. Empty lists select defaults
+// (the default model, exponential noise, the zero adversary, the
+// wire-default N, seed 1). It is the JSON contract of POST /v1/campaigns
+// and of cmd/leansweep spec files.
 type Spec struct {
 	// Name labels the campaign in reports and manifests.
 	Name string `json:"name,omitempty"`
@@ -58,6 +59,15 @@ type Spec struct {
 	// Dists are noise-distribution names resolved through the dist
 	// registry (empty selects exponential).
 	Dists []string `json:"dists,omitempty"`
+	// Adversaries are adversarial-schedule names resolved through the
+	// engine's adversary registry, optionally parameterized
+	// ("antileader:m=8"); empty selects the zero schedule. A model
+	// outside the adversary axis (msgnet) collapses this axis to the
+	// single pseudo-schedule "none", exactly as noise-free models
+	// collapse Dists; a model that cannot run a named schedule fails
+	// resolution with the engine's typed error rather than running a
+	// silently different one.
+	Adversaries []string `json:"adversaries,omitempty"`
 	// Ns are process counts per instance (empty selects the wire default;
 	// a 0 entry also selects the wire default, mirroring engine.JobSpec).
 	Ns []int `json:"ns,omitempty"`
@@ -78,6 +88,9 @@ func (s Spec) normalized() (Spec, error) {
 	}
 	if len(out.Dists) == 0 {
 		out.Dists = []string{"exponential"}
+	}
+	if len(out.Adversaries) == 0 {
+		out.Adversaries = []string{engine.DefaultAdversary}
 	}
 	if len(out.Ns) == 0 {
 		out.Ns = []int{engine.DefaultWireN}
@@ -111,6 +124,18 @@ func (s Spec) normalized() (Spec, error) {
 		dists[i] = name
 	}
 	out.Dists = dists
+	advs := make([]string, len(out.Adversaries))
+	for i, a := range out.Adversaries {
+		resolved, err := engine.ResolveAdversary(a)
+		if err != nil {
+			return Spec{}, err
+		}
+		// The canonical form spells every parameter out
+		// ("antileader" → "antileader:m=1"), so parameter-equivalent
+		// spellings hash, checkpoint, and dedupe as one.
+		advs[i] = resolved.Name()
+	}
+	out.Adversaries = advs
 	ns := make([]int, len(out.Ns))
 	for i, n := range out.Ns {
 		if n == 0 {
@@ -126,19 +151,21 @@ func (s Spec) normalized() (Spec, error) {
 // field carries the repetition count.
 type Cell struct {
 	// Index is the cell's position in grid order (Models outer, then
-	// Dists, Ns, Seeds) — the order reports list cells in.
+	// Dists, Adversaries, Ns, Seeds) — the order reports list cells in.
 	Index int
 	// Key is the cell's canonical identity, e.g.
-	// "model=sched,dist=exponential,n=8,seed=1". Checkpoint manifests key
-	// completed cells by it.
+	// "model=sched,dist=exponential,adv=zero,n=8,seed=1". Checkpoint
+	// manifests key completed cells by it.
 	Key string
 	// Job is the resolved model, noise, N, seed, and repetition count.
 	Job engine.Job
 }
 
-// cellKey renders the canonical cell identity.
+// cellKey renders the canonical cell identity. Adversary names never
+// contain a comma (the spec syntax is colon-separated), so the key stays
+// unambiguous.
 func cellKey(j engine.Job) string {
-	return fmt.Sprintf("model=%s,dist=%s,n=%d,seed=%d", j.ModelName, j.DistName, j.N, j.Seed)
+	return fmt.Sprintf("model=%s,dist=%s,adv=%s,n=%d,seed=%d", j.ModelName, j.DistName, j.AdvName, j.N, j.Seed)
 }
 
 // Campaign is a resolved, validated Spec: every cell's names looked up,
@@ -173,7 +200,7 @@ func (s Spec) Resolve() (*Campaign, error) {
 	// value already capped at MaxWireCells, so the product cannot
 	// overflow no matter how long the lists are.
 	cells := int64(1)
-	for _, axis := range []int{len(norm.Models), len(norm.Dists), len(norm.Ns), len(norm.Seeds)} {
+	for _, axis := range []int{len(norm.Models), len(norm.Dists), len(norm.Adversaries), len(norm.Ns), len(norm.Seeds)} {
 		cells *= int64(axis)
 		if cells > MaxWireCells {
 			return nil, &LimitError{What: "grid cells", Got: cells, Max: MaxWireCells}
@@ -200,25 +227,35 @@ func (s Spec) Resolve() (*Campaign, error) {
 			// per-distribution axis.
 			dists = []string{"none"}
 		}
+		advs := norm.Adversaries
+		if _, ok := model.(engine.Adversarial); !ok {
+			// The model is outside the adversary axis: collapse to the
+			// "none" label, like the dist axis. (An adversarial model
+			// paired with a schedule it has no face for is different —
+			// that fails the cell's Resolve below with the typed error.)
+			advs = []string{engine.NoAdversary}
+		}
 		for _, dname := range dists {
-			for _, n := range norm.Ns {
-				for _, seed := range norm.Seeds {
-					job, err := engine.JobSpec{
-						Model: mname, Dist: dname, N: n, Seed: seed, Instances: norm.Reps,
-					}.Resolve()
-					if err != nil {
-						return nil, fmt.Errorf("campaign: cell (model=%s dist=%s n=%d seed=%d): %w",
-							mname, dname, n, seed, err)
+			for _, aname := range advs {
+				for _, n := range norm.Ns {
+					for _, seed := range norm.Seeds {
+						job, err := engine.JobSpec{
+							Model: mname, Dist: dname, Adversary: aname, N: n, Seed: seed, Instances: norm.Reps,
+						}.Resolve()
+						if err != nil {
+							return nil, fmt.Errorf("campaign: cell (model=%s dist=%s adv=%s n=%d seed=%d): %w",
+								mname, dname, aname, n, seed, err)
+						}
+						key := cellKey(job)
+						if seen[key] {
+							// Aliases or duplicate axis entries collapse to
+							// one cell; first occurrence wins.
+							continue
+						}
+						seen[key] = true
+						c.Cells = append(c.Cells, Cell{Index: len(c.Cells), Key: key, Job: job})
+						c.Instances += int64(norm.Reps)
 					}
-					key := cellKey(job)
-					if seen[key] {
-						// Aliases or duplicate axis entries collapse to
-						// one cell; first occurrence wins.
-						continue
-					}
-					seen[key] = true
-					c.Cells = append(c.Cells, Cell{Index: len(c.Cells), Key: key, Job: job})
-					c.Instances += int64(norm.Reps)
 				}
 			}
 		}
@@ -404,10 +441,11 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 				return arena.SpecRequest{
 					Model: job.Model,
 					Spec: engine.Spec{
-						Key:   fmt.Sprintf("%s,rep=%d", cell.Key, rep),
-						N:     job.N,
-						Noise: job.Noise,
-						Seed:  InstanceSeed(job.Seed, job.N, rep),
+						Key:       fmt.Sprintf("%s,rep=%d", cell.Key, rep),
+						N:         job.N,
+						Noise:     job.Noise,
+						Adversary: job.Adversary,
+						Seed:      InstanceSeed(job.Seed, job.N, rep),
 					},
 				}
 			},

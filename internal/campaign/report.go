@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
 	"leanconsensus/internal/stats"
 )
 
@@ -25,11 +26,12 @@ type Report struct {
 
 // CellReport is one cell's derived statistics.
 type CellReport struct {
-	Model string `json:"model"`
-	Dist  string `json:"dist"`
-	N     int    `json:"n"`
-	Seed  uint64 `json:"seed"`
-	Reps  int64  `json:"reps"`
+	Model     string `json:"model"`
+	Dist      string `json:"dist"`
+	Adversary string `json:"adversary"`
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
+	Reps      int64  `json:"reps"`
 
 	Decided0            int64 `json:"decided0"`
 	Decided1            int64 `json:"decided1"`
@@ -67,11 +69,12 @@ func (c *Campaign) buildReport(results []*CellStats) *Report {
 	for i := range c.Cells {
 		job, cs := c.Cells[i].Job, results[i]
 		rep.Cells[i] = CellReport{
-			Model: job.ModelName,
-			Dist:  job.DistName,
-			N:     job.N,
-			Seed:  job.Seed,
-			Reps:  cs.Reps,
+			Model:     job.ModelName,
+			Dist:      job.DistName,
+			Adversary: job.AdvName,
+			N:         job.N,
+			Seed:      job.Seed,
+			Reps:      cs.Reps,
 
 			Decided0:            cs.Decided[0],
 			Decided1:            cs.Decided[1],
@@ -109,7 +112,7 @@ func (r *Report) JSON() ([]byte, error) {
 
 // csvHeader is the column order of Report.CSV.
 var csvHeader = []string{
-	"model", "dist", "n", "seed", "reps",
+	"model", "dist", "adversary", "n", "seed", "reps",
 	"decided0", "decided1", "errors", "agreement_violations", "validity_violations", "undecided",
 	"mean_round", "round_ci95", "min_round", "max_round", "p50_round", "p90_round", "p99_round", "max_last_round",
 	"ops", "mean_ops_per_proc", "sim_time",
@@ -127,7 +130,7 @@ func (r *Report) CSV() string {
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		cols := []string{
-			c.Model, c.Dist, strconv.Itoa(c.N), strconv.FormatUint(c.Seed, 10), strconv.FormatInt(c.Reps, 10),
+			c.Model, c.Dist, c.Adversary, strconv.Itoa(c.N), strconv.FormatUint(c.Seed, 10), strconv.FormatInt(c.Reps, 10),
 			strconv.FormatInt(c.Decided0, 10), strconv.FormatInt(c.Decided1, 10),
 			strconv.FormatInt(c.Errors, 10), strconv.FormatInt(c.AgreementViolations, 10),
 			strconv.FormatInt(c.ValidityViolations, 10), strconv.FormatInt(c.Undecided, 10),
@@ -146,9 +149,11 @@ func (r *Report) CSV() string {
 // round of first termination, ci95, mean ops/proc. Distribution labels
 // use the distribution's display string (e.g. "exponential(mean=1)")
 // when the registry knows the name, so a campaign over the Figure 1 grid
-// reproduces the harness table byte for byte. For multi-model or
-// multi-seed grids the table simply carries one row per cell in grid
-// order.
+// reproduces the harness table byte for byte. For multi-model,
+// multi-seed, or adversarial grids the table carries one row per cell in
+// grid order; a non-zero adversary is appended to the distribution label
+// ("exponential(mean=1) + antileader:m=2") so rows stay distinguishable
+// while the zero-schedule Figure 1 bytes are untouched.
 func (r *Report) Fig1Table() *stats.Table {
 	t := stats.NewTable("distribution", "n", "trials", "mean round of first termination", "ci95", "mean ops/proc")
 	for i := range r.Cells {
@@ -156,6 +161,9 @@ func (r *Report) Fig1Table() *stats.Table {
 		label := c.Dist
 		if d, err := dist.ByName(c.Dist); err == nil {
 			label = d.String()
+		}
+		if c.Adversary != "" && c.Adversary != engine.DefaultAdversary && c.Adversary != engine.NoAdversary {
+			label += " + " + c.Adversary
 		}
 		t.AddRow(label, c.N, int(c.Reps), c.MeanRound, c.RoundCI95, c.MeanOpsPerProc)
 	}

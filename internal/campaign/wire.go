@@ -15,7 +15,8 @@ import (
 // check runs on axis lengths alone, before any cell is materialized, so
 // an oversized spec costs its own JSON size and nothing more.
 const (
-	// MaxWireCells caps the grid (|Models| × |Dists| × |Ns| × |Seeds|).
+	// MaxWireCells caps the grid
+	// (|Models| × |Dists| × |Adversaries| × |Ns| × |Seeds|).
 	MaxWireCells = 4096
 	// MaxWireInstances caps the campaign's total repetition count,
 	// matching the per-job wire limit of the serving layer.

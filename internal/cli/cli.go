@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
@@ -42,6 +43,10 @@ func Model(name string) (engine.Model, error) { return engine.ByName(name) }
 // distribution registry.
 func Distribution(name string) (dist.Distribution, error) { return dist.ByName(name) }
 
+// Adversary resolves an -adversary flag value through the engine's
+// adversary registry; the empty string selects the zero schedule.
+func Adversary(spec string) (*engine.Adversary, error) { return engine.ResolveAdversary(spec) }
+
 // ListModels writes the registered execution models, one per line.
 func ListModels(w io.Writer) {
 	fmt.Fprintln(w, "execution models:")
@@ -62,8 +67,22 @@ func ListDistributions(w io.Writer) {
 	}
 }
 
-// List writes both registries: the shared -list implementation.
+// ListAdversaries writes the registered adversarial schedules with their
+// parameter schemas ("name:param=default") and the models that run them.
+func ListAdversaries(w io.Writer) {
+	fmt.Fprintln(w, "adversaries:")
+	for _, info := range engine.AdversaryList() {
+		models := strings.Join(info.Models, ",")
+		if models == "" {
+			models = "-"
+		}
+		fmt.Fprintf(w, "  %-24s %s (models: %s)\n", info.Canonical, info.Brief, models)
+	}
+}
+
+// List writes all three registries: the shared -list implementation.
 func List(w io.Writer) {
 	ListModels(w)
 	ListDistributions(w)
+	ListAdversaries(w)
 }

@@ -1,0 +1,469 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"leanconsensus/internal/hybrid"
+	"leanconsensus/internal/registry"
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/xrand"
+)
+
+// This file makes the adversary a first-class workload axis. The paper's
+// noisy scheduling model is parameterized by an oblivious adversary
+// choosing start offsets Δ_i0 and bounded step delays Δ_ij (Section 3.1);
+// until now those schedules lived only below the harness. The registry
+// here gives every schedule a name — parameterizable, like
+// "antileader:m=8" — and the Adversarial interface below lets each
+// execution model declare whether (and how) it can run one, so the same
+// axis reaches arena jobs, campaigns, the HTTP API, and the CLIs.
+
+// Adversary-name constants.
+const (
+	// DefaultAdversary is the adversary an empty name resolves to: the
+	// zero schedule (no deterministic delays — pure noise, the paper's
+	// Figure 1 configuration).
+	DefaultAdversary = "zero"
+	// NoAdversary is the canonical label carried by models outside the
+	// adversary axis (msgnet), exactly as "none" labels noise-free models
+	// on the dist axis.
+	NoAdversary = "none"
+)
+
+// AdversaryParam is one named parameter of a registered adversary, e.g.
+// the delay bound m of "antileader". Parameters are non-negative finite
+// floats; an omitted parameter takes its default. Integer marks
+// parameters consumed as integers (stream seeds): their values must be
+// exactly representable whole numbers, or two differently-labelled
+// specs could silently select the same value.
+type AdversaryParam struct {
+	Name    string
+	Default float64
+	Integer bool
+}
+
+// AdversaryFaces holds the per-model instantiations of one adversarial
+// schedule. A nil face means the schedule has no form in that model —
+// pairing the two is then a typed *AdversaryError, never a silently
+// different run.
+//
+// Sched faces are shared across concurrent workers and many runs, so
+// they must be stateless value types (pure functions of their fields),
+// like distributions. Hybrid faces are constructed per instance from the
+// instance seed, so they may carry state (the hybrid scheduler's
+// adversaries do).
+type AdversaryFaces struct {
+	// Sched is the noisy-scheduling delay adversary.
+	Sched sched.Adversary
+	// Hybrid builds the quantum/priority scheduling adversary for one
+	// instance.
+	Hybrid func(seed uint64) hybrid.Adversary
+}
+
+// AdversaryDef registers one adversarial schedule: a name, a listing
+// description, an ordered parameter schema, and a constructor from the
+// resolved parameter values (in Params order, defaults applied).
+type AdversaryDef struct {
+	Name   string
+	Brief  string
+	Params []AdversaryParam
+	New    func(args []float64) AdversaryFaces
+}
+
+// adversaries is the self-registering adversary registry, on the same
+// generic mechanism as models, variants, and distributions.
+var adversaries = registry.New[AdversaryDef]("engine", "adversary")
+
+// RegisterAdversary adds an adversarial schedule; duplicate names panic.
+// Names and parameter names must be free of the spec syntax characters
+// (':' separates segments, '=' binds values), or the registered entry
+// could never be named back.
+func RegisterAdversary(def AdversaryDef) {
+	if strings.ContainsAny(def.Name, ":=,") {
+		panic(fmt.Sprintf("engine: adversary name %q contains spec syntax characters", def.Name))
+	}
+	if def.New == nil {
+		panic(fmt.Sprintf("engine: adversary %q registered without a constructor", def.Name))
+	}
+	seen := make(map[string]bool, len(def.Params))
+	canon := make([]AdversaryParam, len(def.Params))
+	for i, p := range def.Params {
+		name := registry.Canonical(p.Name)
+		if name == "" || strings.ContainsAny(name, ":=,") {
+			panic(fmt.Sprintf("engine: adversary %q has invalid parameter name %q", def.Name, p.Name))
+		}
+		if seen[name] {
+			panic(fmt.Sprintf("engine: adversary %q has duplicate parameter %q", def.Name, name))
+		}
+		seen[name] = true
+		// Defaults must themselves pass ResolveAdversary's value checks,
+		// or the canonical name an unparameterized spec resolves to would
+		// fail to re-resolve — breaking the round trip checkpoints,
+		// reports, and listings depend on.
+		if err := checkParamValue(p, p.Default); err != nil {
+			panic(fmt.Sprintf("engine: adversary %q default: %v", def.Name, err))
+		}
+		canon[i] = p
+		canon[i].Name = name
+	}
+	def.Params = canon
+	def.Name = registry.Canonical(def.Name)
+	adversaries.Register(def.Name, func() AdversaryDef { return def })
+}
+
+// AdversaryAlias makes alias resolve to the already-registered name.
+func AdversaryAlias(alias, name string) { adversaries.Alias(alias, name) }
+
+// Adversary is a resolved adversary registry entry: a canonical
+// parameterized name plus the per-model faces. The nil *Adversary means
+// the zero schedule (absence); every accessor is nil-safe.
+type Adversary struct {
+	name  string
+	faces AdversaryFaces
+}
+
+// Name returns the canonical parameterized name, e.g. "antileader:m=8".
+func (a *Adversary) Name() string {
+	if a == nil {
+		return DefaultAdversary
+	}
+	return a.name
+}
+
+// IsZero reports whether a is the zero schedule — no adversary at all.
+func (a *Adversary) IsZero() bool { return a == nil || a.name == DefaultAdversary }
+
+// Sched returns the noisy-scheduling face (nil when the schedule has no
+// sched form; nil for the absent adversary, which the sched engine
+// already treats as Zero).
+func (a *Adversary) Sched() sched.Adversary {
+	if a == nil {
+		return nil
+	}
+	return a.faces.Sched
+}
+
+// HasHybrid reports whether the schedule has a quantum/priority form.
+func (a *Adversary) HasHybrid() bool { return a != nil && a.faces.Hybrid != nil }
+
+// Hybrid builds the quantum/priority face for one instance seed (nil
+// when the schedule has no hybrid form; the hybrid model then uses its
+// default randomized legal scheduler).
+func (a *Adversary) Hybrid(seed uint64) hybrid.Adversary {
+	if a == nil || a.faces.Hybrid == nil {
+		return nil
+	}
+	return a.faces.Hybrid(seed)
+}
+
+// Adversarial is an optional interface for models that accept an
+// adversarial schedule via Spec.Adversary, mirroring NoiseFree on the
+// dist axis. AcceptsAdversary is called only with resolved, non-zero
+// adversaries; a model accepts one exactly when the schedule has the
+// face the model needs.
+type Adversarial interface {
+	AcceptsAdversary(a *Adversary) bool
+}
+
+// AcceptsAdversary reports whether model m can run adversary a. The zero
+// schedule (absence) is accepted by every model.
+func AcceptsAdversary(m Model, a *Adversary) bool {
+	if a.IsZero() {
+		return true
+	}
+	ad, ok := m.(Adversarial)
+	return ok && ad.AcceptsAdversary(a)
+}
+
+// AdversaryError is the typed rejection for an adversary paired with a
+// model that cannot run it — either the model accepts no adversaries at
+// all (msgnet), or the named schedule has no form in that model. The
+// serving layer maps it to HTTP 400.
+type AdversaryError struct {
+	// ModelName is the model that rejected the pairing.
+	ModelName string
+	// Adversary is the canonical adversary name.
+	Adversary string
+	// Supported lists the registered models that can run the adversary.
+	Supported []string
+}
+
+// Error implements error.
+func (e *AdversaryError) Error() string {
+	if len(e.Supported) == 0 {
+		return fmt.Sprintf("engine: model %q does not accept adversary %q (no model supports it)",
+			e.ModelName, e.Adversary)
+	}
+	return fmt.Sprintf("engine: model %q does not accept adversary %q (supported by: %s)",
+		e.ModelName, e.Adversary, strings.Join(e.Supported, ", "))
+}
+
+// newAdversaryError builds the typed rejection, naming which models could
+// have run the schedule.
+func newAdversaryError(modelName string, a *Adversary) *AdversaryError {
+	return &AdversaryError{ModelName: modelName, Adversary: a.Name(), Supported: adversarySupport(a)}
+}
+
+// CheckAdversary returns the typed error for pairing model m with
+// adversary a, or nil when m can run it (the zero schedule always can).
+func CheckAdversary(m Model, a *Adversary) error {
+	if AcceptsAdversary(m, a) {
+		return nil
+	}
+	return newAdversaryError(m.Name(), a)
+}
+
+// adversarySupport lists the registered models that can run a, sorted by
+// the registry's name order.
+func adversarySupport(a *Adversary) []string {
+	var out []string
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			continue
+		}
+		if _, ok := m.(Adversarial); !ok {
+			continue
+		}
+		if AcceptsAdversary(m, a) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ResolveAdversary parses and resolves one adversary spec. The syntax is
+//
+//	name[:param=value[:param=value...]]
+//
+// — colon-separated so a spec never contains a comma and can ride in
+// comma-separated CLI lists and CSV cells unquoted. Names and parameter
+// names are case-insensitive and alias-following; omitted parameters
+// take their defaults; values must be non-negative finite numbers. The
+// empty spec selects DefaultAdversary. Every failure is a client error.
+func ResolveAdversary(spec string) (*Adversary, error) {
+	segs := strings.Split(strings.TrimSpace(spec), ":")
+	name := strings.TrimSpace(segs[0])
+	if name == "" && len(segs) == 1 {
+		name = DefaultAdversary
+	}
+	def, err := adversaries.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]float64, len(def.Params))
+	for i, p := range def.Params {
+		args[i] = p.Default
+	}
+	set := make(map[string]bool, len(segs)-1)
+	for _, seg := range segs[1:] {
+		k, v, ok := strings.Cut(seg, "=")
+		k = registry.Canonical(k)
+		v = strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("engine: adversary %q: malformed parameter %q (want name=value)", spec, seg)
+		}
+		idx := -1
+		for i, p := range def.Params {
+			if p.Name == k {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: adversary %q has no parameter %q (parameters: %s)",
+				def.Name, k, paramNames(def.Params))
+		}
+		if set[k] {
+			return nil, fmt.Errorf("engine: adversary %q: duplicate parameter %q", spec, k)
+		}
+		set[k] = true
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("engine: adversary %q: parameter %s=%q must be a number", spec, k, v)
+		}
+		if err := checkParamValue(def.Params[idx], f); err != nil {
+			return nil, fmt.Errorf("engine: adversary %q: %v", spec, err)
+		}
+		args[idx] = f
+	}
+	return &Adversary{name: canonicalAdversaryName(def, args), faces: def.New(args)}, nil
+}
+
+// maxExactInt is the largest float64 range in which every whole number
+// is exactly representable; integer parameters beyond it could alias.
+const maxExactInt = 1 << 53
+
+// checkParamValue validates one parameter value against its schema:
+// non-negative and finite always, and an exactly-representable whole
+// number for Integer parameters (a truncated "seed=2.5" would silently
+// select the same stream as "seed=2" under a different label).
+func checkParamValue(p AdversaryParam, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("parameter %s=%v must be a non-negative finite number", p.Name, v)
+	}
+	if p.Integer && (v != math.Trunc(v) || v > maxExactInt) {
+		return fmt.Errorf("parameter %s=%v must be a whole number at most %d", p.Name, v, int64(maxExactInt))
+	}
+	return nil
+}
+
+// canonicalAdversaryName renders the one spelling of a resolved entry:
+// the registered name with every parameter spelled out in schema order,
+// so "antileader", "Anti-Leader" and "antileader:m=1" all collapse to
+// "antileader:m=1" — one cell, one checkpoint key, one report label.
+func canonicalAdversaryName(def AdversaryDef, args []float64) string {
+	if len(def.Params) == 0 {
+		return def.Name
+	}
+	var b strings.Builder
+	b.WriteString(def.Name)
+	for i, p := range def.Params {
+		b.WriteByte(':')
+		b.WriteString(p.Name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(args[i], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// paramNames renders a parameter schema for error messages.
+func paramNames(ps []AdversaryParam) string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// AdversaryNames returns the registered adversary names, sorted.
+func AdversaryNames() []string { return adversaries.Names() }
+
+// AdversaryPrimaryParam reports the first (primary) parameter of the
+// named adversary — the one a bare magnitude flag like leansim's -m
+// binds to. ok is false when the adversary is unknown or parameterless.
+func AdversaryPrimaryParam(name string) (string, bool) {
+	if name == "" {
+		name = DefaultAdversary
+	}
+	def, err := adversaries.Lookup(name)
+	if err != nil || len(def.Params) == 0 {
+		return "", false
+	}
+	return def.Params[0].Name, true
+}
+
+// AdversaryInfo describes one registered adversary for listings
+// (-list, GET /v1/adversaries).
+type AdversaryInfo struct {
+	// Name is the registered name; Canonical is the fully parameterized
+	// default spelling (what an unparameterized spec resolves to).
+	Name, Canonical string
+	Brief           string
+	Params          []AdversaryParam
+	// Models lists the adversarial execution models that can run it.
+	Models []string
+}
+
+// AdversaryList returns the registered adversaries with their parameter
+// schemas and per-model support, sorted by name.
+func AdversaryList() []AdversaryInfo {
+	names := adversaries.Names()
+	out := make([]AdversaryInfo, 0, len(names))
+	for _, n := range names {
+		def, err := adversaries.Lookup(n)
+		if err != nil {
+			continue
+		}
+		inst, err := ResolveAdversary(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, AdversaryInfo{
+			Name:      def.Name,
+			Canonical: inst.Name(),
+			Brief:     def.Brief,
+			Params:    def.Params,
+			Models:    adversarySupport(inst),
+		})
+	}
+	return out
+}
+
+// The built-in schedules: the paper's Figure 1 baseline (zero), the
+// oblivious delay schedules of Section 3.1, the adaptive anti-leader
+// probe, and the hybrid model's cooperative scheduler. See DESIGN.md's
+// adversary table for the mapping to the paper.
+func init() {
+	RegisterAdversary(AdversaryDef{
+		Name:  "zero",
+		Brief: "no deterministic delays — pure noise, the Figure 1 schedule (the default)",
+		New:   func([]float64) AdversaryFaces { return AdversaryFaces{Sched: sched.Zero{}} },
+	})
+	AdversaryAlias("none", "zero")
+	RegisterAdversary(AdversaryDef{
+		Name:   "constant",
+		Brief:  "delay every operation of every process by d (lockstep pressure)",
+		Params: []AdversaryParam{{Name: "d", Default: 1}},
+		New: func(p []float64) AdversaryFaces {
+			return AdversaryFaces{Sched: sched.Constant{D: p[0]}}
+		},
+	})
+	RegisterAdversary(AdversaryDef{
+		Name:   "stagger",
+		Brief:  "start process i at time i*gap — one-at-a-time arrivals, the adaptive regime",
+		Params: []AdversaryParam{{Name: "gap", Default: 1}},
+		New: func(p []float64) AdversaryFaces {
+			return AdversaryFaces{Sched: sched.Stagger{Gap: p[0]}}
+		},
+	})
+	RegisterAdversary(AdversaryDef{
+		Name:   "antileader",
+		Brief:  "adaptive worst case: always delay the current leader by the full bound m",
+		Params: []AdversaryParam{{Name: "m", Default: 1}},
+		New: func(p []float64) AdversaryFaces {
+			return AdversaryFaces{
+				Sched: sched.AntiLeader{M: p[0]},
+				// The quantum/priority form of "hold the leader back" is
+				// to always schedule the laggard; m has no meaning there
+				// (the hybrid model has no clock).
+				Hybrid: func(uint64) hybrid.Adversary { return hybrid.Laggard{} },
+			}
+		},
+	})
+	AdversaryAlias("anti-leader", "antileader")
+	RegisterAdversary(AdversaryDef{
+		Name:   "halfsplit",
+		Brief:  "delay every even-indexed process by m on every step: two speed classes",
+		Params: []AdversaryParam{{Name: "m", Default: 1}},
+		New: func(p []float64) AdversaryFaces {
+			return AdversaryFaces{Sched: sched.HalfSplit{M: p[0]}}
+		},
+	})
+	AdversaryAlias("half-split", "halfsplit")
+	RegisterAdversary(AdversaryDef{
+		Name:   "random",
+		Brief:  "seeded-random oblivious delays in [0, m): a generic Δ table fixed in advance",
+		Params: []AdversaryParam{{Name: "m", Default: 1}, {Name: "seed", Default: 1, Integer: true}},
+		New: func(p []float64) AdversaryFaces {
+			return AdversaryFaces{
+				Sched: sched.RandomDelay{M: p[0], Seed: uint64(p[1])},
+				Hybrid: func(seed uint64) hybrid.Adversary {
+					// A distinct stream from the model's default scheduler,
+					// salted by the schedule's own seed parameter.
+					return hybrid.NewRandom(xrand.Mix(seed, 0x616476, uint64(p[1]))) // "adv"
+				},
+			}
+		},
+	})
+	RegisterAdversary(AdversaryDef{
+		Name:  "sticky",
+		Brief: "hybrid-only cooperative scheduler: never preempts the running process voluntarily",
+		New: func([]float64) AdversaryFaces {
+			return AdversaryFaces{Hybrid: func(uint64) hybrid.Adversary { return hybrid.Sticky{} }}
+		},
+	})
+}

@@ -1,0 +1,277 @@
+package engine
+
+// White-box tests for the adversary registry: spec parsing and the
+// registry-wide conformance property. The conformance test generalizes
+// the old per-type sched.TestAdversaryBounds: it iterates every entry in
+// the registry, so a newly registered adversary is property-checked
+// automatically, and it exercises the delay contract across a seeded
+// sweep of (process, step, View) states rather than a handful of fixed
+// points.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"leanconsensus/internal/sched"
+	"leanconsensus/internal/xrand"
+)
+
+// sweepView is a configurable sched.View so adaptive adversaries
+// (antileader) are exercised against changing leaders, decided sets, and
+// halted sets — not just a nil view.
+type sweepView struct {
+	n       int
+	rounds  []int
+	decided []bool
+	halted  []bool
+}
+
+func (v *sweepView) N() int             { return v.n }
+func (v *sweepView) Round(i int) int    { return v.rounds[i] }
+func (v *sweepView) Decided(i int) bool { return v.decided[i] }
+func (v *sweepView) Halted(i int) bool  { return v.halted[i] }
+
+func (v *sweepView) Leader() (proc, round int) {
+	proc = -1
+	for i := 0; i < v.n; i++ {
+		if v.decided[i] || v.halted[i] {
+			continue
+		}
+		if v.rounds[i] > round || proc < 0 {
+			proc, round = i, v.rounds[i]
+		}
+	}
+	return proc, round
+}
+
+// randomView derives a deterministic view state from the sweep stream.
+func randomView(rng interface{ Intn(int) int }, n int) *sweepView {
+	v := &sweepView{
+		n:       n,
+		rounds:  make([]int, n),
+		decided: make([]bool, n),
+		halted:  make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		v.rounds[i] = rng.Intn(12)
+		v.decided[i] = rng.Intn(4) == 0
+		v.halted[i] = rng.Intn(8) == 0
+	}
+	return v
+}
+
+// checkSchedConformance property-checks one resolved adversary's sched
+// face against the Adversary contract: StartDelay >= 0 and finite,
+// StepDelay in [0, Bound()] and finite, across a seeded sweep of
+// processes, operation indices, and views (including nil).
+func checkSchedConformance(a *Adversary) error {
+	adv := a.Sched()
+	if adv == nil {
+		return nil // no sched face to check
+	}
+	bound := adv.Bound()
+	if math.IsNaN(bound) || bound < 0 {
+		return fmt.Errorf("%s: Bound() = %v", a.Name(), bound)
+	}
+	rng := xrand.New(0xc0f0, 0x636f6e66) // "conf"
+	for trial := 0; trial < 64; trial++ {
+		n := rng.Intn(16) + 1
+		var v sched.View // nil on every third trial: adversaries must not require a view
+		if trial%3 != 0 {
+			v = randomView(rng, n)
+		}
+		for i := 0; i < n; i++ {
+			if d := adv.StartDelay(i); math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return fmt.Errorf("%s: StartDelay(%d) = %v", a.Name(), i, d)
+			}
+			for k := 0; k < 8; k++ {
+				j := int64(rng.Intn(1<<16)) + 1
+				d := adv.StepDelay(i, j, v)
+				if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 || d > bound {
+					return fmt.Errorf("%s: StepDelay(%d, %d) = %v outside [0, %v]",
+						a.Name(), i, j, d, bound)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestRegisteredAdversaryConformance sweeps every registered adversary —
+// at its defaults and at a spread of parameter settings — through the
+// sched-face delay contract. Registering a new adversary automatically
+// adds it to this table; an entry whose delays ever leave [0, Bound()]
+// fails here before it can panic the discrete-event engine mid-run.
+func TestRegisteredAdversaryConformance(t *testing.T) {
+	names := AdversaryNames()
+	if len(names) < 6 {
+		t.Fatalf("adversary registry lists only %v", names)
+	}
+	checkedSched := 0
+	for _, name := range names {
+		def, err := adversaries.Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The default parameterization plus, for each parameter, a few
+		// magnitudes around it (zero, fractional, large); integer
+		// parameters only take whole values.
+		specs := []string{name}
+		for _, p := range def.Params {
+			values := []float64{0, 0.25, 3.5, 1e6}
+			if p.Integer {
+				values = []float64{0, 2, 1e6}
+			}
+			for _, v := range values {
+				specs = append(specs, fmt.Sprintf("%s:%s=%g", name, p.Name, v))
+			}
+		}
+		for _, spec := range specs {
+			t.Run(spec, func(t *testing.T) {
+				a, err := ResolveAdversary(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.Sched() == nil && !a.HasHybrid() {
+					t.Fatalf("%s resolves to an adversary with no face at all", spec)
+				}
+				if a.Sched() != nil {
+					checkedSched++
+					if err := checkSchedConformance(a); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+	}
+	if checkedSched == 0 {
+		t.Fatal("conformance sweep checked no sched faces")
+	}
+}
+
+// badBound violates the contract: its step delays exceed its own bound.
+type badBound struct{}
+
+func (badBound) StartDelay(int) float64                   { return 0 }
+func (badBound) StepDelay(int, int64, sched.View) float64 { return 2 }
+func (badBound) Bound() float64                           { return 1 }
+
+// negativeStart violates the contract the other way.
+type negativeStart struct{}
+
+func (negativeStart) StartDelay(int) float64                   { return -1 }
+func (negativeStart) StepDelay(int, int64, sched.View) float64 { return 0 }
+func (negativeStart) Bound() float64                           { return 0 }
+
+// TestConformanceCheckerCatchesViolations pins down that the property
+// checker actually fails for adversaries that break their own Bound() —
+// i.e. that TestRegisteredAdversaryConformance would catch a future bad
+// registration rather than vacuously pass.
+func TestConformanceCheckerCatchesViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		adv  sched.Adversary
+	}{
+		{"step delay above bound", badBound{}},
+		{"negative start delay", negativeStart{}},
+	} {
+		bad := &Adversary{name: "bad", faces: AdversaryFaces{Sched: tc.adv}}
+		if err := checkSchedConformance(bad); err == nil {
+			t.Errorf("%s: conformance checker did not flag the violation", tc.name)
+		}
+	}
+}
+
+func TestResolveAdversarySpecs(t *testing.T) {
+	cases := []struct {
+		spec, canonical string
+	}{
+		{"", "zero"},
+		{"zero", "zero"},
+		{"none", "zero"},
+		{"NONE", "zero"},
+		{"constant", "constant:d=1"},
+		{"constant:d=2.5", "constant:d=2.5"},
+		{"stagger:gap=2", "stagger:gap=2"},
+		{"antileader", "antileader:m=1"},
+		{"anti-leader:m=8", "antileader:m=8"},
+		{"AntiLeader:M=8", "antileader:m=8"},
+		{"halfsplit:m=4", "halfsplit:m=4"},
+		{"half-split", "halfsplit:m=1"},
+		{"random", "random:m=1:seed=1"},
+		{"random:seed=9", "random:m=1:seed=9"},
+		{"random:seed=9:m=2", "random:m=2:seed=9"},
+		{"sticky", "sticky"},
+	}
+	for _, tc := range cases {
+		a, err := ResolveAdversary(tc.spec)
+		if err != nil {
+			t.Errorf("ResolveAdversary(%q): %v", tc.spec, err)
+			continue
+		}
+		if a.Name() != tc.canonical {
+			t.Errorf("ResolveAdversary(%q).Name() = %q, want %q", tc.spec, a.Name(), tc.canonical)
+		}
+	}
+}
+
+func TestResolveAdversaryRejects(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",              // unknown name
+		"antileader:m=",      // malformed parameter (the satellite case)
+		"antileader:",        // empty parameter segment
+		"antileader:=1",      // empty parameter name
+		"antileader:x=1",     // unknown parameter
+		"antileader:m",       // no value binding
+		"antileader:m=1:m=2", // duplicate parameter
+		"antileader:m=nope",  // unparsable value
+		"antileader:m=-1",    // negative value
+		"antileader:m=NaN",   // non-finite value
+		"antileader:m=+Inf",  // non-finite value
+		"zero:m=1",           // parameterless adversary given a parameter
+		":m=1",               // empty name with parameters
+		"random:seed=2.5",    // integer parameter given a fraction
+		"random:seed=1e17",   // integer parameter beyond exact float range
+	} {
+		if a, err := ResolveAdversary(spec); err == nil {
+			t.Errorf("ResolveAdversary(%q) accepted as %q", spec, a.Name())
+		}
+	}
+}
+
+// TestAdversaryErrorIsTyped holds the model/adversary mismatch to the
+// typed error and a message naming the models that could run it.
+func TestAdversaryErrorIsTyped(t *testing.T) {
+	_, err := JobSpec{Model: "msgnet", Adversary: "antileader:m=8", Instances: 1}.Resolve()
+	var ae *AdversaryError
+	if !errors.As(err, &ae) {
+		t.Fatalf("msgnet+adversary resolve error %T (%v), want *AdversaryError", err, err)
+	}
+	if ae.ModelName != "msgnet" || ae.Adversary != "antileader:m=8" {
+		t.Errorf("error fields %+v", ae)
+	}
+	if !strings.Contains(ae.Error(), "sched") {
+		t.Errorf("error %q does not name a supporting model", ae.Error())
+	}
+
+	// A model inside the axis but without the schedule's face: same typed
+	// error (hybrid has no form of the half-split delay schedule).
+	_, err = JobSpec{Model: "hybrid", Adversary: "halfsplit", Instances: 1}.Resolve()
+	if !errors.As(err, &ae) {
+		t.Fatalf("hybrid+halfsplit resolve error %T (%v), want *AdversaryError", err, err)
+	}
+
+	// And the axis label: msgnet accepts absence spelled "", "none", "zero".
+	for _, spelled := range []string{"", "none", "zero"} {
+		job, err := JobSpec{Model: "msgnet", Adversary: spelled, Instances: 1}.Resolve()
+		if err != nil {
+			t.Fatalf("msgnet adversary %q: %v", spelled, err)
+		}
+		if job.AdvName != NoAdversary || job.Adversary != nil {
+			t.Errorf("msgnet adversary %q resolved to %q (%v)", spelled, job.AdvName, job.Adversary)
+		}
+	}
+}

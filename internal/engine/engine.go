@@ -56,6 +56,12 @@ type Spec struct {
 	Inputs []int
 	// Noise is the interarrival/delay noise distribution.
 	Noise dist.Distribution
+	// Adversary is the resolved adversarial schedule supplying the
+	// deterministic delay part of the environment (nil selects the zero
+	// schedule — pure noise). Models that cannot run it reject the spec
+	// with a typed *AdversaryError instead of silently running a
+	// different schedule.
+	Adversary *Adversary
 	// Seed is the instance's private random seed, derived deterministically
 	// from the arena seed, the shard, and the key.
 	Seed uint64

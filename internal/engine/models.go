@@ -33,9 +33,16 @@ type Sched struct {
 // Name implements Model.
 func (*Sched) Name() string { return "sched" }
 
+// AcceptsAdversary implements Adversarial: the noisy scheduling model
+// runs any schedule with a delay-adversary face.
+func (*Sched) AcceptsAdversary(a *Adversary) bool { return a.Sched() != nil }
+
 // Run implements Model.
 func (m *Sched) Run(spec Spec, s *Session) (Result, error) {
 	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := CheckAdversary(m, spec.Adversary); err != nil {
 		return Result{}, err
 	}
 	if s == nil {
@@ -47,6 +54,7 @@ func (m *Sched) Run(spec Spec, s *Session) (Result, error) {
 		Machines:    s.LeanMachines(layout, spec.Inputs),
 		Mem:         s.Mem(layout, register.DefaultLeanRounds),
 		ReadNoise:   spec.Noise,
+		Adversary:   spec.Adversary.Sched(),
 		FailureProb: m.FailureProb,
 		Seed:        spec.Seed,
 	}
@@ -94,9 +102,16 @@ func (*Hybrid) Name() string { return "hybrid" }
 // clock, so Spec.Noise never reaches it.
 func (*Hybrid) IgnoresNoise() bool { return true }
 
+// AcceptsAdversary implements Adversarial: the hybrid model runs any
+// schedule with a quantum/priority scheduling face.
+func (*Hybrid) AcceptsAdversary(a *Adversary) bool { return a.HasHybrid() }
+
 // Run implements Model.
 func (m *Hybrid) Run(spec Spec, s *Session) (Result, error) {
 	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := CheckAdversary(m, spec.Adversary); err != nil {
 		return Result{}, err
 	}
 	if s == nil {
@@ -106,13 +121,20 @@ func (m *Hybrid) Run(spec Spec, s *Session) (Result, error) {
 	if quantum == 0 {
 		quantum = 8
 	}
+	// A named schedule supplies its own per-instance scheduling
+	// adversary; the zero schedule keeps the model's default randomized
+	// legal scheduler on the session's pooled stream.
+	hadv := spec.Adversary.Hybrid(spec.Seed)
+	if hadv == nil {
+		hadv = s.hybridAdversary(spec.Seed)
+	}
 	layout := register.Layout{}
 	res, err := hybrid.Run(hybrid.Config{
 		N:         spec.N,
 		Machines:  s.LeanMachines(layout, spec.Inputs),
 		Mem:       s.Mem(layout, register.DefaultLeanRounds),
 		Quantum:   quantum,
-		Adversary: s.hybridAdversary(spec.Seed),
+		Adversary: hadv,
 	})
 	if err != nil {
 		return Result{}, err
@@ -140,9 +162,14 @@ type MsgNet struct{}
 func (*MsgNet) Name() string { return "msgnet" }
 
 // Run implements Model. The network simulation owns all of its state, so
-// there is nothing for the session to pool yet.
-func (*MsgNet) Run(spec Spec, _ *Session) (Result, error) {
+// there is nothing for the session to pool yet. MsgNet does not implement
+// Adversarial — the emulated network has no Δ-schedule hook — so a spec
+// naming an adversary is rejected with the typed error here.
+func (m *MsgNet) Run(spec Spec, _ *Session) (Result, error) {
 	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := CheckAdversary(m, spec.Adversary); err != nil {
 		return Result{}, err
 	}
 	res, err := msgnet.Consensus(msgnet.ConsensusConfig{

@@ -41,6 +41,11 @@ type JobSpec struct {
 	// Dist names a noise distribution in the dist registry ("" selects the
 	// model's default; must stay empty for noise-free models).
 	Dist string `json:"dist,omitempty"`
+	// Adversary names an adversarial schedule in the adversary registry,
+	// optionally parameterized ("antileader:m=8"). "" selects the zero
+	// schedule; models outside the adversary axis accept only ""/"none"/
+	// "zero" and reject anything else with a typed *AdversaryError.
+	Adversary string `json:"adversary,omitempty"`
 	// N is the process count per instance (0 selects DefaultWireN).
 	N int `json:"n,omitempty"`
 	// Seed fixes the job's decisions and simulated metrics.
@@ -59,13 +64,17 @@ type Job struct {
 	// spec left it empty); nil for noise-free models, whose DistName is
 	// "none".
 	Noise dist.Distribution
+	// Adversary is the resolved adversarial schedule; nil when the spec
+	// selected none (and always nil for models outside the adversary
+	// axis, whose AdvName is "none").
+	Adversary *Adversary
 	// N, Seed, and Instances mirror the spec with defaults applied.
 	N         int
 	Seed      uint64
 	Instances int
-	// ModelName, VariantName, and DistName are the canonical registry
-	// names, for labels and reports.
-	ModelName, VariantName, DistName string
+	// ModelName, VariantName, DistName, and AdvName are the canonical
+	// registry names, for labels and reports.
+	ModelName, VariantName, DistName, AdvName string
 }
 
 // Resolve validates the spec against the engine's model and variant
@@ -116,6 +125,23 @@ func (s JobSpec) Resolve() (Job, error) {
 		}
 		distName, _ = dist.ResolveName(distName)
 	}
+	// The adversary resolves through its registry like everything else.
+	// Models outside the axis get AdvName "none" (mirroring the dist
+	// axis's "none" for noise-free models); a non-zero schedule on such a
+	// model — or one the model has no face for — is the typed error.
+	adv, err := ResolveAdversary(s.Adversary)
+	if err != nil {
+		return Job{}, err
+	}
+	advName := adv.Name()
+	if _, ok := model.(Adversarial); !ok {
+		if !adv.IsZero() {
+			return Job{}, newAdversaryError(model.Name(), adv)
+		}
+		adv, advName = nil, NoAdversary
+	} else if err := CheckAdversary(model, adv); err != nil {
+		return Job{}, err
+	}
 	n := s.N
 	if n == 0 {
 		n = DefaultWireN
@@ -129,11 +155,13 @@ func (s JobSpec) Resolve() (Job, error) {
 	return Job{
 		Model:       model,
 		Noise:       noise,
+		Adversary:   adv,
 		N:           n,
 		Seed:        s.Seed,
 		Instances:   s.Instances,
 		ModelName:   model.Name(),
 		VariantName: variantName,
 		DistName:    distName,
+		AdvName:     advName,
 	}, nil
 }

@@ -14,7 +14,11 @@
 // the paper's simulations so that ties occur with probability zero.
 package sched
 
-import "math"
+import (
+	"math"
+
+	"leanconsensus/internal/xrand"
+)
 
 // View is the read-only picture of the execution that adaptive adversaries
 // may consult. The noisy scheduling model's adversary is oblivious (it
@@ -139,6 +143,37 @@ func (a HalfSplit) StepDelay(i int, _ int64, _ View) float64 {
 // Bound implements Adversary.
 func (a HalfSplit) Bound() float64 { return a.M }
 
+// RandomDelay is the seeded-random oblivious adversary: every start
+// offset and step delay is an independent-looking but fully deterministic
+// hash of (Seed, i, j), scaled to [0, M). It realizes the model's
+// oblivious adversary literally — the whole Δ table is fixed by Seed
+// before the execution starts, independent of anything the processes do —
+// and being a pure stateless function of its fields it is safe to share
+// across concurrent workers, like a distribution.
+type RandomDelay struct {
+	// M is the delay bound; delays are uniform-looking over [0, M).
+	M float64
+	// Seed selects the Δ table.
+	Seed uint64
+}
+
+// delta is the hashed Δ_ij in [0, M).
+func (a RandomDelay) delta(i, j uint64) float64 {
+	h := xrand.Mix(a.Seed, 0x64656c7461, i, j) // "delta"
+	return a.M * float64(h>>11) / float64(1<<53)
+}
+
+// StartDelay implements Adversary.
+func (a RandomDelay) StartDelay(i int) float64 { return a.delta(uint64(i), 0) }
+
+// StepDelay implements Adversary.
+func (a RandomDelay) StepDelay(i int, j int64, _ View) float64 {
+	return a.delta(uint64(i), uint64(j))
+}
+
+// Bound implements Adversary.
+func (a RandomDelay) Bound() float64 { return a.M }
+
 // Validate reports whether a delay produced by an adversary is legal.
 func validDelay(d, bound float64) bool {
 	return d >= 0 && d <= bound+1e-12 && !math.IsNaN(d)
@@ -151,4 +186,5 @@ var (
 	_ Adversary = Stagger{}
 	_ Adversary = AntiLeader{}
 	_ Adversary = HalfSplit{}
+	_ Adversary = RandomDelay{}
 )

@@ -1,0 +1,178 @@
+package server_test
+
+// End-to-end regressions for the adversary axis on the HTTP surface:
+// the typed 400 for an adversary on a model outside the axis, the echo
+// of canonical adversary labels through job results, SSE campaign
+// progress under an adversarial grid (exercised under -race in CI), and
+// the /v1/adversaries catalog.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"leanconsensus"
+	"leanconsensus/internal/server"
+)
+
+// TestJobAdversaryOnMsgnetRejected: POST /v1/jobs pairing msgnet with an
+// adversary is a 400 whose error body carries the engine's typed
+// rejection, naming the models that could run the schedule.
+func TestJobAdversaryOnMsgnetRejected(t *testing.T) {
+	_, client := newTestServer(t, server.Config{Shards: 1, Workers: 1})
+	ctx := context.Background()
+
+	_, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{
+		Model: "msgnet", Adversary: "antileader:m=8", Instances: 1,
+	})
+	var apiErr *leanconsensus.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("msgnet+adversary: error %T (%v), want *APIError", err, err)
+	}
+	if apiErr.StatusCode != 400 {
+		t.Fatalf("status %d, want 400", apiErr.StatusCode)
+	}
+	for _, want := range []string{`"msgnet"`, `"antileader:m=8"`, "sched"} {
+		if !strings.Contains(apiErr.Message, want) {
+			t.Errorf("400 body %q missing %q", apiErr.Message, want)
+		}
+	}
+
+	// Malformed parameters are a 400 too, before anything runs.
+	_, err = client.SubmitJobs(ctx, leanconsensus.JobSpec{Adversary: "antileader:m=", Instances: 1})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("malformed adversary: error %v, want 400 *APIError", err)
+	}
+}
+
+// TestJobAdversaryEchoedAndDeterministic: an adversarial job runs to
+// completion, echoes the canonical adversary label in its result, and
+// replays byte-identically; the same spec under a different adversary
+// must not produce the identical outcome digest (the schedule actually
+// reaches the engine).
+func TestJobAdversaryEchoedAndDeterministic(t *testing.T) {
+	_, client := newTestServer(t, server.Config{Shards: 2, Workers: 2})
+	ctx := context.Background()
+
+	submit := func(adv string) *leanconsensus.SpecResult {
+		id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{
+			Model: "sched", Adversary: adv, N: 8, Seed: 7, Instances: 400,
+		})
+		if err != nil {
+			t.Fatalf("adversary %q: %v", adv, err)
+		}
+		st, err := client.WaitJob(ctx, id)
+		if err != nil {
+			t.Fatalf("adversary %q: %v", adv, err)
+		}
+		res := st.Specs[0].Result
+		if res == nil || res.Errors != 0 {
+			t.Fatalf("adversary %q: result %+v", adv, res)
+		}
+		return res
+	}
+
+	a := submit("anti-leader:m=2")
+	if a.Adversary != "antileader:m=2" {
+		t.Fatalf("echoed adversary %q, want canonical antileader:m=2", a.Adversary)
+	}
+	b := submit("antileader:m=2")
+	if a.Decided0 != b.Decided0 || a.Decided1 != b.Decided1 || a.Ops != b.Ops || a.RoundSum != b.RoundSum {
+		t.Fatalf("same adversarial spec did not replay: %+v vs %+v", a, b)
+	}
+	c := submit("")
+	if c.Adversary != "zero" {
+		t.Fatalf("default adversary label %q, want zero", c.Adversary)
+	}
+	if a.Decided0 == c.Decided0 && a.Ops == c.Ops && a.RoundSum == c.RoundSum {
+		t.Fatal("antileader:m=2 produced exactly the zero-schedule outcome; the schedule never reached the engine")
+	}
+}
+
+// TestCampaignAdversarialStream holds SSE campaign progress together
+// under an adversarial grid: live events while cells complete, a
+// terminal report whose cells carry the canonical adversary labels, and
+// a clean admission gate afterwards. CI runs this under -race.
+func TestCampaignAdversarialStream(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 4, Workers: 2})
+	ctx := context.Background()
+
+	spec := leanconsensus.CampaignSpec{
+		Name:        "adv-sse",
+		Models:      []string{"sched"},
+		Dists:       []string{"exponential"},
+		Adversaries: []string{"zero", "antileader:m=2", "random:m=1:seed=3"},
+		Ns:          []int{4, 8},
+		Seeds:       []uint64{1},
+		Reps:        20,
+	}
+	id, err := client.SubmitCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := 0
+	final, err := client.StreamCampaign(ctx, id, func(st leanconsensus.CampaignStatus) {
+		events++
+		if st.CellsTotal != 6 {
+			t.Errorf("stream reports %d cells, want 6", st.CellsTotal)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("no progress events before done")
+	}
+	if final.Status != leanconsensus.JobDone || final.Report == nil {
+		t.Fatalf("final status %q, report %v", final.Status, final.Report != nil)
+	}
+	got := map[string]int{}
+	for _, cell := range final.Report.Cells {
+		got[cell.Adversary]++
+	}
+	for _, adv := range []string{"zero", "antileader:m=2", "random:m=1:seed=3"} {
+		if got[adv] != 2 {
+			t.Fatalf("report has %d cells for adversary %q, want 2 (cells: %v)", got[adv], adv, got)
+		}
+	}
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Fatalf("queued instances %d after adversarial campaign, want 0", q)
+	}
+}
+
+// TestAdversariesEndpoint: GET /v1/adversaries lists the registry with
+// parameter schemas and per-model support, through the typed client.
+func TestAdversariesEndpoint(t *testing.T) {
+	_, client := newTestServer(t, server.Config{Shards: 1, Workers: 1})
+	cat, err := client.Adversaries(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.DefaultAdversary != "zero" {
+		t.Fatalf("default adversary %q", cat.DefaultAdversary)
+	}
+	byName := map[string]leanconsensus.AdversaryInfo{}
+	for _, a := range cat.Adversaries {
+		byName[a.Name] = a
+	}
+	for _, want := range []string{"zero", "constant", "stagger", "antileader", "halfsplit", "random", "sticky"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("catalog missing %q: %v", want, cat.Adversaries)
+		}
+	}
+	al := byName["antileader"]
+	if al.Canonical != "antileader:m=1" || len(al.Params) != 1 || al.Params[0].Name != "m" || al.Params[0].Default != 1 {
+		t.Fatalf("antileader entry %+v", al)
+	}
+	if strings.Join(al.Models, ",") != "hybrid,sched" {
+		t.Fatalf("antileader models %v", al.Models)
+	}
+	if got := strings.Join(byName["stagger"].Models, ","); got != "sched" {
+		t.Fatalf("stagger models %q", got)
+	}
+	if got := strings.Join(byName["sticky"].Models, ","); got != "hybrid" {
+		t.Fatalf("sticky models %q", got)
+	}
+}

@@ -162,13 +162,14 @@ func (s *Server) runSpec(sr *specRun) error {
 	jb := sr.job
 	am := arena.NewMetrics(s.reg, "model", jb.ModelName, "dist", jb.DistName)
 	a, err := arena.New(arena.Config{
-		Shards:  s.cfg.Shards,
-		Workers: s.cfg.Workers,
-		N:       jb.N,
-		Noise:   jb.Noise,
-		Model:   jb.Model,
-		Seed:    jb.Seed,
-		Metrics: am,
+		Shards:    s.cfg.Shards,
+		Workers:   s.cfg.Workers,
+		N:         jb.N,
+		Noise:     jb.Noise,
+		Model:     jb.Model,
+		Adversary: jb.Adversary,
+		Seed:      jb.Seed,
+		Metrics:   am,
 		OnServe: func(r arena.Result) {
 			if r.Shard >= 0 && r.Shard < len(sr.perShard) {
 				sr.perShard[r.Shard].Add(1)
@@ -185,6 +186,7 @@ func (s *Server) runSpec(sr *specRun) error {
 		Model:     jb.ModelName,
 		Variant:   jb.VariantName,
 		Dist:      jb.DistName,
+		Adversary: jb.AdvName,
 		N:         jb.N,
 		Seed:      jb.Seed,
 		Instances: jb.Instances,

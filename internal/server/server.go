@@ -170,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/adversaries", s.handleAdversaries)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -346,6 +347,26 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, name := range distNames() {
 		resp.Dists = append(resp.Dists, name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdversaries lists the adversary registry — the /v1/models of the
+// adversary axis: names, parameter schemas with defaults, and the models
+// each schedule can run under.
+func (s *Server) handleAdversaries(w http.ResponseWriter, r *http.Request) {
+	resp := adversariesResponse{DefaultAdversary: engine.DefaultAdversary}
+	for _, info := range engine.AdversaryList() {
+		ai := adversaryInfo{
+			Name:      info.Name,
+			Canonical: info.Canonical,
+			Brief:     info.Brief,
+			Models:    info.Models,
+		}
+		for _, p := range info.Params {
+			ai.Params = append(ai.Params, adversaryParam{Name: p.Name, Default: p.Default, Integer: p.Integer})
+		}
+		resp.Adversaries = append(resp.Adversaries, ai)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

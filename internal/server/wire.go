@@ -54,6 +54,7 @@ type SpecResult struct {
 	Model          string  `json:"model"`
 	Variant        string  `json:"variant"`
 	Dist           string  `json:"dist"`
+	Adversary      string  `json:"adversary"`
 	N              int     `json:"n"`
 	Seed           uint64  `json:"seed"`
 	Instances      int     `json:"instances"`
@@ -84,6 +85,28 @@ type modelInfo struct {
 type variantInfo struct {
 	Name     string `json:"name"`
 	Servable bool   `json:"servable"`
+}
+
+// adversariesResponse is the GET /v1/adversaries body: the registered
+// adversarial schedules, their parameter schemas, and which execution
+// models can run each.
+type adversariesResponse struct {
+	DefaultAdversary string          `json:"defaultAdversary"`
+	Adversaries      []adversaryInfo `json:"adversaries"`
+}
+
+type adversaryInfo struct {
+	Name      string           `json:"name"`
+	Canonical string           `json:"canonical"`
+	Brief     string           `json:"brief"`
+	Params    []adversaryParam `json:"params,omitempty"`
+	Models    []string         `json:"models"`
+}
+
+type adversaryParam struct {
+	Name    string  `json:"name"`
+	Default float64 `json:"default"`
+	Integer bool    `json:"integer,omitempty"`
 }
 
 // healthResponse is the GET /healthz body. Jobs and Campaigns count live
