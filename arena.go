@@ -64,6 +64,13 @@ type ArenaConfig struct {
 	// dimension of BenchmarkArenaThroughput measures it at ≤1 extra
 	// alloc/op). Render with Arena.WriteMetrics.
 	Telemetry bool
+	// TraceK arms the flight recorder: each shard keeps full event
+	// timelines for its TraceK most interesting instances (violations
+	// first, then the deepest rounds), retrievable with Arena.Traces.
+	// Zero disables tracing at zero hot-path cost (the tracing dimension
+	// of BenchmarkArenaThroughput holds the disabled path at the same
+	// allocs/op as the plain one).
+	TraceK int
 }
 
 // ArenaResult reports one served consensus instance.
@@ -126,6 +133,10 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		reg = metrics.NewRegistry()
 		am = arena.NewMetrics(reg, "model", model.Name())
 	}
+	var tc *arena.TraceConfig
+	if cfg.TraceK > 0 {
+		tc = &arena.TraceConfig{PerShard: cfg.TraceK}
+	}
 	inner, err := arena.New(arena.Config{
 		Shards:     cfg.Shards,
 		Workers:    cfg.Workers,
@@ -136,6 +147,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		Seed:       cfg.Seed,
 		QueueDepth: cfg.QueueDepth,
 		Metrics:    am,
+		Trace:      tc,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +196,49 @@ func (a *Arena) Propose(ctx context.Context, key string, bit int) (ArenaResult, 
 
 // ShardFor reports the shard a key routes to (stable across runs).
 func (a *Arena) ShardFor(key string) int { return a.inner.ShardFor(key) }
+
+// Traces returns the flight-recorder captures: the TraceK most
+// interesting instances per shard, merged and ranked most interesting
+// first (violations, then the deepest last rounds). It returns nil
+// unless ArenaConfig.TraceK was set. Captures rank on simulated
+// quantities only, so the same workload yields the same captures
+// regardless of goroutine scheduling; call after the submissions of
+// interest have completed (typically after Close).
+func (a *Arena) Traces() []TraceInstance {
+	captures := a.inner.Traces()
+	if captures == nil {
+		return nil
+	}
+	out := make([]TraceInstance, len(captures))
+	for i, inst := range captures {
+		events := make([]TraceEvent, len(inst.Events))
+		for j, ev := range inst.Events {
+			events[j] = TraceEvent{
+				Time:  ev.Time,
+				Delay: ev.Delay,
+				Step:  ev.Step,
+				Proc:  ev.Proc,
+				Round: ev.Round,
+				Value: ev.Value,
+				Kind:  ev.Kind.String(),
+			}
+		}
+		out[i] = TraceInstance{
+			Key:        inst.Key,
+			Model:      inst.Model,
+			N:          inst.N,
+			Seed:       inst.Seed,
+			Err:        inst.Err,
+			FirstRound: inst.FirstRound,
+			LastRound:  inst.LastRound,
+			Ops:        inst.Ops,
+			SimTime:    inst.SimTime,
+			Dropped:    inst.Dropped,
+			Events:     events,
+		}
+	}
+	return out
+}
 
 // Stats snapshots the arena's aggregate counters.
 func (a *Arena) Stats() ArenaStats {

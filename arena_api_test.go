@@ -85,6 +85,78 @@ func TestArenaBackendSelection(t *testing.T) {
 	}
 }
 
+// TestArenaTraces exercises the public flight-recorder surface: TraceK
+// arms per-shard capture, Traces returns ranked instances with decoded
+// event kinds, and an untraced arena returns nil.
+func TestArenaTraces(t *testing.T) {
+	run := func() []leanconsensus.TraceInstance {
+		a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
+			Shards: 2, Workers: 1, N: 4, Seed: 9, TraceK: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < 40; i++ {
+			if _, err := a.Propose(ctx, fmt.Sprintf("t-%d", i), i%2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return a.Traces()
+	}
+
+	captures := run()
+	if len(captures) == 0 || len(captures) > 4 {
+		t.Fatalf("got %d captures, want 1..4 (TraceK=2 × 2 shards)", len(captures))
+	}
+	kinds := map[string]bool{}
+	for _, inst := range captures {
+		if inst.Model != leanconsensus.BackendSched || inst.N != 4 {
+			t.Errorf("capture %q tagged model=%q n=%d", inst.Key, inst.Model, inst.N)
+		}
+		if len(inst.Events) == 0 {
+			t.Errorf("capture %q has no events", inst.Key)
+		}
+		for _, ev := range inst.Events {
+			kinds[ev.Kind] = true
+		}
+	}
+	for _, want := range []string{"start", "op", "decide"} {
+		if !kinds[want] {
+			t.Errorf("no %q event in any capture (kinds seen: %v)", want, kinds)
+		}
+	}
+
+	// Capture selection ranks only simulated quantities, so the same
+	// workload yields the same captures regardless of scheduling.
+	again := run()
+	if len(again) != len(captures) {
+		t.Fatalf("reran to %d captures, first run had %d", len(again), len(captures))
+	}
+	for i := range captures {
+		if captures[i].Key != again[i].Key || len(captures[i].Events) != len(again[i].Events) {
+			t.Errorf("capture %d differs across identical runs: %q/%d vs %q/%d",
+				i, captures[i].Key, len(captures[i].Events), again[i].Key, len(again[i].Events))
+		}
+	}
+
+	// Untraced arenas report nil, not empty.
+	a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{Shards: 1, N: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Propose(context.Background(), "k", 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if got := a.Traces(); got != nil {
+		t.Errorf("untraced arena returned %d captures, want nil", len(got))
+	}
+}
+
 func TestBackendsListsRegistry(t *testing.T) {
 	names := leanconsensus.Backends()
 	seen := make(map[string]bool, len(names))

@@ -151,39 +151,47 @@ func BenchmarkLiveGoroutines(b *testing.B) {
 // throughput under full load. The telemetry dimension proves the
 // instrumented hot path stays within 1 alloc/op of the uninstrumented
 // baseline (5 allocs/op after PR 2): metrics record through per-worker
-// striped atomics, never allocating per request.
+// striped atomics, never allocating per request. The trace dimension
+// proves the flight recorder is free when disarmed — trace=0 must hold
+// the same 5 allocs/op (the recorder is a nil check on the hot path) —
+// and cheap when armed: trace=2 records into pooled fixed-capacity
+// rings, so steady-state appends allocate nothing.
 func BenchmarkArenaThroughput(b *testing.B) {
 	for _, shards := range []int{1, 4, 8} {
 		for _, workers := range []int{1, 4} {
 			for _, telemetry := range []bool{false, true} {
-				name := fmt.Sprintf("shards=%d/workers=%d/telemetry=%t", shards, workers, telemetry)
-				b.Run(name, func(b *testing.B) {
-					a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
-						Shards:    shards,
-						Workers:   workers,
-						N:         8,
-						Seed:      1,
-						Telemetry: telemetry,
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer a.Close()
-					ctx := context.Background()
-					b.ReportAllocs()
-					b.RunParallel(func(pb *testing.PB) {
-						i := 0
-						for pb.Next() {
-							key := fmt.Sprintf("bench-%d", i)
-							i++
-							if _, err := a.Propose(ctx, key, i%2); err != nil {
-								b.Fatal(err)
-							}
+				for _, traceK := range []int{0, 2} {
+					name := fmt.Sprintf("shards=%d/workers=%d/telemetry=%t/trace=%d",
+						shards, workers, telemetry, traceK)
+					b.Run(name, func(b *testing.B) {
+						a, err := leanconsensus.NewArena(leanconsensus.ArenaConfig{
+							Shards:    shards,
+							Workers:   workers,
+							N:         8,
+							Seed:      1,
+							Telemetry: telemetry,
+							TraceK:    traceK,
+						})
+						if err != nil {
+							b.Fatal(err)
 						}
+						defer a.Close()
+						ctx := context.Background()
+						b.ReportAllocs()
+						b.RunParallel(func(pb *testing.PB) {
+							i := 0
+							for pb.Next() {
+								key := fmt.Sprintf("bench-%d", i)
+								i++
+								if _, err := a.Propose(ctx, key, i%2); err != nil {
+									b.Fatal(err)
+								}
+							}
+						})
+						st := a.Stats()
+						b.ReportMetric(st.Throughput, "decisions/sec")
 					})
-					st := a.Stats()
-					b.ReportMetric(st.Throughput, "decisions/sec")
-				})
+				}
 			}
 		}
 	}

@@ -136,12 +136,66 @@ type AdversaryParam struct {
 	Integer bool    `json:"integer,omitempty"`
 }
 
-// Health is the service's liveness report.
+// Health is the service's liveness report. Version and Revision identify
+// the build the service is running.
 type Health struct {
 	Status          string `json:"status"`
+	Version         string `json:"version"`
+	Revision        string `json:"revision"`
 	QueuedInstances int64  `json:"queuedInstances"`
 	Jobs            int    `json:"jobs"`
 	Campaigns       int    `json:"campaigns"`
+}
+
+// TraceEvent is one flight-recorder event, mirroring the server's
+// internal/trace.Event wire shape. Which fields are meaningful depends
+// on Kind: "start" carries the adversary's start delay in Delay, "op"
+// the step delay and the value read or written, "round" the new round
+// with the leader in Value (-1 when the model has no global view),
+// "decide" the decided bit, "halt" a process death, and "preempt" the
+// incoming process in Value.
+type TraceEvent struct {
+	Time  float64 `json:"t"`
+	Delay float64 `json:"d"`
+	Step  int64   `json:"j"`
+	Proc  int32   `json:"p"`
+	Round int32   `json:"r"`
+	Value int32   `json:"v"`
+	Kind  string  `json:"k"`
+}
+
+// TraceInstance is one captured execution: identifying fields, the
+// deterministic outcome summary, and the recorded event window (oldest
+// first). Re-running the same (model, key, n, seed, config) replays the
+// exact same events.
+type TraceInstance struct {
+	Key        string       `json:"key"`
+	Model      string       `json:"model"`
+	N          int          `json:"n"`
+	Seed       uint64       `json:"seed"`
+	Err        string       `json:"err,omitempty"`
+	FirstRound int          `json:"first_round"`
+	LastRound  int          `json:"last_round"`
+	Ops        int64        `json:"ops"`
+	SimTime    float64      `json:"sim_time"`
+	Dropped    int64        `json:"dropped"`
+	Events     []TraceEvent `json:"events"`
+}
+
+// JobTraces is the GET /v1/jobs/{id}/trace body: one capture block per
+// spec in submission order, most interesting captures first within each
+// block. Blocks are empty until the spec finishes, and stay empty when
+// the job was submitted without tracing (SubmitJobsTraced).
+type JobTraces struct {
+	ID     string      `json:"id"`
+	Status string      `json:"status"`
+	Specs  []SpecTrace `json:"specs"`
+}
+
+// SpecTrace is one spec's flight-recorder captures.
+type SpecTrace struct {
+	Spec  JobSpec         `json:"spec"`
+	Trace []TraceInstance `json:"trace,omitempty"`
 }
 
 // CampaignStatus is one campaign's lifecycle state, live progress, and —
@@ -250,11 +304,23 @@ func responseError(resp *http.Response) error {
 
 // SubmitJobs submits one batch of job specs and returns the job ID. The
 // batch is admitted or shed as a unit: on overload the typed
-// *OverloadedError carries the service's Retry-After hint.
+// *OverloadedError carries the service's Retry-After hint. The request
+// body is byte-identical to SubmitJobsTraced with traceK 0.
 func (c *Client) SubmitJobs(ctx context.Context, specs ...JobSpec) (string, error) {
+	return c.SubmitJobsTraced(ctx, 0, specs...)
+}
+
+// SubmitJobsTraced submits one batch of job specs with flight-recorder
+// tracing armed: the service captures the traceK most interesting
+// instances per arena shard (violations first, then the deepest rounds)
+// for each spec, retrievable with JobTrace once the job runs. traceK
+// must be within the service's budget cap (64); 0 degrades to an
+// untraced SubmitJobs.
+func (c *Client) SubmitJobsTraced(ctx context.Context, traceK int, specs ...JobSpec) (string, error) {
 	body, err := json.Marshal(struct {
-		Jobs []JobSpec `json:"jobs"`
-	}{Jobs: specs})
+		Jobs  []JobSpec `json:"jobs"`
+		Trace int       `json:"trace,omitempty"`
+	}{Jobs: specs, Trace: traceK})
 	if err != nil {
 		return "", err
 	}
@@ -270,6 +336,20 @@ func (c *Client) SubmitJobs(ctx context.Context, specs ...JobSpec) (string, erro
 		return "", err
 	}
 	return out.ID, nil
+}
+
+// JobTrace fetches one job's flight-recorder captures. It answers at any
+// lifecycle stage; capture blocks appear as specs finish.
+func (c *Client) JobTrace(ctx context.Context, id string) (*JobTraces, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	var jt JobTraces
+	if err := c.do(req, &jt); err != nil {
+		return nil, err
+	}
+	return &jt, nil
 }
 
 // Job fetches one job's status.

@@ -7,7 +7,14 @@
 //
 //	leanarena -instances 10000 -shards 8 [-workers 2] [-n 8]
 //	          [-dist exponential] [-backend sched|hybrid|msgnet]
-//	          [-adversary NAME[:param=value...]] [-seed 1] [-json] [-list]
+//	          [-adversary NAME[:param=value...]] [-seed 1]
+//	          [-trace K] [-json] [-list] [-version]
+//
+// -trace K arms the flight recorder: the K most interesting instances
+// per shard (violations first, then the deepest rounds) are captured
+// with their full event timelines and attached to the JSON report's
+// "trace" block. Capture selection ranks only simulated quantities, so
+// traced reports stay byte-identical across runs.
 //
 // The -backend flag resolves through the engine's model registry, so any
 // newly registered execution model is immediately available; -list prints
@@ -54,10 +61,16 @@ func run(args []string, stdout io.Writer) error {
 	backendName := fs.String("backend", "sched", "execution model (see -list)")
 	advName := fs.String("adversary", "", "adversarial schedule, e.g. antileader:m=8 (see -list)")
 	seed := fs.Uint64("seed", 1, "arena seed (fixes decisions and simulated metrics)")
+	traceK := fs.Int("trace", 0, "capture the K most interesting instances per shard into the JSON report (0: off)")
 	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report on stdout")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leanarena")
+		return nil
 	}
 
 	if *list {
@@ -93,6 +106,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if *traceK < 0 {
+		return fmt.Errorf("-trace must be non-negative, got %d", *traceK)
+	}
+	if *traceK > 0 && !*jsonOut {
+		return fmt.Errorf("-trace captures render only in the JSON report: add -json")
+	}
+	var tc *arena.TraceConfig
+	if *traceK > 0 {
+		tc = &arena.TraceConfig{PerShard: *traceK}
+	}
+
 	a, err := arena.New(arena.Config{
 		Shards:    *shards,
 		Workers:   *workers,
@@ -101,6 +125,7 @@ func run(args []string, stdout io.Writer) error {
 		Model:     model,
 		Adversary: adv,
 		Seed:      *seed,
+		Trace:     tc,
 	})
 	if err != nil {
 		return err
@@ -136,6 +161,7 @@ func run(args []string, stdout io.Writer) error {
 
 	if *jsonOut {
 		rep := arena.BuildReport(a.Config(), results)
+		rep.Trace = a.Traces()
 		b, err := rep.JSON()
 		if err != nil {
 			return err

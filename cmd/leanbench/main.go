@@ -44,8 +44,13 @@ func run(args []string, stdout io.Writer) error {
 	outDir := fs.String("out", "", "directory for CSV output (empty: no CSV)")
 	mdFile := fs.String("markdown", "", "file to append markdown reports to (empty: no markdown)")
 	list := fs.Bool("list", false, "list the experiment index, then exit")
+	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leanbench")
+		return nil
 	}
 
 	if *list {

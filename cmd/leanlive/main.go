@@ -43,8 +43,13 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "seed for injected noise and input assignment")
 	timeout := fs.Duration("timeout", time.Minute, "per-run timeout")
 	list := fs.Bool("list", false, "list noise distributions, then exit")
+	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leanlive")
+		return nil
 	}
 
 	if *list {

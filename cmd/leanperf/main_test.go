@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesSnapshot runs the real probe suite at bench scale and
+// checks the snapshot's shape.
+func TestRunWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_1.json")
+	var stderr bytes.Buffer
+	if err := run([]string{"-scale", "bench", "-out", out, "-baseline", "none"}, &bytes.Buffer{}, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	bf, err := loadSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Schema != Schema || bf.Scale != "bench" || !strings.HasPrefix(bf.Go, "go") {
+		t.Errorf("snapshot header: schema=%q scale=%q go=%q", bf.Schema, bf.Scale, bf.Go)
+	}
+	if len(bf.Benchmarks) != len(probes) {
+		t.Fatalf("%d benchmarks, want %d", len(bf.Benchmarks), len(probes))
+	}
+	for i, b := range bf.Benchmarks {
+		if b.Name != probes[i].name {
+			t.Errorf("benchmark %d named %q, want %q", i, b.Name, probes[i].name)
+		}
+		if b.Ops <= 0 || b.Throughput <= 0 || b.NsPerOp <= 0 || b.AllocsPerOp < 0 {
+			t.Errorf("%s: non-positive measurements: %+v", b.Name, b)
+		}
+		if b.P99 < b.P50 || b.P50 < 0 {
+			t.Errorf("%s: percentiles out of order: p50=%g p99=%g", b.Name, b.P50, b.P99)
+		}
+	}
+}
+
+// TestRunRegressionGate fabricates an unbeatable baseline and requires
+// the comparator to fail the run.
+func TestRunRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	base := BenchFile{Schema: Schema, Scale: "bench", Go: "go0",
+		Benchmarks: []Bench{{Name: "engine/sched", Ops: 1, Throughput: 1e18, NsPerOp: 1, AllocsPerOp: 0}}}
+	b, _ := json.Marshal(base)
+	basePath := filepath.Join(dir, "BENCH_0.json")
+	if err := os.WriteFile(basePath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	err := run([]string{"-scale", "bench", "-out", filepath.Join(dir, "BENCH_1.json"),
+		"-baseline", basePath}, &bytes.Buffer{}, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unbeatable baseline passed (err=%v)\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION") {
+		t.Errorf("stderr does not report the regression:\n%s", stderr.String())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &BenchFile{Benchmarks: []Bench{
+		{Name: "a", Throughput: 1000, AllocsPerOp: 5},
+		{Name: "gone", Throughput: 10, AllocsPerOp: 1},
+	}}
+	cur := &BenchFile{Benchmarks: []Bench{
+		{Name: "a", Throughput: 600, AllocsPerOp: 5.5},
+		{Name: "new", Throughput: 1, AllocsPerOp: 0},
+	}}
+
+	// Within tolerance: 600 >= 1000*(1-0.5), 5.5 <= 5+1 — but "gone"
+	// vanished, which is always a regression.
+	notes, regs := compare(base, cur, 0.5, 1.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "gone") {
+		t.Errorf("regressions = %v, want only the vanished probe", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "a: throughput 1000 -> 600") || !strings.Contains(joined, "new: new probe") {
+		t.Errorf("notes missing expected lines:\n%s", joined)
+	}
+
+	// Tighter throughput tolerance trips on "a".
+	_, regs = compare(base, cur, 0.2, 1.0)
+	if len(regs) != 2 {
+		t.Errorf("tol=0.2: regressions = %v, want vanished + throughput", regs)
+	}
+
+	// Tighter alloc slack trips too.
+	_, regs = compare(base, cur, 0.5, 0.25)
+	found := false
+	for _, r := range regs {
+		found = found || strings.Contains(r, "allocs/op")
+	}
+	if !found {
+		t.Errorf("alloc-slack=0.25: regressions = %v, want an allocs/op failure", regs)
+	}
+
+	// Identical snapshots never regress.
+	if _, regs := compare(base, base, 0, 0); len(regs) != 0 {
+		t.Errorf("self-comparison regressed: %v", regs)
+	}
+}
+
+func TestFindBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := findBaseline(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("picked %q, want the highest-numbered BENCH_10.json", got)
+	}
+
+	// The snapshot being written never baselines itself.
+	got, err = findBaseline(dir, filepath.Join(dir, "BENCH_10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2.json" {
+		t.Errorf("picked %q with BENCH_10 excluded, want BENCH_2.json", got)
+	}
+
+	// Empty directory: no baseline, no error.
+	got, err = findBaseline(t.TempDir(), "")
+	if err != nil || got != "" {
+		t.Errorf("empty dir: got %q, %v", got, err)
+	}
+}
+
+// TestRunFlagValidation covers the flag guard rails.
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale", "bogus"},
+		{"-tol", "1.5"},
+		{"-tol", "-0.1"},
+		{"-alloc-slack", "-1"},
+	} {
+		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "leanperf ") || !strings.Contains(out.String(), "go1") {
+		t.Errorf("-version output: %q", out.String())
+	}
+}

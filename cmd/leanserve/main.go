@@ -6,13 +6,22 @@
 //
 //	leanserve [-addr 127.0.0.1:8080] [-shards 8] [-workers 2]
 //	          [-highwater 262144] [-maxbatch 64]
-//	          [-maxjobs N]  (default GOMAXPROCS/2)  [-list]
+//	          [-maxjobs N]  (default GOMAXPROCS/2)
+//	          [-debug-addr ADDR] [-list] [-version]
+//
+// -debug-addr serves net/http/pprof (CPU and heap profiles, goroutine
+// dumps, execution traces) on a separate listener, so profiling stays
+// off the service port and off by default; bind it to localhost, e.g.
+// -debug-addr 127.0.0.1:6060, and point go tool pprof at
+// http://127.0.0.1:6060/debug/pprof/profile. -version prints the build
+// identity (module version, VCS revision, toolchain) and exits.
 //
 // Endpoints:
 //
 //	POST /v1/jobs            submit a batch of job specs (202 + job id)
 //	GET  /v1/jobs/{id}       poll status and results
 //	GET  /v1/jobs/{id}/stream  per-shard progress as server-sent events
+//	GET  /v1/jobs/{id}/trace   flight-recorder captures of a traced job
 //	POST /v1/campaigns       submit a declarative campaign grid (202 + id)
 //	GET  /v1/campaigns/{id}  poll campaign status and the final report
 //	GET  /v1/campaigns/{id}/stream  cell progress as server-sent events
@@ -34,6 +43,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,9 +80,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	highwater := fs.Int64("highwater", 0, "queued-instance high-water mark for 429 shedding (default 262144)")
 	maxbatch := fs.Int("maxbatch", 0, "maximum job specs per POST (default 64)")
 	maxjobs := fs.Int("maxjobs", 0, "maximum concurrently executing jobs (default GOMAXPROCS/2)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra listener (off when empty)")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leanserve")
+		return nil
 	}
 	if *list {
 		cli.List(stdout)
@@ -95,6 +111,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "leanserve: listening on http://%s\n", ln.Addr())
+
+	// The debug listener is deliberately separate from the service port:
+	// profiling endpoints never ride on the address operators expose, and
+	// an explicit mux keeps them off http.DefaultServeMux side effects.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Handler: dmux}
+		defer ds.Close()
+		go ds.Serve(dln) //nolint:errcheck // closed on shutdown; profiling is best-effort
+		fmt.Fprintf(stdout, "leanserve: debug (pprof) listening on http://%s/debug/pprof/\n", dln.Addr())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

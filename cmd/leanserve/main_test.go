@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -42,11 +44,11 @@ func (w *addrWriter) String() string {
 }
 
 // startServer boots run on an ephemeral port and returns the base URL,
-// the shutdown trigger, and the exit-wait.
-func startServer(t *testing.T, args ...string) (baseURL string, shutdown func(), wait func() error) {
+// the live output buffer, the shutdown trigger, and the exit-wait.
+func startServer(t *testing.T, args ...string) (baseURL string, out *addrWriter, shutdown func(), wait func() error) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
-	out := newAddrWriter()
+	out = newAddrWriter()
 	errCh := make(chan error, 1)
 	go func() { errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
 
@@ -65,7 +67,7 @@ func startServer(t *testing.T, args ...string) (baseURL string, shutdown func(),
 		t.Fatalf("no URL in announcement %q", line)
 	}
 	t.Cleanup(cancel)
-	return strings.TrimSpace(line[i:]), cancel, func() error {
+	return strings.TrimSpace(line[i:]), out, cancel, func() error {
 		select {
 		case err := <-errCh:
 			return err
@@ -79,7 +81,7 @@ func startServer(t *testing.T, args ...string) (baseURL string, shutdown func(),
 // typed client, checks the telemetry agrees with the results, and then
 // shuts down gracefully.
 func TestServeSubmitDrain(t *testing.T) {
-	baseURL, shutdown, wait := startServer(t, "-shards", "2", "-workers", "2")
+	baseURL, _, shutdown, wait := startServer(t, "-shards", "2", "-workers", "2")
 	client := leanconsensus.NewClient(baseURL)
 	ctx := context.Background()
 
@@ -112,6 +114,66 @@ func TestServeSubmitDrain(t *testing.T) {
 	shutdown()
 	if err := wait(); err != nil {
 		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+}
+
+// TestDebugAddrServesPprof boots the daemon with the profiling listener
+// armed and fetches a goroutine dump from it; the service port must not
+// serve the pprof routes.
+func TestDebugAddrServesPprof(t *testing.T) {
+	baseURL, out, shutdown, wait := startServer(t, "-shards", "1", "-workers", "1", "-debug-addr", "127.0.0.1:0")
+
+	// The debug announcement is the second output line; poll briefly for
+	// it (startServer only waits for the first).
+	var debugURL string
+	deadline := time.Now().Add(5 * time.Second)
+	for debugURL == "" {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "leanserve: debug (pprof) listening on "); ok {
+				debugURL = strings.TrimSpace(rest)
+			}
+		}
+		if debugURL == "" {
+			if time.Now().After(deadline) {
+				t.Fatal("debug listener never announced")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(strings.TrimSuffix(debugURL, "/") + "/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof goroutine dump: status %d, body %.200s", resp.StatusCode, body)
+	}
+
+	// Profiling stays off the service port.
+	resp, err = http.Get(baseURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("service port serves /debug/pprof/ with status %d", resp.StatusCode)
+	}
+
+	shutdown()
+	if err := wait(); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "leanserve ") || !strings.Contains(out.String(), "go1") {
+		t.Errorf("-version output %q", out.String())
 	}
 }
 

@@ -19,6 +19,11 @@
 // adversaries (hybrid) run the schedule's form for that model, while
 // models outside the adversary axis (msgnet) reject the flag with the
 // engine's typed error.
+//
+// -trace works on every model: the default model prints its
+// register-level operation history, while the others render the
+// engine's flight-recorder timeline (internal/trace) — the same event
+// stream the arena and server capture for their slowest instances.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"leanconsensus/internal/cli"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/harness"
+	"leanconsensus/internal/trace"
 )
 
 func main() {
@@ -53,12 +59,17 @@ func run(args []string, stdout io.Writer) error {
 	advName := fs.String("adversary", "none", "adversarial schedule, e.g. antileader:m=8 (see -list)")
 	m := fs.Float64("m", 1, "shorthand for the adversary's primary parameter (its delay bound or gap)")
 	bounded := fs.Int("bounded", 0, "run the bounded-space protocol with this rmax (0: unbounded)")
-	trace := fs.Bool("trace", false, "print the full operation trace")
+	traceFlag := fs.Bool("trace", false, "print the full operation trace")
 	optimized := fs.Bool("optimized", false, "run the elided-operations ablation variant")
 	modelName := fs.String("model", engine.DefaultModel, "execution model (see -list)")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leansim")
+		return nil
 	}
 
 	if *list {
@@ -111,7 +122,7 @@ func run(args []string, stdout io.Writer) error {
 		// The adversary is not sched-only any more: models that accept
 		// adversaries run the schedule's own form (checked above).
 		schedOnly := map[string]bool{
-			"failures": true, "bounded": true, "trace": true, "optimized": true,
+			"failures": true, "bounded": true, "optimized": true,
 		}
 		var ignored []string
 		distSet := false
@@ -131,6 +142,15 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-dist has no effect on -model %s: the model declares noise cannot affect it",
 				model.Name())
 		}
+		// -trace arms the engine's flight recorder: every model emits the
+		// same event vocabulary, so the timeline renders uniformly.
+		var sess *engine.Session
+		var rec *trace.Recorder
+		if *traceFlag {
+			sess = engine.NewSession()
+			rec = trace.NewRecorder(1 << 16)
+			sess.SetTrace(rec)
+		}
 		res, err := model.Run(engine.Spec{
 			Key:       "leansim",
 			N:         *n,
@@ -138,9 +158,26 @@ func run(args []string, stdout io.Writer) error {
 			Noise:     d,
 			Adversary: adv,
 			Seed:      *seed,
-		}, nil)
+		}, sess)
 		if err != nil {
 			return err
+		}
+		if rec != nil {
+			err := trace.WriteTimeline(stdout, trace.Instance{
+				Key:        "leansim",
+				Model:      model.Name(),
+				N:          *n,
+				Seed:       *seed,
+				FirstRound: res.FirstRound,
+				LastRound:  res.LastRound,
+				Ops:        res.Ops,
+				SimTime:    res.SimTime,
+				Dropped:    rec.Dropped(),
+				Events:     rec.Events(),
+			})
+			if err != nil {
+				return err
+			}
 		}
 		header := fmt.Sprintf("n=%d model=%s", *n, model.Name())
 		if !engine.IgnoresNoise(model) {
@@ -179,7 +216,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	res := run.Res
 
-	if *trace {
+	if *traceFlag {
 		for _, ev := range run.History.Events {
 			b, r, isLean := run.Layout.DecodeA(ev.Reg)
 			loc := fmt.Sprintf("reg[%d]", ev.Reg)

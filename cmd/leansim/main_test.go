@@ -138,6 +138,25 @@ func TestRunRegistryAdversaries(t *testing.T) {
 	}
 }
 
+// TestRunTraceTimelineOtherModels: -trace is no longer sched-only — the
+// other models render the engine's flight-recorder timeline, ending in
+// the decision events.
+func TestRunTraceTimelineOtherModels(t *testing.T) {
+	for _, model := range []string{"hybrid", "msgnet"} {
+		var out bytes.Buffer
+		args := []string{"-n", "4", "-seed", "3", "-model", model, "-trace"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		text := out.String()
+		for _, want := range []string{"trace leansim model=" + model, "start", "op#1", "DECIDE", "decision:"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("model %s: -trace output missing %q:\n%.600s", model, want, text)
+			}
+		}
+	}
+}
+
 func TestRunRejectsNonPositiveN(t *testing.T) {
 	for _, args := range [][]string{
 		{"-n", "-2", "-model", "hybrid"},
@@ -157,7 +176,6 @@ func TestRunRejectsSchedFlagsWithOtherModel(t *testing.T) {
 		want string
 	}{
 		{[]string{"-model", "hybrid", "-failures", "0.05"}, "sched"},
-		{[]string{"-model", "msgnet", "-trace"}, "sched"},
 		{[]string{"-model", "hybrid", "-adversary", "constant"}, "sched"},
 		// hybrid has no clock, so -dist can never affect it (but -dist is
 		// meaningful for msgnet, so the message must not blame "sched only").

@@ -10,7 +10,15 @@
 //	leansweep -dists exponential,uniform -ns 4,8 -seeds 1,2 -reps 100
 //	          [-models sched] [-adversaries zero,antileader:m=8]
 //	          [-name mysweep] [-shards 8] [-workers 2]
+//	          [-trace K] [-version]
 //	leansweep -list
+//
+// -trace K (JSON format only) arms the flight recorder: the K most
+// interesting instances per arena shard — violations first, then the
+// deepest rounds — are attached, with their full event timelines, to
+// the report's "trace" block. Captures rank on simulated quantities
+// only, so traced reports replay byte-identically; CSV, table, and
+// checkpoint bytes are never affected.
 //
 // A campaign is specified either by a JSON file (-spec path; the
 // POST /v1/campaigns wire format), by the built-in name "fig1" (the
@@ -70,10 +78,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	checkpoint := fs.String("checkpoint", "", "manifest path: atomically snapshot each completed cell")
 	resume := fs.Bool("resume", false, "resume an existing checkpoint (requires -checkpoint)")
 	format := fs.String("format", "csv", "report format: csv, json, or table (Figure-1-shaped)")
+	traceK := fs.Int("trace", 0, "capture the K most interesting instances per shard into the JSON report (0: off)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
+	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leansweep")
+		return nil
 	}
 	if *list {
 		cli.List(stdout)
@@ -86,6 +100,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *traceK < 0 {
+		return fmt.Errorf("-trace must be non-negative, got %d", *traceK)
+	}
+	if *traceK > 0 && *format != "json" {
+		return fmt.Errorf("-trace captures render only in the JSON report: use -format json")
 	}
 
 	camp, err := resolveSpec(*specSrc, campaign.Spec{
@@ -106,6 +126,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Workers:    *workers,
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
+	}
+	if *traceK > 0 {
+		cfg.Trace = &arena.TraceConfig{PerShard: *traceK}
 	}
 	if !*quiet {
 		cfg.OnCell = func(p campaign.Progress) {

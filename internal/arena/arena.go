@@ -31,6 +31,7 @@ import (
 
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
 
@@ -85,6 +86,11 @@ type Config struct {
 	// and must not block: it runs on the worker's serving loop. Serving
 	// layers use it for live per-shard progress.
 	OnServe func(Result)
+	// Trace, when non-nil, arms the flight recorder: each worker session
+	// records every instance's step events and each shard keeps its
+	// PerShard most interesting captures (see TraceConfig). Read them
+	// with Traces. Nil tracing costs nothing on the serving path.
+	Trace *TraceConfig
 }
 
 // Result reports one served consensus instance.
@@ -206,6 +212,9 @@ type shard struct {
 
 	mu    sync.Mutex
 	stats ShardStats
+
+	// traces is the shard's capture set (nil when tracing is off).
+	traces *shardTraces
 }
 
 // Arena is a sharded concurrent consensus service. Create one with New;
@@ -261,6 +270,10 @@ func New(cfg Config) (*Arena, error) {
 			id:   i,
 			seed: xrand.Mix(cfg.Seed, 0x7368617264, uint64(i)), // "shard"
 			reqs: make(chan *request, cfg.QueueDepth),
+		}
+		if cfg.Trace != nil {
+			perShard, _ := cfg.Trace.withDefaults()
+			s.traces = &shardTraces{k: perShard}
 		}
 		a.shards[i] = s
 		for w := 0; w < cfg.Workers; w++ {
@@ -520,7 +533,16 @@ func (a *Arena) worker(s *shard, idx int) {
 	if a.cfg.Metrics != nil {
 		wm = a.cfg.Metrics.stripes(idx)
 	}
+	if a.cfg.Trace != nil {
+		// One pooled recorder per worker, reset per instance — the same
+		// lifecycle as the session's simulation buffers.
+		_, events := a.cfg.Trace.withDefaults()
+		sess.SetTrace(trace.NewRecorder(events))
+	}
 	for req := range s.reqs {
+		if rec := sess.Trace(); rec != nil {
+			rec.Reset()
+		}
 		res := a.serve(s, sess, req)
 		s.mu.Lock()
 		s.stats.add(res)
@@ -589,6 +611,9 @@ func (a *Arena) serve(s *shard, sess *engine.Session, req *request) Result {
 		res.LastRound = ir.LastRound
 		res.Ops = ir.Ops
 		res.SimTime = ir.SimTime
+	}
+	if rec := sess.Trace(); rec != nil {
+		s.traces.consider(model.Name(), spec, res, rec)
 	}
 	res.Latency = time.Since(req.enq)
 	return res

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/trace"
 )
 
 // Report is the deterministic summary of a batch of arena results: every
@@ -47,6 +48,14 @@ type Report struct {
 	// Checksum is an FNV-1a digest of every (key, value) pair in key
 	// order: a compact witness that two runs decided identically.
 	Checksum string `json:"checksum"`
+
+	// Trace holds the flight-recorder captures (Arena.Traces) when
+	// tracing was armed. The omitempty keying is load-bearing: with
+	// tracing off the report's bytes are unchanged, so existing replay
+	// checks stay byte-identical. With tracing on the block itself is
+	// deterministic too — captures are ranked by simulated quantities,
+	// never wall clock.
+	Trace []trace.Instance `json:"trace,omitempty"`
 }
 
 // BuildReport aggregates a batch of results into a deterministic report.

@@ -1,0 +1,119 @@
+package arena
+
+import (
+	"sort"
+	"sync"
+
+	"leanconsensus/internal/engine"
+	"leanconsensus/internal/trace"
+)
+
+// DefaultTracePerShard is the per-shard capture budget TraceConfig
+// applies when PerShard is zero.
+const DefaultTracePerShard = 2
+
+// TraceConfig arms the arena's flight recorder: every worker runs with
+// a pooled trace.Recorder on its session, and each shard keeps the
+// PerShard most interesting instances — violating instances first
+// (errors are the paper's broken guarantees), then the slowest by
+// decision round. "Slowest" is deliberately a deterministic quantity
+// (LastRound, then Ops, then Key), never wall-clock latency: which
+// instances a run captures is a pure function of the served multiset,
+// so traced reports replay byte-identically just like untraced ones.
+type TraceConfig struct {
+	// PerShard is the capture budget per shard (default
+	// DefaultTracePerShard).
+	PerShard int
+	// Events is each worker recorder's ring capacity (default
+	// trace.DefaultCapacity). Instances longer than the ring keep their
+	// newest window and report the overwritten count as Dropped.
+	Events int
+}
+
+// withDefaults returns the effective capture parameters.
+func (tc *TraceConfig) withDefaults() (perShard, events int) {
+	perShard, events = tc.PerShard, tc.Events
+	if perShard <= 0 {
+		perShard = DefaultTracePerShard
+	}
+	if events <= 0 {
+		events = trace.DefaultCapacity
+	}
+	return perShard, events
+}
+
+// traceRank orders captured instances from most to least interesting:
+// violating first, then largest last-decision round, then most
+// operations, then key (ascending) as the deterministic tie-break. The
+// order is strict and total over distinct keys, which is what makes the
+// kept set independent of worker scheduling.
+func traceRank(a, b *trace.Instance) bool {
+	if (a.Err != "") != (b.Err != "") {
+		return a.Err != ""
+	}
+	if a.LastRound != b.LastRound {
+		return a.LastRound > b.LastRound
+	}
+	if a.Ops != b.Ops {
+		return a.Ops > b.Ops
+	}
+	return a.Key < b.Key
+}
+
+// shardTraces keeps one shard's top-K captures, sorted by traceRank.
+// Guarded by its own mutex: capture happens on the serving worker, reads
+// via Arena.Traces.
+type shardTraces struct {
+	mu   sync.Mutex
+	k    int
+	kept []trace.Instance
+}
+
+// consider offers one served instance; the recorder's events are copied
+// only if the instance makes the cut.
+func (t *shardTraces) consider(model string, spec engine.Spec, res Result, rec *trace.Recorder) {
+	cand := trace.Instance{
+		Key: spec.Key, Model: model, N: spec.N, Seed: spec.Seed,
+		FirstRound: res.FirstRound, LastRound: res.LastRound,
+		Ops: res.Ops, SimTime: res.SimTime, Dropped: rec.Dropped(),
+	}
+	if res.Err != nil {
+		cand.Err = res.Err.Error()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.kept) == t.k && !traceRank(&cand, &t.kept[len(t.kept)-1]) {
+		return
+	}
+	cand.Events = rec.Events()
+	pos := sort.Search(len(t.kept), func(i int) bool { return traceRank(&cand, &t.kept[i]) })
+	if len(t.kept) < t.k {
+		t.kept = append(t.kept, trace.Instance{})
+	}
+	copy(t.kept[pos+1:], t.kept[pos:])
+	t.kept[pos] = cand
+}
+
+// snapshot copies the kept instances.
+func (t *shardTraces) snapshot() []trace.Instance {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]trace.Instance(nil), t.kept...)
+}
+
+// Traces returns the captured instances across all shards, most
+// interesting first (see TraceConfig for the deterministic order). It
+// returns nil when tracing is not configured. The snapshot is
+// consistent per shard; callers wanting the final capture set call it
+// after Close or after their batch has drained.
+func (a *Arena) Traces() []trace.Instance {
+	if a.cfg.Trace == nil {
+		return nil
+	}
+	var all []trace.Instance
+	for _, s := range a.shards {
+		all = append(all, s.traces.snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return traceRank(&all[i], &all[j]) })
+	return all
+}

@@ -1,0 +1,68 @@
+// Package buildinfo surfaces the binary's build identity — module
+// version, VCS revision, and Go toolchain — from the metadata the Go
+// linker embeds (debug.ReadBuildInfo). Every cmd/ tool renders it for
+// -version and the server reports it in /healthz, so a perf trajectory
+// or a bug report can always be pinned to the exact build that produced
+// it without shipping a hand-maintained version constant.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity. Fields are never empty: local builds
+// without VCS stamping report "(devel)" and "unknown".
+type Info struct {
+	// Version is the main module's version ("(devel)" for source builds).
+	Version string
+	// Revision is the VCS revision, truncated to 12 characters, with a
+	// "+dirty" suffix when the working tree was modified.
+	Revision string
+	// Go is the toolchain that built the binary.
+	Go string
+}
+
+// Read extracts the build identity from the running binary.
+func Read() Info {
+	info := Info{Version: "(devel)", Revision: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		info.Revision = revision
+	}
+	return info
+}
+
+// String renders the identity in one line: "v1.2.3 (abc123def456, go1.22.1)".
+func (i Info) String() string {
+	return fmt.Sprintf("%s (%s, %s)", i.Version, i.Revision, i.Go)
+}
+
+// Fprint writes the conventional -version line for one tool.
+func Fprint(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s\n", tool, Read())
+}

@@ -1,0 +1,32 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	info := Read()
+	if info.Version == "" || info.Revision == "" || info.Go == "" {
+		t.Fatalf("build info has empty fields: %+v", info)
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Fatalf("toolchain %q does not look like a Go version", info.Go)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Info{Version: "v1.2.3", Revision: "abc123", Go: "go1.22.0"}.String()
+	if s != "v1.2.3 (abc123, go1.22.0)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestFprint(t *testing.T) {
+	var b strings.Builder
+	Fprint(&b, "leansim")
+	out := b.String()
+	if !strings.HasPrefix(out, "leansim ") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Fprint wrote %q", out)
+	}
+}

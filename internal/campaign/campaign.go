@@ -360,6 +360,12 @@ type Config struct {
 	// repetition — the hook admission controllers use to return reserved
 	// capacity. Restored cells do not replay it.
 	OnInstance func()
+	// Trace, when non-nil, arms the private arena's flight recorder and
+	// attaches the capture set to Report.Trace (see arena.TraceConfig).
+	// Captures cover only cells executed by this process — cells restored
+	// from a checkpoint were traced, if at all, by the run that executed
+	// them.
+	Trace *arena.TraceConfig
 }
 
 // Progress is a campaign's position, delivered to Config.OnCell.
@@ -423,7 +429,7 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 		})
 	}
 
-	a, err := arena.New(arena.Config{Shards: cfg.Shards, Workers: cfg.Workers})
+	a, err := arena.New(arena.Config{Shards: cfg.Shards, Workers: cfg.Workers, Trace: cfg.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -478,5 +484,9 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 			})
 		}
 	}
-	return c.buildReport(results), nil
+	rep := c.buildReport(results)
+	if cfg.Trace != nil {
+		rep.Trace = a.Traces()
+	}
+	return rep, nil
 }

@@ -8,6 +8,7 @@ import (
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/stats"
+	"leanconsensus/internal/trace"
 )
 
 // Report is a completed campaign: one flattened row per cell, in grid
@@ -22,6 +23,11 @@ type Report struct {
 	Spec Spec `json:"spec"`
 	// Cells holds one row per grid cell.
 	Cells []CellReport `json:"cells"`
+	// Trace holds the flight-recorder captures when Config.Trace armed
+	// the arena. The omitempty keying keeps untraced reports
+	// byte-identical to earlier releases, and CSV/Fig1Table never render
+	// traces, so the checkpoint byte-identity guarantees are untouched.
+	Trace []trace.Instance `json:"trace,omitempty"`
 }
 
 // CellReport is one cell's derived statistics.

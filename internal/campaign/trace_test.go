@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"leanconsensus/internal/arena"
+)
+
+func traceTestSpec() Spec {
+	return Spec{
+		Name:   "traced",
+		Models: []string{"sched"},
+		Dists:  []string{"exponential"},
+		Ns:     []int{4},
+		Seeds:  []uint64{1},
+		Reps:   10,
+	}
+}
+
+func TestCampaignTraceBlock(t *testing.T) {
+	rep, err := Run(context.Background(), traceTestSpec(), Config{
+		Shards: 2, Workers: 1,
+		Trace: &arena.TraceConfig{PerShard: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("traced campaign report has no trace block")
+	}
+	for _, inst := range rep.Trace {
+		if len(inst.Events) == 0 {
+			t.Fatalf("capture %q has no events", inst.Key)
+		}
+	}
+	// The trace block must be deterministic: a second identical run
+	// yields byte-identical JSON.
+	rep2, err := Run(context.Background(), traceTestSpec(), Config{
+		Shards: 2, Workers: 1,
+		Trace: &arena.TraceConfig{PerShard: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := rep.JSON()
+	j2, _ := rep2.JSON()
+	if string(j1) != string(j2) {
+		t.Fatalf("traced campaign reports differ:\n%s\n---\n%s", j1, j2)
+	}
+	// CSV never renders traces: identical with and without tracing.
+	plain, err := Run(context.Background(), traceTestSpec(), Config{Shards: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CSV() != rep.CSV() {
+		t.Fatal("tracing changed the CSV rendering")
+	}
+	// And an untraced report carries no trace key at all.
+	jp, _ := plain.JSON()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(jp, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["trace"]; ok {
+		t.Fatalf("untraced campaign report contains a trace key:\n%s", jp)
+	}
+}

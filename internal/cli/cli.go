@@ -12,6 +12,7 @@ import (
 	"io"
 	"strings"
 
+	"leanconsensus/internal/buildinfo"
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
 )
@@ -34,6 +35,11 @@ func Parse(fs *flag.FlagSet, args []string) (done bool, err error) {
 	}
 	return false, nil
 }
+
+// PrintVersion writes the tool's build identity — module version, VCS
+// revision, and toolchain, from internal/buildinfo — the shared
+// implementation behind every tool's -version flag.
+func PrintVersion(w io.Writer, tool string) { buildinfo.Fprint(w, tool) }
 
 // Model resolves a -model/-backend flag value through the engine's model
 // registry; the empty string selects the default model.

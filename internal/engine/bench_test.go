@@ -5,6 +5,7 @@ import (
 
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/trace"
 )
 
 // BenchmarkEngineSession quantifies the Session's allocation win: the
@@ -36,5 +37,28 @@ func BenchmarkEngineSession(b *testing.B) {
 		}
 		b.Run(name+"/pooled", func(b *testing.B) { run(b, engine.NewSession()) })
 		b.Run(name+"/fresh", func(b *testing.B) { run(b, nil) })
+		// The tracing dimension: a pooled session with the flight recorder
+		// armed (reset per instance, as the arena does). The disabled path
+		// above is the 0-allocs baseline this one is compared against.
+		b.Run(name+"/traced", func(b *testing.B) {
+			sess := engine.NewSession()
+			rec := trace.NewRecorder(0)
+			sess.SetTrace(rec)
+			inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec.Reset()
+				spec := engine.Spec{
+					Key:    "bench",
+					N:      len(inputs),
+					Inputs: inputs,
+					Noise:  noise,
+					Seed:   uint64(i),
+				}
+				if _, err := m.Run(spec, sess); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

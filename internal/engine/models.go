@@ -8,6 +8,7 @@ import (
 	"leanconsensus/internal/msgnet"
 	"leanconsensus/internal/register"
 	"leanconsensus/internal/sched"
+	"leanconsensus/internal/trace"
 )
 
 // The three execution models of the paper register themselves here; new
@@ -57,6 +58,7 @@ func (m *Sched) Run(spec Spec, s *Session) (Result, error) {
 		Adversary:   spec.Adversary.Sched(),
 		FailureProb: m.FailureProb,
 		Seed:        spec.Seed,
+		Trace:       s.rec,
 	}
 	eng, err := s.schedEngine(cfg)
 	if err != nil {
@@ -135,6 +137,7 @@ func (m *Hybrid) Run(spec Spec, s *Session) (Result, error) {
 		Mem:       s.Mem(layout, register.DefaultLeanRounds),
 		Quantum:   quantum,
 		Adversary: hadv,
+		Trace:     s.rec,
 	})
 	if err != nil {
 		return Result{}, err
@@ -165,17 +168,22 @@ func (*MsgNet) Name() string { return "msgnet" }
 // there is nothing for the session to pool yet. MsgNet does not implement
 // Adversarial — the emulated network has no Δ-schedule hook — so a spec
 // naming an adversary is rejected with the typed error here.
-func (m *MsgNet) Run(spec Spec, _ *Session) (Result, error) {
+func (m *MsgNet) Run(spec Spec, s *Session) (Result, error) {
 	if err := spec.validate(); err != nil {
 		return Result{}, err
 	}
 	if err := CheckAdversary(m, spec.Adversary); err != nil {
 		return Result{}, err
 	}
+	var rec *trace.Recorder
+	if s != nil {
+		rec = s.rec
+	}
 	res, err := msgnet.Consensus(msgnet.ConsensusConfig{
 		Inputs: spec.Inputs,
 		Delay:  spec.Noise,
 		Seed:   spec.Seed,
+		Trace:  rec,
 	})
 	if err != nil {
 		// Re-wrap the network's failure classes into the engine's

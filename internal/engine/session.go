@@ -8,6 +8,7 @@ import (
 	"leanconsensus/internal/machine"
 	"leanconsensus/internal/register"
 	"leanconsensus/internal/sched"
+	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
 
@@ -31,6 +32,8 @@ type Session struct {
 
 	sched    *sched.Engine
 	schedRes sched.Result
+
+	rec *trace.Recorder
 }
 
 // NewSession returns an empty session; buffers materialize on first use
@@ -95,6 +98,16 @@ func (s *Session) RNG(seed, id uint64) *rand.Rand {
 	}
 	return s.rng
 }
+
+// SetTrace arms (or, with nil, disarms) the session's flight recorder.
+// While armed, every model run through the session appends its step
+// events to the recorder. The recorder is write-only from the models'
+// side — runs are bit-identical with and without it — and the owner is
+// responsible for Reset between instances; the session never resets it.
+func (s *Session) SetTrace(r *trace.Recorder) { s.rec = r }
+
+// Trace returns the armed flight recorder, or nil.
+func (s *Session) Trace() *trace.Recorder { return s.rec }
 
 // hybridAdversary returns the pooled equivalent of hybrid.NewRandom(seed).
 func (s *Session) hybridAdversary(seed uint64) *hybrid.Random {

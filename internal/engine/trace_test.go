@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/trace"
+)
+
+// traceSpec is the acceptance-criteria instance: sched under the
+// antileader:m=8 adversarial schedule.
+func traceSpec(t *testing.T) Spec {
+	t.Helper()
+	adv, err := ResolveAdversary("antileader:m=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Key:       "trace-key",
+		N:         8,
+		Inputs:    []int{0, 0, 0, 0, 1, 1, 1, 1},
+		Noise:     dist.Exponential{MeanVal: 1},
+		Adversary: adv,
+		Seed:      42,
+	}
+}
+
+// capture runs spec on a fresh session with a fresh recorder and
+// returns the captured instance.
+func capture(t *testing.T, model Model, spec Spec) trace.Instance {
+	t.Helper()
+	sess := NewSession()
+	rec := trace.NewRecorder(1 << 14)
+	sess.SetTrace(rec)
+	res, err := model.Run(spec, sess)
+	if err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	return trace.Instance{
+		Key: spec.Key, Model: model.Name(), N: spec.N, Seed: spec.Seed,
+		FirstRound: res.FirstRound, LastRound: res.LastRound,
+		Ops: res.Ops, SimTime: res.SimTime,
+		Dropped: rec.Dropped(), Events: rec.Events(),
+	}
+}
+
+// TestTraceReplaysByteIdentically is the tentpole's acceptance check: a
+// captured trace for a sched + antileader:m=8 instance replays
+// byte-identically under the same seed.
+func TestTraceReplaysByteIdentically(t *testing.T) {
+	spec := traceSpec(t)
+	a := capture(t, &Sched{}, spec)
+	b := capture(t, &Sched{}, spec)
+	if len(a.Events) == 0 {
+		t.Fatal("traced sched run recorded no events")
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("replayed trace differs:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestTraceDoesNotPerturbOutcomes runs each model with and without a
+// recorder armed and requires identical results: tracing is write-only.
+func TestTraceDoesNotPerturbOutcomes(t *testing.T) {
+	for _, info := range List() {
+		name := info.Name
+		model, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Spec{
+			Key:    "perturb",
+			N:      6,
+			Inputs: []int{0, 1, 0, 1, 0, 1},
+			Noise:  dist.Exponential{MeanVal: 1},
+			Seed:   7,
+		}
+		plain := NewSession()
+		want, err := model.Run(spec, plain)
+		if err != nil {
+			t.Fatalf("%s: plain run failed: %v", name, err)
+		}
+		traced := NewSession()
+		traced.SetTrace(trace.NewRecorder(0))
+		got, err := model.Run(spec, traced)
+		if err != nil {
+			t.Fatalf("%s: traced run failed: %v", name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: tracing perturbed the outcome:\n plain  %+v\n traced %+v", name, want, got)
+		}
+		if traced.Trace().Total() == 0 {
+			t.Fatalf("%s: traced run emitted no events", name)
+		}
+	}
+}
+
+// TestTraceEventShape spot-checks the sched event stream: one start per
+// process, ops carrying monotone per-process step indices, round events
+// with a live leader, and at least one decision.
+func TestTraceEventShape(t *testing.T) {
+	inst := capture(t, &Sched{}, traceSpec(t))
+	starts := map[int32]bool{}
+	lastStep := map[int32]int64{}
+	var rounds, decides int
+	for _, ev := range inst.Events {
+		switch ev.Kind {
+		case trace.KindStart:
+			if starts[ev.Proc] {
+				t.Fatalf("process %d started twice", ev.Proc)
+			}
+			starts[ev.Proc] = true
+			if ev.Delay < 0 {
+				t.Fatalf("negative start delay: %+v", ev)
+			}
+		case trace.KindOp:
+			if ev.Step <= lastStep[ev.Proc] {
+				t.Fatalf("process %d op steps not increasing: %+v after %d", ev.Proc, ev, lastStep[ev.Proc])
+			}
+			lastStep[ev.Proc] = ev.Step
+		case trace.KindRound:
+			rounds++
+			if ev.Value < 0 || ev.Value >= int32(inst.N) {
+				t.Fatalf("round event leader out of range: %+v", ev)
+			}
+		case trace.KindDecide:
+			decides++
+		}
+	}
+	if len(starts) != inst.N {
+		t.Fatalf("saw %d starts for %d processes", len(starts), inst.N)
+	}
+	if rounds == 0 || decides == 0 {
+		t.Fatalf("event stream missing rounds (%d) or decisions (%d)", rounds, decides)
+	}
+	if decides != inst.N {
+		t.Fatalf("saw %d decisions for %d processes", decides, inst.N)
+	}
+}
+
+// TestSessionTraceAccessors covers arm/disarm.
+func TestSessionTraceAccessors(t *testing.T) {
+	s := NewSession()
+	if s.Trace() != nil {
+		t.Fatal("fresh session has a recorder")
+	}
+	rec := trace.NewRecorder(8)
+	s.SetTrace(rec)
+	if s.Trace() != rec {
+		t.Fatal("SetTrace did not arm the recorder")
+	}
+	s.SetTrace(nil)
+	if s.Trace() != nil {
+		t.Fatal("SetTrace(nil) did not disarm")
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"leanconsensus/internal/machine"
 	"leanconsensus/internal/register"
+	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	Adversary Adversary
 	// MaxSteps aborts runaway executions (0 = a generous default).
 	MaxSteps int64
+	// Trace, when non-nil, receives flight-recorder events: one start per
+	// process carrying its initially consumed quantum, one op per
+	// executed operation with the process's round, preemptions, and
+	// decisions. The model has no clock, so Event.Time is always 0.
+	Trace *trace.Recorder
 }
 
 // Result summarizes a hybrid-scheduled execution.
@@ -223,6 +229,13 @@ func Run(cfg Config) (*Result, error) {
 		Decisions: make([]int, n),
 		OpCounts:  make([]int64, n),
 	}
+	if cfg.Trace != nil {
+		for i := 0; i < n; i++ {
+			cfg.Trace.Append(trace.Event{
+				Delay: float64(used[i]), Proc: int32(i), Kind: trace.KindStart,
+			})
+		}
+	}
 
 	// The view buffers are reused across steps: View slices are per-step
 	// snapshots that protect engine state from adversary mutation (the
@@ -264,9 +277,29 @@ func Run(cfg Config) (*Result, error) {
 		preempted := st.current >= 0 && st.current != choice && !st.decided[st.current]
 		if preempted {
 			res.Preemptions++
+			if cfg.Trace != nil {
+				cfg.Trace.Append(trace.Event{
+					Proc: int32(st.current), Value: int32(choice), Kind: trace.KindPreempt,
+				})
+			}
 		}
 		st.ExecuteOne(choice)
 		res.Steps++
+		if cfg.Trace != nil {
+			var round int32
+			if r, ok := st.machines[choice].(machine.Rounder); ok {
+				round = int32(r.Round())
+			}
+			cfg.Trace.Append(trace.Event{
+				Step: st.ops[choice], Proc: int32(choice), Round: round, Kind: trace.KindOp,
+			})
+			if st.decided[choice] {
+				cfg.Trace.Append(trace.Event{
+					Step: st.ops[choice], Proc: int32(choice), Round: round,
+					Value: int32(st.machines[choice].Decision()), Kind: trace.KindDecide,
+				})
+			}
+		}
 	}
 
 	for i := 0; i < n; i++ {

@@ -117,6 +117,49 @@ func (h *Histogram) Count() int64 {
 	return count
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation within the bucket holding the target
+// rank, the standard fixed-bucket estimate (what Prometheus's
+// histogram_quantile computes server-side). Conventions, chosen so the
+// result is always a usable number: an empty histogram reports 0 (never
+// NaN — the estimate feeds JSON perf baselines, and encoding/json
+// rejects NaN); q <= 0 and q >= 1 clamp to the extreme buckets; ranks
+// landing in the +Inf bucket report the largest finite bound, a
+// deliberate underestimate that keeps comparisons monotone.
+func (h *Histogram) Quantile(q float64) float64 {
+	cumulative, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	// First bucket whose cumulative count reaches the rank.
+	b := sort.Search(len(cumulative), func(i int) bool { return cumulative[i] >= rank })
+	if b >= len(h.upper) {
+		// Overflow bucket: no upper bound to interpolate toward.
+		if len(h.upper) == 0 {
+			return 0
+		}
+		return h.upper[len(h.upper)-1]
+	}
+	lo, prev := 0.0, int64(0)
+	if b > 0 {
+		lo, prev = h.upper[b-1], cumulative[b-1]
+	}
+	in := cumulative[b] - prev
+	if in == 0 {
+		return h.upper[b]
+	}
+	return lo + (h.upper[b]-lo)*float64(rank-prev)/float64(in)
+}
+
 // Sum reports the sum of observed values.
 func (h *Histogram) Sum() float64 {
 	_, _, sum := h.snapshot()

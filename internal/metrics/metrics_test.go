@@ -108,6 +108,77 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	// An empty histogram reports 0, never NaN: the estimate feeds JSON
+	// baselines and encoding/json rejects NaN.
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// A single observation lands every quantile in its bucket.
+	h.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got <= 1 || got > 2 {
+			t.Fatalf("single-observation Quantile(%g) = %g, want in (1, 2]", q, got)
+		}
+	}
+
+	// 100 observations uniform in (0, 1]: interpolation tracks the rank
+	// inside the first bucket.
+	h = NewHistogram([]float64{1, 2, 5})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %g, want 0.5", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("Quantile(1) = %g, want 1", got)
+	}
+	if got := h.Quantile(0); math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("Quantile(0) = %g, want 0.01 (rank clamps to 1)", got)
+	}
+
+	// Mass in the +Inf bucket reports the largest finite bound — a
+	// deliberate underestimate that keeps baseline comparisons monotone.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("overflow Quantile(1) = %g, want 5 (largest finite bound)", got)
+	}
+
+	// Stripes merge: observations recorded on different stripes feed one
+	// estimate.
+	h = NewHistogram([]float64{1, 2, 5})
+	for w := 0; w < 4; w++ {
+		s := h.Stripe(w)
+		for i := 0; i < 25; i++ {
+			s.Observe(1.5) // (1, 2]
+		}
+	}
+	got := h.Quantile(0.5)
+	if got <= 1 || got > 2 {
+		t.Fatalf("striped Quantile(0.5) = %g, want in (1, 2]", got)
+	}
+
+	// Quantiles are monotone in q.
+	h = NewHistogram(nil)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%g gave %g after %g", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
 func TestHistogramConcurrentSum(t *testing.T) {
 	h := NewHistogram([]float64{1})
 	var wg sync.WaitGroup

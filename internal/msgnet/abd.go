@@ -5,6 +5,7 @@ import (
 
 	"leanconsensus/internal/machine"
 	"leanconsensus/internal/register"
+	"leanconsensus/internal/trace"
 )
 
 // This file implements the ABD (Attiya-Bar-Noy-Dolev) emulation of
@@ -108,6 +109,12 @@ type ABDNode struct {
 	// Stats.
 	ops      int64
 	messages int64
+
+	// Flight recorder (nil when tracing is off). now reads the network's
+	// simulated clock; prevRound tracks the machine's last traced round.
+	rec       *trace.Recorder
+	now       func() float64
+	prevRound int32
 }
 
 // NewABDNode builds process id of n running machine m.
@@ -153,6 +160,9 @@ func (a *ABDNode) Done() bool { return a.decided || a.failed }
 func (a *ABDNode) Start() []Message {
 	a.op = a.m.Begin()
 	a.started = true
+	if a.rec != nil {
+		a.rec.Append(trace.Event{Time: a.now(), Proc: int32(a.id), Kind: trace.KindStart})
+	}
 	return a.beginOp()
 }
 
@@ -236,6 +246,9 @@ func (a *ABDNode) Receive(msg Message) []Message {
 			result = a.best.Val
 		}
 		next, st := a.m.Step(result)
+		if a.rec != nil {
+			a.traceStep(result, st)
+		}
 		switch st {
 		case machine.Decided:
 			a.decided = true
@@ -250,6 +263,40 @@ func (a *ABDNode) Receive(msg Message) []Message {
 
 	default:
 		panic(fmt.Sprintf("msgnet: unknown payload %T", msg.Payload))
+	}
+}
+
+// traceStep records one completed emulated register operation and any
+// round transition, decision, or abort it produced.
+func (a *ABDNode) traceStep(result uint32, st machine.Status) {
+	t := a.now()
+	round := a.prevRound
+	if r, ok := a.m.(machine.Rounder); ok {
+		round = int32(r.Round())
+	}
+	val := result
+	if a.pendingWr {
+		val = a.wrVal
+	}
+	a.rec.Append(trace.Event{
+		Time: t, Step: a.ops, Proc: int32(a.id), Round: round, Value: int32(val), Kind: trace.KindOp,
+	})
+	if round > a.prevRound {
+		a.prevRound = round
+		a.rec.Append(trace.Event{
+			Time: t, Proc: int32(a.id), Round: round, Value: -1, Kind: trace.KindRound,
+		})
+	}
+	switch st {
+	case machine.Decided:
+		a.rec.Append(trace.Event{
+			Time: t, Step: a.ops, Proc: int32(a.id), Round: round,
+			Value: int32(a.m.Decision()), Kind: trace.KindDecide,
+		})
+	case machine.Failed:
+		a.rec.Append(trace.Event{
+			Time: t, Step: a.ops, Proc: int32(a.id), Round: round, Kind: trace.KindHalt,
+		})
 	}
 }
 

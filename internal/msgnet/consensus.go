@@ -8,6 +8,7 @@ import (
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/machine"
 	"leanconsensus/internal/register"
+	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
 
@@ -31,6 +32,12 @@ type ConsensusConfig struct {
 	Seed uint64
 	// MaxMessages bounds the simulation (0 = default).
 	MaxMessages int64
+	// Trace, when non-nil, receives flight-recorder events: one start per
+	// process, one op per completed emulated register operation (stamped
+	// with the network's simulated time), round transitions, decisions,
+	// and halts. The ABD emulation has no global view, so round events
+	// carry leader -1.
+	Trace *trace.Recorder
 }
 
 // ConsensusResult reports a message-passing consensus run.
@@ -117,6 +124,15 @@ func Consensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Trace != nil {
+		// The nodes and the network live in one package, so the recorder
+		// borrows the event loop's clock directly; appends happen in the
+		// network's deterministic delivery order.
+		for _, a := range abds {
+			a.rec = cfg.Trace
+			a.now = func() float64 { return net.now }
+		}
 	}
 	netRes, err := net.Run()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/machine"
 	"leanconsensus/internal/register"
+	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	MaxOpsPerProc int64
 	// History, when non-nil, receives every executed operation.
 	History *register.History
+	// Trace, when non-nil, receives flight-recorder events: starts with
+	// their adversary delays Δ_i0, every operation with its Δ_ij, round
+	// transitions with the leader view, decisions, and halts. Tracing is
+	// write-only — it never perturbs the execution — and each event is a
+	// ring-slot write, so the enabled path stays allocation-free too.
+	Trace *trace.Recorder
 	// Crasher, when non-nil, is consulted before each operation is
 	// scheduled; returning true halts the process permanently. This models
 	// the adaptive (non-random) crash failures discussed in Section 10,
@@ -224,6 +231,10 @@ type procState struct {
 	decRnd  int
 	decSeq  int64
 	dec     int
+
+	// Tracing-only fields, maintained only when cfg.Trace is armed.
+	lastDelay float64 // Δ_ij of the pending operation
+	round     int32   // last round a KindRound event was emitted for
 }
 
 // Engine runs one noisy-scheduling execution. An Engine may be reused for
@@ -350,10 +361,12 @@ func (e *Engine) schedule(i int) {
 	if e.cfg.FailureProb > 0 && p.rng.Float64() < e.cfg.FailureProb {
 		// H_ij = ∞: the process halts before this operation.
 		p.halted = true
+		e.traceHalt(p, i)
 		return
 	}
 	if e.cfg.Crasher != nil && e.cfg.Crasher(i, p.j, (*engineView)(e)) {
 		p.halted = true
+		e.traceHalt(p, i)
 		return
 	}
 	d := e.adv.StepDelay(i, p.j, (*engineView)(e))
@@ -363,8 +376,21 @@ func (e *Engine) schedule(i int) {
 	if e.contention != nil {
 		d += e.contention.penalty(int(p.next.Reg), p.time)
 	}
+	if e.cfg.Trace != nil {
+		p.lastDelay = d
+	}
 	p.time += d + e.noise(p, p.next.Kind)
 	e.heap.push(event{t: p.time, proc: int32(i)})
+}
+
+// traceHalt records a process death at its last completed-operation time.
+func (e *Engine) traceHalt(p *procState, i int) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace.Append(trace.Event{
+		Time: p.time, Step: p.j, Proc: int32(i), Round: p.round, Kind: trace.KindHalt,
+	})
 }
 
 // Run executes the configured simulation to completion, returning a fresh
@@ -421,10 +447,16 @@ func (e *Engine) RunInto(res *Result) error {
 		if start < 0 {
 			return fmt.Errorf("%w: negative start delay for process %d", errBadConfig, i)
 		}
+		delta0 := start
 		if dither > 0 {
 			start += xrand.Dither(p.rng, dither)
 		}
 		p.time = start
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.Append(trace.Event{
+				Time: p.time, Delay: delta0, Proc: int32(i), Kind: trace.KindStart,
+			})
+		}
 		e.schedule(i)
 	}
 
@@ -467,6 +499,23 @@ func (e *Engine) RunInto(res *Result) error {
 		e.seq++
 
 		next, st := p.m.Step(result)
+		if e.cfg.Trace != nil {
+			round := p.round
+			if r, ok := p.m.(machine.Rounder); ok {
+				round = int32(r.Round())
+			}
+			e.cfg.Trace.Append(trace.Event{
+				Time: ev.t, Delay: p.lastDelay, Step: p.j, Proc: int32(i),
+				Round: round, Value: int32(opValue(op, result)), Kind: trace.KindOp,
+			})
+			if round > p.round {
+				p.round = round
+				leader, _ := (*engineView)(e).Leader()
+				e.cfg.Trace.Append(trace.Event{
+					Time: ev.t, Proc: int32(i), Round: round, Value: int32(leader), Kind: trace.KindRound,
+				})
+			}
+		}
 		switch st {
 		case machine.Decided:
 			p.decided = true
@@ -480,10 +529,17 @@ func (e *Engine) RunInto(res *Result) error {
 				res.FirstDecisionRound = p.decRnd
 				res.FirstDecisionTime = ev.t
 			}
+			if e.cfg.Trace != nil {
+				e.cfg.Trace.Append(trace.Event{
+					Time: ev.t, Step: p.j, Proc: int32(i),
+					Round: int32(p.decRnd), Value: int32(p.dec), Kind: trace.KindDecide,
+				})
+			}
 			live--
 		case machine.Failed:
 			res.Failed = true
 			p.halted = true
+			e.traceHalt(p, i)
 			live--
 		case machine.Running:
 			p.next = next

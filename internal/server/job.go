@@ -8,6 +8,7 @@ import (
 
 	"leanconsensus/internal/arena"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
 
@@ -39,14 +40,16 @@ func (s jobState) name() string {
 // are atomics written from arena workers (via OnServe) and read by
 // status snapshots and the SSE stream without locks.
 type specRun struct {
-	spec engine.JobSpec
-	job  engine.Job
+	spec   engine.JobSpec
+	job    engine.Job
+	traceK int // per-shard flight-recorder budget, 0 = off
 
 	done     atomic.Int64
 	perShard []atomic.Int64
 
 	mu     sync.Mutex
 	result *SpecResult
+	traces []trace.Instance
 }
 
 // job is one admitted batch.
@@ -74,6 +77,7 @@ func newJob(id string, batch *Batch, shards int) *job {
 		j.specs[i] = &specRun{
 			spec:     batch.Specs[i],
 			job:      batch.Jobs[i],
+			traceK:   batch.TraceK,
 			perShard: make([]atomic.Int64, shards),
 		}
 	}
@@ -161,7 +165,12 @@ func (s *Server) runJob(j *job) {
 func (s *Server) runSpec(sr *specRun) error {
 	jb := sr.job
 	am := arena.NewMetrics(s.reg, "model", jb.ModelName, "dist", jb.DistName)
+	var tc *arena.TraceConfig
+	if sr.traceK > 0 {
+		tc = &arena.TraceConfig{PerShard: sr.traceK}
+	}
 	a, err := arena.New(arena.Config{
+		Trace:     tc,
 		Shards:    s.cfg.Shards,
 		Workers:   s.cfg.Workers,
 		N:         jb.N,
@@ -266,6 +275,28 @@ func (s *Server) runSpec(sr *specRun) error {
 
 	sr.mu.Lock()
 	sr.result = &res
+	if tc != nil {
+		sr.traces = a.Traces()
+	}
 	sr.mu.Unlock()
 	return nil
+}
+
+// traceSnapshot assembles the GET /v1/jobs/{id}/trace body. Captures are
+// stored once per spec when its arena closes; an unfinished spec simply
+// contributes an empty block.
+func (j *job) traceSnapshot() JobTrace {
+	jt := JobTrace{
+		ID:     j.id,
+		Status: j.statusName(),
+		Specs:  make([]SpecTrace, len(j.specs)),
+	}
+	for i, sr := range j.specs {
+		st := SpecTrace{Spec: sr.spec}
+		sr.mu.Lock()
+		st.Trace = sr.traces
+		sr.mu.Unlock()
+		jt.Specs[i] = st
+	}
+	return jt
 }

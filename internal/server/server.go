@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"leanconsensus/internal/arena"
+	"leanconsensus/internal/buildinfo"
 	"leanconsensus/internal/campaign"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/metrics"
@@ -166,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
@@ -332,6 +334,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
+// handleJobTrace serves a traced job's flight-recorder captures. It
+// answers at any lifecycle stage — capture blocks appear as specs
+// finish — so clients can poll it alongside the status endpoint.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.traceSnapshot())
+}
+
 // handleModels lists the three registries the wire spec resolves
 // against.
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -394,8 +407,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if closed {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	bi := buildinfo.Read()
 	writeJSON(w, code, healthResponse{
 		Status:          status,
+		Version:         bi.Version,
+		Revision:        bi.Revision,
 		QueuedInstances: s.queued.Load(),
 		Jobs:            live,
 		Campaigns:       liveCampaigns,

@@ -8,16 +8,26 @@ import (
 
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/trace"
 )
 
 // The JSON wire contract. The root package's Client mirrors these
 // shapes; the end-to-end tests drive the real server through that
 // client, so the two cannot drift silently.
 
-// submitRequest is the POST /v1/jobs body.
+// submitRequest is the POST /v1/jobs body. Trace, when positive, arms
+// flight-recorder capture on every spec's arena: the K most interesting
+// instances per shard (violations first, then deepest rounds) become
+// retrievable at GET /v1/jobs/{id}/trace once the job finishes.
 type submitRequest struct {
-	Jobs []engine.JobSpec `json:"jobs"`
+	Jobs  []engine.JobSpec `json:"jobs"`
+	Trace int              `json:"trace,omitempty"`
 }
+
+// MaxTraceK caps the per-shard capture budget a client may request; full
+// event rings for every capture are held in memory until the job is
+// evicted, so the cap bounds the server's exposure.
+const MaxTraceK = 64
 
 // submitResponse is the 202 body.
 type submitResponse struct {
@@ -109,10 +119,30 @@ type adversaryParam struct {
 	Integer bool    `json:"integer,omitempty"`
 }
 
+// JobTrace is the GET /v1/jobs/{id}/trace body: the flight-recorder
+// captures of a traced job, one block per spec in submission order.
+// Specs is empty until the job finishes (captures are selected when each
+// spec's arena closes), and every Trace block is empty when the job was
+// submitted without the trace option.
+type JobTrace struct {
+	ID     string      `json:"id"`
+	Status string      `json:"status"`
+	Specs  []SpecTrace `json:"specs"`
+}
+
+// SpecTrace is one spec's captures, most interesting first.
+type SpecTrace struct {
+	Spec  engine.JobSpec   `json:"spec"`
+	Trace []trace.Instance `json:"trace,omitempty"`
+}
+
 // healthResponse is the GET /healthz body. Jobs and Campaigns count live
-// (queued or running) work only.
+// (queued or running) work only; Version and Revision identify the
+// running build (internal/buildinfo).
 type healthResponse struct {
 	Status          string `json:"status"`
+	Version         string `json:"version"`
+	Revision        string `json:"revision"`
 	QueuedInstances int64  `json:"queuedInstances"`
 	Jobs            int    `json:"jobs"`
 	Campaigns       int    `json:"campaigns"`
@@ -122,10 +152,12 @@ type healthResponse struct {
 func distNames() []string { return dist.Names() }
 
 // Batch is a decoded, fully validated POST /v1/jobs body: the raw specs
-// side by side with their resolved jobs.
+// side by side with their resolved jobs, plus the requested per-shard
+// trace budget (0 = tracing off).
 type Batch struct {
-	Specs []engine.JobSpec
-	Jobs  []engine.Job
+	Specs  []engine.JobSpec
+	Jobs   []engine.Job
+	TraceK int
 }
 
 // DecodeSubmit parses and validates a POST /v1/jobs body. Every failure
@@ -149,7 +181,10 @@ func DecodeSubmit(r io.Reader, maxBatch int) (*Batch, error) {
 	if maxBatch > 0 && len(req.Jobs) > maxBatch {
 		return nil, fmt.Errorf("server: batch has %d specs, maximum is %d", len(req.Jobs), maxBatch)
 	}
-	b := &Batch{Specs: req.Jobs, Jobs: make([]engine.Job, len(req.Jobs))}
+	if req.Trace < 0 || req.Trace > MaxTraceK {
+		return nil, fmt.Errorf("server: trace must be in [0, %d], got %d", MaxTraceK, req.Trace)
+	}
+	b := &Batch{Specs: req.Jobs, Jobs: make([]engine.Job, len(req.Jobs)), TraceK: req.Trace}
 	for i, spec := range req.Jobs {
 		job, err := spec.Resolve()
 		if err != nil {

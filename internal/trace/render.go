@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTimeline renders an instance as a human-readable per-step
+// timeline, one event per line in record order. It is the presentation
+// layer behind `leansim -trace` for the engine-backed models.
+func WriteTimeline(w io.Writer, inst Instance) error {
+	status := fmt.Sprintf("decided rounds=[%d,%d]", inst.FirstRound, inst.LastRound)
+	if inst.Err != "" {
+		status = "error: " + inst.Err
+	}
+	if _, err := fmt.Fprintf(w, "trace %s model=%s n=%d seed=%d ops=%d %s (%d events, %d dropped)\n",
+		inst.Key, inst.Model, inst.N, inst.Seed, inst.Ops, status, len(inst.Events), inst.Dropped); err != nil {
+		return err
+	}
+	for _, ev := range inst.Events {
+		if _, err := fmt.Fprintf(w, "  %s\n", FormatEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatEvent renders one event as a timeline line (without trailing
+// newline).
+func FormatEvent(ev Event) string {
+	prefix := fmt.Sprintf("t=%-12.6g p%-3d", ev.Time, ev.Proc)
+	switch ev.Kind {
+	case KindStart:
+		return fmt.Sprintf("%s start        Δ0=%g", prefix, ev.Delay)
+	case KindOp:
+		return fmt.Sprintf("%s op#%-4d      round=%d Δ=%g v=%d", prefix, ev.Step, ev.Round, ev.Delay, ev.Value)
+	case KindRound:
+		if ev.Value < 0 {
+			return fmt.Sprintf("%s round→%d", prefix, ev.Round)
+		}
+		return fmt.Sprintf("%s round→%-4d   leader=p%d", prefix, ev.Round, ev.Value)
+	case KindDecide:
+		return fmt.Sprintf("%s DECIDE value=%d round=%d op#%d", prefix, ev.Value, ev.Round, ev.Step)
+	case KindHalt:
+		return fmt.Sprintf("%s halt         op#%d", prefix, ev.Step)
+	case KindPreempt:
+		return fmt.Sprintf("%s preempted    by p%d", prefix, ev.Value)
+	default:
+		return fmt.Sprintf("%s %s", prefix, ev.Kind)
+	}
+}

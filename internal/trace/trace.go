@@ -1,0 +1,240 @@
+// Package trace is the stack's deterministic flight recorder: a
+// fixed-capacity ring of per-step events that the execution models emit
+// into when (and only when) a recorder is armed. The paper's guarantees
+// are per-execution claims — O(log n) rounds under any noisy schedule,
+// delay bounds the adversary must respect (Sections 3.1 and 4) — so
+// when an adversarial cell decides slowly, the aggregate report is the
+// wrong granularity: the interesting object is which views, delays, and
+// phase transitions produced that tail. A trace is that object.
+//
+// Design constraints, in order:
+//
+//  1. Tracing must never affect outcomes. Recorders are write-only from
+//     the models' perspective; every event is derived from state the
+//     model already computes. A run with a recorder armed is
+//     bit-identical to one without, which is what makes a captured
+//     trace replayable: re-running the same (seed, key, config) yields
+//     byte-identical events.
+//  2. Disabled tracing must cost nothing. Every emission site is behind
+//     a nil-check on the recorder; the arena's 5-allocs-per-instance
+//     hot path is unchanged (bench_test.go's tracing dimension holds it
+//     there).
+//  3. Enabled tracing must not allocate per event. The ring is a flat
+//     []Event allocated once per recorder; Append is a slot write.
+//     Recorders pool exactly like engine.Session — one per worker,
+//     Reset per instance.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// DefaultCapacity is the ring size NewRecorder applies when the caller
+// passes a non-positive capacity. A lean-consensus instance at n=8
+// executes a few hundred operations, so the default keeps whole
+// executions with room to spare while bounding worst-case memory.
+const DefaultCapacity = 2048
+
+// Kind classifies one recorded event.
+type Kind uint8
+
+const (
+	// KindStart is a process's entry into the schedule: Delay carries the
+	// adversary's start delay Δ_i0 (Section 3.1), Time the dithered start.
+	KindStart Kind = iota + 1
+	// KindOp is one executed operation: Step is the per-process operation
+	// index j, Delay the adversary's step delay Δ_ij, Round the process's
+	// round after the operation, and Value the value read or written.
+	KindOp
+	// KindRound is a round transition: the process entered Round, and
+	// Value is the current leader (the live process with the largest
+	// round — the paper's view of who is winning the race), or -1 when
+	// the model has no global view.
+	KindRound
+	// KindDecide is a decision: Value is the decided bit, Round the
+	// decision round.
+	KindDecide
+	// KindHalt is a process death: a failure coin (Section 3.1.2), an
+	// adaptive crash, or a machine abort.
+	KindHalt
+	// KindPreempt is a scheduler preemption (hybrid model, Section 7):
+	// Proc is the preempted process, Value the process scheduled in its
+	// place.
+	KindPreempt
+)
+
+// kindNames maps kinds to their wire names.
+var kindNames = [...]string{
+	KindStart:   "start",
+	KindOp:      "op",
+	KindRound:   "round",
+	KindDecide:  "decide",
+	KindHalt:    "halt",
+	KindPreempt: "preempt",
+}
+
+// String renders the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON renders the kind as its wire name, keeping traces
+// readable without a decoder ring.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses a wire name back into a kind.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range kindNames {
+		if name == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one recorded step. The struct is fixed-size and flat so a
+// ring of them is a single allocation; which fields are meaningful
+// depends on Kind (see the Kind constants). Every field is derived from
+// deterministic simulation state — wall-clock time never appears — so
+// event sequences replay exactly.
+type Event struct {
+	// Time is the simulated time of the event (0 in models without a
+	// clock, e.g. hybrid).
+	Time float64 `json:"t"`
+	// Delay is the adversary-contributed delay attached to the event:
+	// Δ_i0 for KindStart, Δ_ij for KindOp, the initially consumed quantum
+	// for hybrid starts.
+	Delay float64 `json:"d"`
+	// Step is the per-process operation index j (1-based; 0 when not
+	// applicable).
+	Step int64 `json:"j"`
+	// Proc is the process the event belongs to.
+	Proc int32 `json:"p"`
+	// Round is the process's racing-counters round at the event.
+	Round int32 `json:"r"`
+	// Value is the kind-specific payload: value read/written (KindOp),
+	// decided bit (KindDecide), leader process (KindRound), incoming
+	// process (KindPreempt).
+	Value int32 `json:"v"`
+	// Kind classifies the event.
+	Kind Kind `json:"k"`
+}
+
+// Recorder is a fixed-capacity ring of events. It is not safe for
+// concurrent use: like engine.Session, each worker owns exactly one and
+// re-arms it per instance with Reset. When the ring wraps, the oldest
+// events are overwritten and counted as dropped — the recorder behaves
+// like an aircraft flight recorder, always holding the most recent
+// window of the execution.
+type Recorder struct {
+	buf   []Event
+	next  int   // next write slot
+	total int64 // events appended since Reset
+}
+
+// NewRecorder returns a recorder with the given ring capacity
+// (DefaultCapacity when non-positive). The ring is the recorder's only
+// allocation; Append and Reset never allocate.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int { return len(r.buf) }
+
+// Reset discards all recorded events, keeping the ring allocation.
+func (r *Recorder) Reset() { r.next, r.total = 0, 0 }
+
+// Append records one event, overwriting the oldest when the ring is
+// full.
+func (r *Recorder) Append(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Len reports the number of events currently held.
+func (r *Recorder) Len() int {
+	if r.total < int64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total reports the number of events appended since Reset.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Dropped reports how many events the ring has overwritten since Reset.
+func (r *Recorder) Dropped() int64 {
+	if d := r.total - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// AppendTo appends the held events to dst in record order (oldest
+// first) and returns the extended slice.
+func (r *Recorder) AppendTo(dst []Event) []Event {
+	n := r.Len()
+	if n == 0 {
+		return dst
+	}
+	start := 0
+	if r.total > int64(len(r.buf)) {
+		start = r.next // ring has wrapped; oldest is the next write slot
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[(start+i)%len(r.buf)])
+	}
+	return dst
+}
+
+// Events returns a fresh copy of the held events, oldest first.
+func (r *Recorder) Events() []Event { return r.AppendTo(nil) }
+
+// Instance is one captured execution: the identifying spec fields, the
+// deterministic outcome summary, and the event window. Every field is a
+// pure function of (model, key, n, seed, config) — wall-clock numbers
+// are deliberately absent — so an Instance marshals byte-identically
+// across replays and across worker schedulings.
+type Instance struct {
+	// Key is the instance's routing key.
+	Key string `json:"key"`
+	// Model is the execution model that ran the instance.
+	Model string `json:"model"`
+	// N is the process count.
+	N int `json:"n"`
+	// Seed is the instance seed; re-running the same (model, key, n,
+	// seed, config) replays this exact trace.
+	Seed uint64 `json:"seed"`
+	// Err is the instance's failure, if any ("" for a clean decision).
+	Err string `json:"err,omitempty"`
+	// FirstRound and LastRound are the decision rounds (Figure 1's
+	// metric and the agreement tail).
+	FirstRound int `json:"first_round"`
+	LastRound  int `json:"last_round"`
+	// Ops is the instance's total operation count.
+	Ops int64 `json:"ops"`
+	// SimTime is the simulated duration.
+	SimTime float64 `json:"sim_time"`
+	// Dropped counts events the ring overwrote (0 means Events is the
+	// complete execution).
+	Dropped int64 `json:"dropped"`
+	// Events is the recorded window, oldest first.
+	Events []Event `json:"events"`
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("fresh recorder not empty: len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	for i := 0; i < 3; i++ {
+		r.Append(Event{Step: int64(i + 1), Kind: KindOp})
+	}
+	if r.Len() != 3 || r.Total() != 3 || r.Dropped() != 0 {
+		t.Fatalf("after 3 appends: len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Step != int64(i+1) {
+			t.Fatalf("event %d has step %d", i, ev.Step)
+		}
+	}
+}
+
+func TestRecorderWrapKeepsNewest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Append(Event{Step: int64(i), Kind: KindOp})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	want := []int64{7, 8, 9, 10}
+	for i, ev := range evs {
+		if ev.Step != want[i] {
+			t.Fatalf("events = %+v, want steps %v", evs, want)
+		}
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(2)
+	r.Append(Event{Kind: KindOp})
+	r.Append(Event{Kind: KindOp})
+	r.Append(Event{Kind: KindOp})
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("reset recorder not empty: len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	r.Append(Event{Step: 42, Kind: KindDecide})
+	if evs := r.Events(); len(evs) != 1 || evs[0].Step != 42 {
+		t.Fatalf("events after reset = %+v", evs)
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	if got := NewRecorder(0).Cap(); got != DefaultCapacity {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultCapacity)
+	}
+	if got := NewRecorder(-5).Cap(); got != DefaultCapacity {
+		t.Fatalf("negative capacity = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestAppendDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(16)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Append(Event{Time: 1, Kind: KindOp})
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindStart, KindOp, KindRound, KindDecide, KindHalt, KindPreempt} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %s -> %v", k, b, back)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Fatal("unknown kind name unmarshalled without error")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	inst := Instance{
+		Key: "key-1", Model: "sched", N: 8, Seed: 7,
+		FirstRound: 3, LastRound: 5, Ops: 100, SimTime: 12.5, Dropped: 2,
+		Events: []Event{
+			{Time: 0.5, Delay: 0.1, Step: 1, Proc: 2, Round: 1, Value: 1, Kind: KindOp},
+			{Time: 0.9, Proc: 2, Round: 5, Value: 1, Kind: KindDecide},
+		},
+	}
+	b, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inst, back) {
+		t.Fatalf("round trip mismatch:\n %+v\n %+v", inst, back)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	inst := Instance{
+		Key: "k", Model: "sched", N: 4, Seed: 1, FirstRound: 2, LastRound: 2, Ops: 3,
+		Events: []Event{
+			{Time: 0, Delay: 0.5, Proc: 0, Kind: KindStart},
+			{Time: 1.5, Delay: 0.25, Step: 1, Proc: 0, Round: 1, Value: 1, Kind: KindOp},
+			{Time: 1.5, Proc: 0, Round: 1, Value: 0, Kind: KindRound},
+			{Time: 2.5, Proc: 1, Kind: KindPreempt, Value: 2},
+			{Time: 3, Step: 2, Proc: 0, Round: 2, Value: 1, Kind: KindDecide},
+			{Time: 3.5, Step: 4, Proc: 3, Kind: KindHalt},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace k model=sched", "start", "op#1", "round→1", "leader=p0", "DECIDE value=1", "halt", "preempted    by p2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 1+len(inst.Events) {
+		t.Fatalf("timeline has %d lines, want %d:\n%s", lines, 1+len(inst.Events), out)
+	}
+}
