@@ -1,14 +1,22 @@
 // Command leanperf records the repository's performance trajectory: a
 // fixed suite of probes — engine model runs, arena service throughput
-// (plain and with the flight recorder armed), and a campaign sweep —
-// measured for throughput, ns/op, allocs/op, and wall-clock latency
+// (plain and with the flight recorder armed), a campaign sweep, and the
+// cell-batched campaign path — measured for throughput, ns/op,
+// allocs/op, and wall-clock latency
 // percentiles, written as one BENCH_<n>.json snapshot per PR and gated
 // against the previous snapshot.
 //
 // Usage:
 //
 //	leanperf -scale bench [-out BENCH_6.json] [-baseline auto|none|PATH]
-//	         [-tol 0.5] [-alloc-slack 1.0] [-version]
+//	         [-tol 0.5] [-alloc-slack 1.0] [-cpuprofile default.pgo] [-version]
+//
+// -cpuprofile writes a CPU profile covering the whole probe suite. The
+// suite spans the hot paths the binaries spend their time on (engine
+// model runs, arena service, batched campaign cells), which makes the
+// profile a natural profile-guided-optimization input: the committed
+// default.pgo at the repository root is exactly such a capture, and
+// `go build -pgo=default.pgo ./...` consumes it.
 //
 // Without -out the snapshot goes to stdout. -baseline auto (the
 // default) scans the output directory for the highest-numbered other
@@ -39,6 +47,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -102,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	baseline := fs.String("baseline", "auto", `baseline snapshot: "auto" (highest other BENCH_<n>.json next to -out), "none", or a path`)
 	tol := fs.Float64("tol", 0.5, "allowed fractional throughput drop vs baseline before failing")
 	allocSlack := fs.Float64("alloc-slack", 1.0, "allowed allocs/op increase vs baseline before failing")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the probe suite (pprof format, PGO-ready)")
 	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
@@ -119,6 +129,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *allocSlack < 0 {
 		return fmt.Errorf("-alloc-slack must be non-negative, got %g", *allocSlack)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+		fmt.Fprintf(stderr, "leanperf: capturing CPU profile to %s\n", *cpuprofile)
 	}
 
 	bf := &BenchFile{Schema: Schema, Scale: canonScale(*scaleName), Go: runtime.Version()}
@@ -304,6 +327,7 @@ var probes = []struct {
 	{"arena/throughput", probeArena(nil, 4000, 40000, 200000)},
 	{"arena/traced", probeArena(&arena.TraceConfig{PerShard: 2}, 4000, 40000, 200000)},
 	{"campaign/sweep", probeCampaign},
+	{"campaign/batch", probeCampaignBatch},
 }
 
 // opsFor picks the probe's op count for the scale.
@@ -452,6 +476,44 @@ func probeCampaign(sc harness.Scale) (Bench, error) {
 		_, err := camp.Run(context.Background(), campaign.Config{
 			Shards:  2,
 			Workers: 2,
+			OnCell: func(p campaign.Progress) {
+				now := time.Now()
+				h.Observe(now.Sub(last).Seconds())
+				last = now
+			},
+		})
+		return err
+	})
+}
+
+// probeCampaignBatch pins the cell-batched bulk regime: many small cells
+// of cheap instances forced down the batched path (arena.RunCells over
+// pooled worker sessions — the 0 allocs/op loop TestRunBatchZeroAllocs
+// guards). Op = one instance, latency = one completed cell. The grid
+// deliberately uses the cheapest streaming-model instances (sched, n=4)
+// so the probe measures the execution path, not the model: per-op
+// dispatch overhead is where batched and streamed execution differ.
+func probeCampaignBatch(sc harness.Scale) (Bench, error) {
+	reps := opsFor(sc, 1000, 5000, 20000)
+	spec := campaign.Spec{
+		Name:   "leanperf-batch",
+		Models: []string{"sched"},
+		Dists:  []string{"exponential"},
+		Ns:     []int{4},
+		Seeds:  []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		Reps:   reps,
+	}
+	camp, err := spec.Resolve()
+	if err != nil {
+		return Bench{}, err
+	}
+	ops := int(camp.Instances)
+	return measure(ops, func(h *metrics.Histogram) error {
+		last := time.Now()
+		_, err := camp.Run(context.Background(), campaign.Config{
+			Shards:    4,
+			Workers:   2,
+			Execution: campaign.ExecBatched,
 			OnCell: func(p campaign.Progress) {
 				now := time.Now()
 				h.Observe(now.Sub(last).Seconds())

@@ -14,9 +14,15 @@ import (
 func TestRunWritesSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_1.json")
+	profile := filepath.Join(dir, "default.pgo")
 	var stderr bytes.Buffer
-	if err := run([]string{"-scale", "bench", "-out", out, "-baseline", "none"}, &bytes.Buffer{}, &stderr); err != nil {
+	if err := run([]string{"-scale", "bench", "-out", out, "-baseline", "none",
+		"-cpuprofile", profile}, &bytes.Buffer{}, &stderr); err != nil {
 		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	// The PGO capture must exist and be a non-trivial pprof blob.
+	if fi, err := os.Stat(profile); err != nil || fi.Size() == 0 {
+		t.Fatalf("-cpuprofile wrote nothing: %v", err)
 	}
 	bf, err := loadSnapshot(out)
 	if err != nil {

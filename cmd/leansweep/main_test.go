@@ -161,6 +161,95 @@ func TestAdversarialGridGoldenAcrossShapesAndResume(t *testing.T) {
 	}
 }
 
+// TestExecModesGoldenByteIdentical is the batched-execution acceptance
+// golden: an adversarial grid emits byte-identical reports in all three
+// formats whether run streamed or batched, on either pool shape, and
+// whether interrupted mid-run and resumed under the *other* execution
+// mode — the checkpoint manifest is mode-agnostic.
+func TestExecModesGoldenByteIdentical(t *testing.T) {
+	grid := []string{"-models", "sched", "-dists", "exponential",
+		"-adversaries", "antileader:m=2,stagger:gap=1.5",
+		"-ns", "4,8", "-seeds", "1", "-reps", "25", "-q"}
+	shapes := [][]string{
+		{"-shards", "1", "-workers", "1"},
+		{"-shards", "4", "-workers", "2"},
+	}
+
+	for _, format := range []string{"csv", "json", "table"} {
+		base := append([]string{"-format", format}, grid...)
+		golden := sweep(t, append(append([]string{"-exec", "streamed"}, shapes[0]...), base...)...)
+		for _, shape := range shapes {
+			for _, mode := range []string{"auto", "batched"} {
+				args := append(append([]string{"-exec", mode}, shape...), base...)
+				if got := sweep(t, args...); got != golden {
+					t.Fatalf("%s/%s/%v differs from streamed golden:\n%s\nvs\n%s",
+						format, mode, shape, got, golden)
+				}
+			}
+		}
+	}
+
+	// Interrupt under one mode, resume under the other: the manifest
+	// carries no trace of the execution mode, so crossing it must still
+	// reproduce the golden bytes (CSV, the default format, suffices here —
+	// the formats render from one aggregate).
+	golden := sweep(t, append(append([]string{"-exec", "streamed"}, shapes[0]...), grid...)...)
+	crossings := [][2]string{{"streamed", "batched"}, {"batched", "streamed"}}
+	for _, cross := range crossings {
+		ckpt := filepath.Join(t.TempDir(), "exec.ckpt.json")
+		ctx, cancel := context.WithCancel(context.Background())
+		watch := make(chan struct{})
+		go func() {
+			defer close(watch)
+			for {
+				if _, err := os.Stat(ckpt); err == nil {
+					cancel()
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+		}()
+		args := append(append([]string{"-exec", cross[0], "-checkpoint", ckpt}, shapes[1]...), grid...)
+		var out bytes.Buffer
+		err := run(ctx, args, &out)
+		cancel()
+		<-watch
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s interrupted run: %v", cross[0], err)
+		}
+		resumeArgs := append(append([]string{"-exec", cross[1], "-resume", "-checkpoint", ckpt},
+			shapes[0]...), grid...)
+		if resumed := sweep(t, resumeArgs...); resumed != golden {
+			t.Fatalf("resume %s-after-%s differs from golden:\n%s\nvs\n%s",
+				cross[1], cross[0], resumed, golden)
+		}
+	}
+}
+
+// TestExecFlagValidation covers the -exec error paths.
+func TestExecFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-reps", "2", "-exec", "bogus"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-exec") {
+		t.Fatalf("-exec bogus: err = %v, want rejection", err)
+	}
+	err := run(context.Background(), []string{"-reps", "2", "-exec", "batched",
+		"-trace", "2", "-format", "json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "streamed") {
+		t.Fatalf("-exec batched with -trace: err = %v, want rejection", err)
+	}
+	// -trace under auto silently streams: it must still work.
+	outStr := sweep(t, "-dists", "exponential", "-ns", "4", "-seeds", "1", "-reps", "3",
+		"-trace", "1", "-format", "json", "-q")
+	if !strings.Contains(outStr, `"trace"`) {
+		t.Fatalf("-trace under auto produced no trace block:\n%s", outStr)
+	}
+}
+
 // TestInterruptResumeByteIdentical is the CLI-level acceptance check:
 // cancel a checkpointed sweep partway (the SIGINT path is this ctx
 // cancellation), rerun with -resume, and require the final CSV to equal

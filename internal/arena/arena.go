@@ -128,6 +128,12 @@ type request struct {
 	explicit bool
 	model    engine.Model // nil selects the arena's configured model
 	spec     engine.Spec  // valid only when explicit
+
+	// cell, when non-nil, makes this a cell-batched request (the
+	// SubmitCell path): one queue entry carrying a whole batch of
+	// repetitions, delivered on cellDone instead of done.
+	cell     *CellRequest
+	cellDone chan CellResult
 }
 
 // ShardStats accumulates one shard's deterministic counters. All fields
@@ -212,9 +218,6 @@ type shard struct {
 
 	mu    sync.Mutex
 	stats ShardStats
-
-	// traces is the shard's capture set (nil when tracing is off).
-	traces *shardTraces
 }
 
 // Arena is a sharded concurrent consensus service. Create one with New;
@@ -224,6 +227,15 @@ type Arena struct {
 	shards []*shard
 	start  time.Time
 	wg     sync.WaitGroup
+
+	// keepers holds one trace keeper per worker, indexed by worker id
+	// (shard*Workers+w); nil when tracing is off. Per-worker keepers make
+	// trace capture contention-free on the serving path: the only writer
+	// of a keeper is its worker, so ranking and event copying never
+	// serialize workers against each other (they used to rank under a
+	// per-shard mutex — the traced-throughput gap). Traces() merges them
+	// per shard into exactly the set the shard-global ranking would keep.
+	keepers []*traceKeeper
 
 	mu     sync.RWMutex // guards closed and the shard queues' liveness
 	closed bool
@@ -265,20 +277,24 @@ func New(cfg Config) (*Arena, error) {
 	}
 	a := &Arena{cfg: cfg, start: time.Now()}
 	a.shards = make([]*shard, cfg.Shards)
+	if cfg.Trace != nil {
+		a.keepers = make([]*traceKeeper, cfg.Shards*cfg.Workers)
+	}
 	for i := range a.shards {
 		s := &shard{
 			id:   i,
 			seed: xrand.Mix(cfg.Seed, 0x7368617264, uint64(i)), // "shard"
 			reqs: make(chan *request, cfg.QueueDepth),
 		}
-		if cfg.Trace != nil {
-			perShard, _ := cfg.Trace.withDefaults()
-			s.traces = &shardTraces{k: perShard}
-		}
 		a.shards[i] = s
 		for w := 0; w < cfg.Workers; w++ {
+			idx := i*cfg.Workers + w
+			if cfg.Trace != nil {
+				perShard, _ := cfg.Trace.withDefaults()
+				a.keepers[idx] = &traceKeeper{k: perShard}
+			}
 			a.wg.Add(1)
-			go a.worker(s, i*cfg.Workers+w)
+			go a.worker(s, idx)
 		}
 	}
 	return a, nil
@@ -309,11 +325,14 @@ func (a *Arena) Submit(key string, bit int) (<-chan Result, error) {
 		enq:   time.Now(),
 		done:  make(chan Result, 1),
 	}
-	return a.enqueue(req)
+	if err := a.enqueue(req); err != nil {
+		return nil, err
+	}
+	return req.done, nil
 }
 
 // enqueue routes one prepared request onto its shard queue.
-func (a *Arena) enqueue(req *request) (<-chan Result, error) {
+func (a *Arena) enqueue(req *request) error {
 	// The read lock is held across the send so Close cannot close the
 	// queue between the closed-check and the send. Workers keep draining
 	// while Close waits for the write lock, so a blocked send still makes
@@ -321,15 +340,16 @@ func (a *Arena) enqueue(req *request) (<-chan Result, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.closed {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if a.cfg.Metrics != nil {
 		// Balanced by the serving worker's decrement; stripes may go
 		// individually negative, only the cross-stripe sum is meaningful.
+		// A cell counts as one queued request, whatever its Reps.
 		a.cfg.Metrics.Queued.Stripe(req.shard).Add(1)
 	}
 	a.shards[req.shard].reqs <- req
-	return req.done, nil
+	return nil
 }
 
 // SpecRequest is one explicitly specified instance for SubmitSpec: the
@@ -376,7 +396,10 @@ func (a *Arena) SubmitSpec(sr SpecRequest) (<-chan Result, error) {
 		model:    sr.Model,
 		spec:     sr.Spec,
 	}
-	return a.enqueue(req)
+	if err := a.enqueue(req); err != nil {
+		return nil, err
+	}
+	return req.done, nil
 }
 
 // SubmitWait submits one explicit instance and waits for its decision or
@@ -533,17 +556,24 @@ func (a *Arena) worker(s *shard, idx int) {
 	if a.cfg.Metrics != nil {
 		wm = a.cfg.Metrics.stripes(idx)
 	}
+	var tk *traceKeeper
 	if a.cfg.Trace != nil {
 		// One pooled recorder per worker, reset per instance — the same
-		// lifecycle as the session's simulation buffers.
+		// lifecycle as the session's simulation buffers — and one private
+		// trace keeper, so capture never contends with sibling workers.
 		_, events := a.cfg.Trace.withDefaults()
 		sess.SetTrace(trace.NewRecorder(events))
+		tk = a.keepers[idx]
 	}
 	for req := range s.reqs {
+		if req.cell != nil {
+			req.cellDone <- a.serveCell(s, sess, req, wm)
+			continue
+		}
 		if rec := sess.Trace(); rec != nil {
 			rec.Reset()
 		}
-		res := a.serve(s, sess, req)
+		res := a.serve(s, sess, req, tk)
 		s.mu.Lock()
 		s.stats.add(res)
 		s.mu.Unlock()
@@ -561,7 +591,7 @@ func (a *Arena) worker(s *shard, idx int) {
 // the shard's deterministic sub-seed with the key's stable hash; on the
 // explicit path the request carries its own spec verbatim. Either way the
 // outcome does not depend on which worker runs it or in what order.
-func (a *Arena) serve(s *shard, sess *engine.Session, req *request) Result {
+func (a *Arena) serve(s *shard, sess *engine.Session, req *request, tk *traceKeeper) Result {
 	model := a.cfg.Model
 	var spec engine.Spec
 	if req.explicit {
@@ -613,7 +643,7 @@ func (a *Arena) serve(s *shard, sess *engine.Session, req *request) Result {
 		res.SimTime = ir.SimTime
 	}
 	if rec := sess.Trace(); rec != nil {
-		s.traces.consider(model.Name(), spec, res, rec)
+		tk.consider(model.Name(), spec, res, rec)
 	}
 	res.Latency = time.Since(req.enq)
 	return res

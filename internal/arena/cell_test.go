@@ -1,0 +1,331 @@
+package arena_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"leanconsensus/internal/arena"
+	"leanconsensus/internal/dist"
+	"leanconsensus/internal/engine"
+	"leanconsensus/internal/metrics"
+)
+
+// recordingSink captures every repetition a cell folds, in order.
+type recordingSink struct {
+	n       []int
+	results []arena.Result
+}
+
+func (s *recordingSink) Add(n int, r arena.Result) {
+	s.n = append(s.n, n)
+	s.results = append(s.results, r)
+}
+
+func cellSeed(c, rep int) uint64 { return uint64(c*1000+rep)*2654435761 + 7 }
+
+// TestRunCellsMatchesRunSpecs is the cell path's core identity: the same
+// workload pushed through RunCells (one queue entry per cell, batched on
+// a pooled session) and through RunSpecs (one entry per instance) yields
+// the same per-repetition results, the same aggregate stats, and
+// cell-grained metrics that agree with both.
+func TestRunCellsMatchesRunSpecs(t *testing.T) {
+	noise := dist.Exponential{MeanVal: 1}
+	const cells, reps = 6, 20
+	explicit := []int{1, 0, 1, 0, 1} // cell 3 pins its own inputs
+	gen := func(c int) arena.CellRequest {
+		cr := arena.CellRequest{
+			Key:   fmt.Sprintf("cell-%02d", c),
+			N:     2 + c,
+			Noise: noise,
+			Reps:  reps,
+			Seed:  func(rep int) uint64 { return cellSeed(c, rep) },
+		}
+		if c == 3 {
+			cr.Inputs = explicit
+		}
+		return cr
+	}
+
+	reg := metrics.NewRegistry()
+	m := arena.NewMetrics(reg, "path", "cell")
+	ac, err := arena.New(arena.Config{Shards: 3, Workers: 2, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	sinks := make([]*recordingSink, cells)
+	cellResults := make([]arena.CellResult, cells)
+	err = ac.RunCells(context.Background(), cells,
+		func(c int) arena.CellRequest {
+			sinks[c] = &recordingSink{}
+			cr := gen(c)
+			cr.Sink = sinks[c]
+			return cr
+		},
+		func(c int, r arena.CellResult) { cellResults[c] = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	as, err := arena.New(arena.Config{Shards: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	streamed := make([]arena.Result, 0, cells*reps)
+	err = as.RunSpecs(context.Background(), cells*reps,
+		func(i int) arena.SpecRequest {
+			c, rep := i/reps, i%reps
+			cr := gen(c)
+			return arena.SpecRequest{Spec: engine.Spec{
+				Key: cr.Key, N: cr.N, Inputs: cr.Inputs, Noise: cr.Noise, Seed: cellSeed(c, rep),
+			}}
+		},
+		func(i int, r arena.Result) { streamed = append(streamed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for c := 0; c < cells; c++ {
+		sink := sinks[c]
+		if len(sink.results) != reps {
+			t.Fatalf("cell %d folded %d repetitions, want %d", c, len(sink.results), reps)
+		}
+		if cellResults[c].Reps != reps || cellResults[c].Errors != 0 || cellResults[c].FirstErr != nil {
+			t.Fatalf("cell %d result %+v", c, cellResults[c])
+		}
+		if cellResults[c].Key != fmt.Sprintf("cell-%02d", c) {
+			t.Fatalf("cell %d delivered key %q", c, cellResults[c].Key)
+		}
+		for rep := 0; rep < reps; rep++ {
+			got, want := sink.results[rep], streamed[c*reps+rep]
+			if sink.n[rep] != 2+c {
+				t.Fatalf("cell %d rep %d folded with n=%d, want %d", c, rep, sink.n[rep], 2+c)
+			}
+			if got.Err != nil || want.Err != nil {
+				t.Fatalf("cell %d rep %d errored: %v / %v", c, rep, got.Err, want.Err)
+			}
+			if got.Value != want.Value || got.FirstRound != want.FirstRound ||
+				got.LastRound != want.LastRound || got.Ops != want.Ops || got.SimTime != want.SimTime {
+				t.Fatalf("cell %d rep %d diverged:\n  batched  %+v\n  streamed %+v", c, rep, got, want)
+			}
+		}
+	}
+
+	// Aggregate identity: the two arenas saw the same workload, so their
+	// totals must agree (per-shard splits differ by placement policy).
+	tc, ts := ac.Stats().Totals, as.Stats().Totals
+	if tc != ts {
+		t.Fatalf("stats totals diverged:\n  batched  %+v\n  streamed %+v", tc, ts)
+	}
+
+	// Cell-grained metrics: counters fold in bulk but must agree with the
+	// per-instance stats; latency is observed once per cell and the queued
+	// gauge is charged one slot per cell, back to zero after the drain.
+	if got := m.Decided[0].Value() + m.Decided[1].Value(); got != tc.Decided[0]+tc.Decided[1] {
+		t.Errorf("decided counters = %d, stats say %d", got, tc.Decided[0]+tc.Decided[1])
+	}
+	if got := m.Rounds.Value(); got != tc.RoundSum {
+		t.Errorf("rounds counter = %d, stats say %d", got, tc.RoundSum)
+	}
+	if got := m.Ops.Value(); got != tc.Ops {
+		t.Errorf("ops counter = %d, stats say %d", got, tc.Ops)
+	}
+	if got := m.Latency.Count(); got != cells {
+		t.Errorf("latency histogram holds %d observations, want one per cell (%d)", got, cells)
+	}
+	if got := m.Queued.Value(); got != 0 {
+		t.Errorf("queued gauge = %d after drain, want 0", got)
+	}
+}
+
+// TestRunCellExplicitModel covers the Model override: a cell naming its
+// own model must match direct engine runs of that model.
+func TestRunCellExplicitModel(t *testing.T) {
+	hy, err := engine.ByName("hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := arena.New(arena.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	sink := &recordingSink{}
+	const reps = 10
+	res, err := a.RunCell(context.Background(), arena.CellRequest{
+		Model: hy,
+		Key:   "hybrid-cell",
+		N:     6,
+		Reps:  reps,
+		Seed:  func(rep int) uint64 { return cellSeed(0, rep) },
+		Sink:  sink,
+	})
+	if err != nil || res.Errors != 0 {
+		t.Fatalf("RunCell: %v, %+v", err, res)
+	}
+	inputs := []int{0, 0, 0, 1, 1, 1}
+	for rep := 0; rep < reps; rep++ {
+		want, err := hy.Run(engine.Spec{Key: "hybrid-cell", N: 6, Inputs: inputs, Seed: cellSeed(0, rep)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sink.results[rep]
+		if got.Value != want.Value || got.Ops != want.Ops {
+			t.Fatalf("rep %d diverged: batched %+v, direct %+v", rep, got, want)
+		}
+	}
+}
+
+// TestSubmitCellValidation covers the client-error paths, including
+// submission after Close.
+func TestSubmitCellValidation(t *testing.T) {
+	a, err := arena.New(arena.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	seed := func(rep int) uint64 { return uint64(rep) }
+	ok := arena.CellRequest{Key: "c", N: 4, Noise: dist.Exponential{MeanVal: 1}, Reps: 1, Seed: seed, Sink: sink}
+	bad := []struct {
+		name string
+		mut  func(*arena.CellRequest)
+	}{
+		{"zero reps", func(c *arena.CellRequest) { c.Reps = 0 }},
+		{"zero n", func(c *arena.CellRequest) { c.N = 0 }},
+		{"mismatched inputs", func(c *arena.CellRequest) { c.Inputs = []int{0, 1} }},
+		{"nil seed", func(c *arena.CellRequest) { c.Seed = nil }},
+		{"nil sink", func(c *arena.CellRequest) { c.Sink = nil }},
+	}
+	for _, tc := range bad {
+		cr := ok
+		tc.mut(&cr)
+		if _, err := a.SubmitCell(cr); err == nil {
+			t.Errorf("SubmitCell accepted %s", tc.name)
+		}
+	}
+	if _, err := a.SubmitCell(ok); err != nil {
+		t.Fatalf("SubmitCell rejected a valid cell: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitCell(ok); !errors.Is(err, arena.ErrClosed) {
+		t.Fatalf("SubmitCell after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestCellOnTracedArena pins the trace interaction: a cell served on a
+// traced arena records nothing (the recorder is disarmed for the batch),
+// and the recorder is re-armed afterwards so streamed instances on the
+// same worker still capture.
+func TestCellOnTracedArena(t *testing.T) {
+	a, err := arena.New(arena.Config{Shards: 1, Workers: 1, Trace: &arena.TraceConfig{PerShard: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	_, err = a.RunCell(context.Background(), arena.CellRequest{
+		Key: "batched", N: 4, Noise: dist.Exponential{MeanVal: 1}, Reps: 30,
+		Seed: func(rep int) uint64 { return uint64(rep + 1) },
+		Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.SubmitWait(context.Background(), arena.SpecRequest{
+		Spec: engine.Spec{Key: "streamed", N: 4, Noise: dist.Exponential{MeanVal: 1}, Seed: 9},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("streamed instance after cell: %v / %v", err, res.Err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	traces := a.Traces()
+	for _, inst := range traces {
+		if inst.Key == "batched" {
+			t.Fatalf("cell repetitions leaked into the trace set: %+v", traces)
+		}
+	}
+	if len(traces) != 1 || traces[0].Key != "streamed" {
+		t.Fatalf("streamed instance not captured after a cell: %+v", traces)
+	}
+}
+
+// TestRunCellsCancelDrains mirrors the RunSpecs cancellation contract at
+// cell granularity: submission stops, already-submitted cells complete
+// and deliver in order, and the arena stays usable.
+func TestRunCellsCancelDrains(t *testing.T) {
+	a, err := arena.New(arena.Config{Shards: 2, Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const count = 1000
+	delivered := 0
+	err = a.RunCells(ctx, count,
+		func(c int) arena.CellRequest {
+			if c == 8 {
+				cancel()
+			}
+			return arena.CellRequest{
+				Key: fmt.Sprintf("c-%d", c), N: 4, Noise: dist.Exponential{MeanVal: 1}, Reps: 5,
+				Seed: func(rep int) uint64 { return cellSeed(c, rep) },
+				Sink: &recordingSink{},
+			}
+		},
+		func(c int, r arena.CellResult) {
+			if c != delivered {
+				t.Fatalf("delivery out of order after cancel: got %d, want %d", c, delivered)
+			}
+			delivered++
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCells returned %v, want context.Canceled", err)
+	}
+	if delivered < 8 || delivered >= count/2 {
+		t.Fatalf("delivered %d cells; want every submitted cell and nowhere near %d", delivered, count)
+	}
+	sink := &recordingSink{}
+	res, err := a.RunCell(context.Background(), arena.CellRequest{
+		Key: "after", N: 4, Noise: dist.Exponential{MeanVal: 1}, Reps: 3,
+		Seed: func(rep int) uint64 { return uint64(rep + 1) }, Sink: sink,
+	})
+	if err != nil || res.Errors != 0 {
+		t.Fatalf("arena unusable after cancelled RunCells: %v / %+v", err, res)
+	}
+}
+
+// TestRunCellContextExpiry: an expired wait abandons the result but the
+// cell still runs; the arena drains cleanly afterwards.
+func TestRunCellContextExpiry(t *testing.T) {
+	a, err := arena.New(arena.Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = a.RunCell(ctx, arena.CellRequest{
+		Key: "abandoned", N: 4, Noise: dist.Exponential{MeanVal: 1}, Reps: 2,
+		Seed: func(rep int) uint64 { return uint64(rep + 1) }, Sink: &recordingSink{},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCell returned %v, want context.Canceled", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung with an abandoned cell in flight")
+	}
+}

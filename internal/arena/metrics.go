@@ -98,3 +98,18 @@ func (w *workerMetrics) record(r Result) {
 	}
 	w.latency.Observe(float64(r.Latency) / float64(time.Second))
 }
+
+// recordCell folds one served cell into the worker's stripes in bulk:
+// counters advance by whole-cell totals, the queued gauge returns the
+// cell's single slot (enqueue charged one per request, whatever its
+// Reps), and latency observes the cell once — a cell is one request, so
+// per-request latency is per-cell latency on this path.
+func (w *workerMetrics) recordCell(local ShardStats, latency time.Duration) {
+	w.queued.Add(-1)
+	w.decided[0].Add(local.Decided[0])
+	w.decided[1].Add(local.Decided[1])
+	w.errors.Add(local.Errors)
+	w.rounds.Add(local.RoundSum)
+	w.ops.Add(local.Ops)
+	w.latency.Observe(float64(latency) / float64(time.Second))
+}

@@ -60,10 +60,16 @@ func traceRank(a, b *trace.Instance) bool {
 	return a.Key < b.Key
 }
 
-// shardTraces keeps one shard's top-K captures, sorted by traceRank.
-// Guarded by its own mutex: capture happens on the serving worker, reads
-// via Arena.Traces.
-type shardTraces struct {
+// traceKeeper keeps one worker's top-K captures, sorted by traceRank.
+// Each worker owns exactly one keeper (double-buffered ranking): the
+// serving path ranks and copies events into worker-private state, so
+// capture never serializes sibling workers the way a shared per-shard
+// set would. The mutex exists only for Arena.Traces' snapshot reads —
+// the worker itself never contends on it. A worker's top-K of its own
+// served subset is a superset of that subset's contribution to the
+// shard's true top-K, so merging keepers per shard (Traces) reproduces
+// the shard-global ranking exactly.
+type traceKeeper struct {
 	mu   sync.Mutex
 	k    int
 	kept []trace.Instance
@@ -71,7 +77,7 @@ type shardTraces struct {
 
 // consider offers one served instance; the recorder's events are copied
 // only if the instance makes the cut.
-func (t *shardTraces) consider(model string, spec engine.Spec, res Result, rec *trace.Recorder) {
+func (t *traceKeeper) consider(model string, spec engine.Spec, res Result, rec *trace.Recorder) {
 	cand := trace.Instance{
 		Key: spec.Key, Model: model, N: spec.N, Seed: spec.Seed,
 		FirstRound: res.FirstRound, LastRound: res.LastRound,
@@ -95,7 +101,7 @@ func (t *shardTraces) consider(model string, spec engine.Spec, res Result, rec *
 }
 
 // snapshot copies the kept instances.
-func (t *shardTraces) snapshot() []trace.Instance {
+func (t *traceKeeper) snapshot() []trace.Instance {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]trace.Instance(nil), t.kept...)
@@ -103,17 +109,29 @@ func (t *shardTraces) snapshot() []trace.Instance {
 
 // Traces returns the captured instances across all shards, most
 // interesting first (see TraceConfig for the deterministic order). It
-// returns nil when tracing is not configured. The snapshot is
-// consistent per shard; callers wanting the final capture set call it
-// after Close or after their batch has drained.
+// returns nil when tracing is not configured. Per shard, the workers'
+// private keepers are merged, re-ranked, and truncated to the shard
+// budget — byte-identical to ranking shard-globally, since any instance
+// in the shard's true top-K survives its own worker's top-K cut. The
+// snapshot is consistent per keeper; callers wanting the final capture
+// set call it after Close or after their batch has drained.
 func (a *Arena) Traces() []trace.Instance {
 	if a.cfg.Trace == nil {
 		return nil
 	}
+	perShard, _ := a.cfg.Trace.withDefaults()
 	var all []trace.Instance
-	for _, s := range a.shards {
-		all = append(all, s.traces.snapshot()...)
+	for si := range a.shards {
+		var merged []trace.Instance
+		for w := 0; w < a.cfg.Workers; w++ {
+			merged = append(merged, a.keepers[si*a.cfg.Workers+w].snapshot()...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return traceRank(&merged[i], &merged[j]) })
+		if len(merged) > perShard {
+			merged = merged[:perShard]
+		}
+		all = append(all, merged...)
 	}
-	sort.Slice(all, func(i, j int) bool { return traceRank(&all[i], &all[j]) })
+	sort.SliceStable(all, func(i, j int) bool { return traceRank(&all[i], &all[j]) })
 	return all
 }

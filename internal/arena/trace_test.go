@@ -153,10 +153,10 @@ func TestArenaTraceKeepsViolations(t *testing.T) {
 	}
 }
 
-// TestShardTracesBudget unit-tests the top-K insert: ranks hold under
+// TestTraceKeeperBudget unit-tests the top-K insert: ranks hold under
 // arbitrary offer order and the budget is never exceeded.
-func TestShardTracesBudget(t *testing.T) {
-	st := &shardTraces{k: 3}
+func TestTraceKeeperBudget(t *testing.T) {
+	st := &traceKeeper{k: 3}
 	rec := trace.NewRecorder(8)
 	rec.Append(trace.Event{Kind: trace.KindOp})
 	offer := func(key string, lastRound int) {

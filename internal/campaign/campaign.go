@@ -4,7 +4,10 @@
 // declarative spec — a cartesian grid over registered execution models,
 // noise distributions, process counts, and seeds, with a fixed number of
 // repetitions per grid cell — that compiles to explicit work units and
-// executes through the sharded arena's worker pools.
+// executes through the sharded arena's worker pools: one work unit per
+// cell by default (the batched path, zero-allocation in steady state),
+// or one per instance when a per-instance observer needs the stream
+// (see Execution).
 //
 // Three properties make campaigns production-shaped:
 //
@@ -13,8 +16,11 @@
 //     (InstanceSeed), and inputs follow the paper's half-and-half
 //     assignment, so a campaign cell reproduces the corresponding harness
 //     experiment number for number. Results are folded in repetition
-//     order (arena.RunSpecs delivers in submission order), so reports are
-//     byte-identical across runs, worker counts, and interrupt/resume
+//     order on both execution paths — the batched default hands whole
+//     cells to arena.RunCells, whose serving worker folds repetitions as
+//     it runs them; the streamed path folds arena.RunSpecs's
+//     submission-order deliveries — so reports are byte-identical across
+//     runs, worker counts, execution modes, and interrupt/resume
 //     boundaries.
 //
 //   - Streaming aggregation. Each cell folds into a fixed-size
@@ -336,6 +342,33 @@ func (c *CellStats) Add(n int, r arena.Result) {
 	c.OpsPerProc.Add(float64(r.Ops) / float64(n))
 }
 
+// Execution selects how Campaign.Run drives its cells through the
+// arena. The mode affects only wall-clock speed and callback
+// granularity — report, checkpoint, and trace bytes are pure functions
+// of the spec either way (TestBatchedMatchesStreamed pins batched
+// against streamed byte for byte).
+type Execution int
+
+const (
+	// ExecAuto (the zero value) picks ExecBatched unless a per-instance
+	// observer demands streaming: OnInstance needs a callback per
+	// repetition, and Trace needs the arena's per-instance flight
+	// recorder, so either selects ExecStreamed.
+	ExecAuto Execution = iota
+	// ExecStreamed pipelines every repetition through the arena
+	// individually (arena.RunSpecs) — one request, one queue hop, one
+	// result delivery per repetition.
+	ExecStreamed
+	// ExecBatched routes each cell to the arena in one piece
+	// (arena.RunCells): a single worker runs the cell's repetitions as
+	// one tight loop over its pooled session, folding directly into the
+	// cell aggregate with zero steady-state allocations. Incompatible
+	// with OnInstance and Trace, which have nothing to observe on the
+	// batched path; Run rejects the combination rather than silently
+	// degrading either side.
+	ExecBatched
+)
+
 // Config carries the runtime knobs of Campaign.Run — everything that is
 // not part of the campaign's identity (and therefore not hashed).
 type Config struct {
@@ -356,9 +389,15 @@ type Config struct {
 	// OnCell, when non-nil, is called serially after each cell completes
 	// (including, once at startup, for cells restored from a checkpoint).
 	OnCell func(Progress)
+	// Execution selects streamed or batched cell execution (default
+	// ExecAuto: batched unless OnInstance or Trace demands streaming).
+	Execution Execution
 	// OnInstance, when non-nil, is called serially after each executed
-	// repetition — the hook admission controllers use to return reserved
-	// capacity. Restored cells do not replay it.
+	// repetition — a per-instance observer. Setting it forces (under
+	// ExecAuto) or requires (under ExecStreamed) the streamed path;
+	// coarser consumers — admission controllers returning reserved
+	// capacity, progress displays — should prefer OnCell deltas, which
+	// keep the batched path available. Restored cells do not replay it.
 	OnInstance func()
 	// Trace, when non-nil, arms the private arena's flight recorder and
 	// attaches the capture set to Report.Trace (see arena.TraceConfig).
@@ -402,6 +441,25 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = arena.DefaultWorkers
 	}
+	exec := cfg.Execution
+	switch exec {
+	case ExecAuto:
+		if cfg.OnInstance != nil || cfg.Trace != nil {
+			exec = ExecStreamed
+		} else {
+			exec = ExecBatched
+		}
+	case ExecStreamed:
+	case ExecBatched:
+		if cfg.OnInstance != nil {
+			return nil, fmt.Errorf("campaign: batched execution has no per-instance callbacks; drop OnInstance or use streamed execution")
+		}
+		if cfg.Trace != nil {
+			return nil, fmt.Errorf("campaign: batched execution does not capture traces; drop Trace or use streamed execution")
+		}
+	default:
+		return nil, fmt.Errorf("campaign: unknown execution mode %d", cfg.Execution)
+	}
 
 	done := make(map[string]*CellStats)
 	if cfg.Checkpoint != "" {
@@ -435,6 +493,50 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	defer a.Close()
 
+	// complete folds one executed cell into the campaign state: the
+	// shared tail of both execution paths, called in grid order either
+	// way, so manifests and callbacks are indistinguishable across modes.
+	complete := func(i int, cs *CellStats) error {
+		results[i] = cs
+		cellsDone++
+		instancesDone += cs.Reps
+		done[c.Cells[i].Key] = cs
+		if cfg.Metrics != nil {
+			cfg.Metrics.record(cs)
+		}
+		if cfg.Checkpoint != "" {
+			if err := saveManifest(cfg.Checkpoint, c, results); err != nil {
+				return err
+			}
+		}
+		if cfg.OnCell != nil {
+			cfg.OnCell(Progress{
+				CellKey:   c.Cells[i].Key,
+				CellsDone: cellsDone, CellsTotal: len(c.Cells),
+				InstancesDone: instancesDone, InstancesTotal: c.Instances,
+			})
+		}
+		return nil
+	}
+
+	if exec == ExecBatched {
+		if err := c.runBatched(ctx, a, results, complete); err != nil {
+			return nil, err
+		}
+	} else if err := c.runStreamed(ctx, cfg, a, results, complete); err != nil {
+		return nil, err
+	}
+	rep := c.buildReport(results)
+	if cfg.Trace != nil {
+		rep.Trace = a.Traces()
+	}
+	return rep, nil
+}
+
+// runStreamed executes every pending cell one repetition at a time
+// through arena.RunSpecs — the per-instance path, kept for workloads
+// that need per-repetition observation (OnInstance, tracing).
+func (c *Campaign) runStreamed(ctx context.Context, cfg Config, a *arena.Arena, results []*CellStats, complete func(int, *CellStats) error) error {
 	for i := range c.Cells {
 		if results[i] != nil {
 			continue
@@ -457,36 +559,82 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 			},
 			func(rep int, r arena.Result) {
 				cs.Add(job.N, r)
-				instancesDone++
 				if cfg.OnInstance != nil {
 					cfg.OnInstance()
 				}
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		results[i] = cs
-		cellsDone++
-		done[cell.Key] = cs
-		if cfg.Metrics != nil {
-			cfg.Metrics.record(cs)
+		if err := complete(i, cs); err != nil {
+			return err
 		}
-		if cfg.Checkpoint != "" {
-			if err := saveManifest(cfg.Checkpoint, c, results); err != nil {
-				return nil, err
+	}
+	return nil
+}
+
+// runBatched executes every pending cell in one piece through
+// arena.RunCells: each cell is a single request whose repetitions run as
+// one tight loop over a worker's pooled session, folding into the cell
+// aggregate on the worker. Cells pipeline across shards concurrently,
+// but completions are delivered in grid order, so checkpoints, metrics,
+// and OnCell fire exactly as the streamed path fires them — same order,
+// same bytes. A worker folds repetitions in repetition order, so every
+// aggregate is bit-identical to the streamed fold.
+func (c *Campaign) runBatched(ctx context.Context, a *arena.Arena, results []*CellStats, complete func(int, *CellStats) error) error {
+	var pending []int
+	for i := range c.Cells {
+		if results[i] == nil {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	sinks := make([]*CellStats, len(pending))
+	for k := range sinks {
+		sinks[k] = &CellStats{}
+	}
+	// A completion failure (checkpoint write) cancels submission; cells
+	// already in flight drain — their sinks simply go unreported, exactly
+	// like a streamed run abandoned mid-cell.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var completeErr error
+	err := a.RunCells(runCtx, len(pending),
+		func(k int) arena.CellRequest {
+			cell := &c.Cells[pending[k]]
+			job := cell.Job
+			return arena.CellRequest{
+				Model:     job.Model,
+				Key:       cell.Key,
+				N:         job.N,
+				Noise:     job.Noise,
+				Adversary: job.Adversary,
+				Reps:      job.Instances,
+				Seed:      func(rep int) uint64 { return InstanceSeed(job.Seed, job.N, rep) },
+				Sink:      sinks[k],
 			}
-		}
-		if cfg.OnCell != nil {
-			cfg.OnCell(Progress{
-				CellKey:   cell.Key,
-				CellsDone: cellsDone, CellsTotal: len(c.Cells),
-				InstancesDone: instancesDone, InstancesTotal: c.Instances,
-			})
-		}
+		},
+		func(k int, r arena.CellResult) {
+			if completeErr == nil {
+				// Batched submission races ahead of completion, so by the
+				// time a caller cancels (often from OnCell) every cell may
+				// already be in flight. Matching streamed semantics, a
+				// cancelled campaign completes no further cells: in-flight
+				// work drains unreported and resume re-executes it.
+				completeErr = ctx.Err()
+			}
+			if completeErr != nil {
+				return
+			}
+			if err := complete(pending[k], sinks[k]); err != nil {
+				completeErr = err
+				cancel()
+			}
+		})
+	if completeErr != nil {
+		return completeErr
 	}
-	rep := c.buildReport(results)
-	if cfg.Trace != nil {
-		rep.Trace = a.Traces()
-	}
-	return rep, nil
+	return err
 }

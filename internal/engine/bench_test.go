@@ -8,13 +8,47 @@ import (
 	"leanconsensus/internal/trace"
 )
 
+// TestMsgnetPooledAllocs guards the msgnet session pooling win: a pooled
+// session retains the ABD nodes, replica maps, machines, network heap,
+// RNG streams, and the message-payload pool (requests refcounted across
+// their n broadcast deliveries, responses released on receipt), so a warm
+// run allocates almost nothing — measured ~1 per run averaged over seeds,
+// where the unpooled path paid ~2700. The bound leaves room for pool
+// growth when a seed draws an unusually long schedule, nothing more.
+func TestMsgnetPooledAllocs(t *testing.T) {
+	m, err := engine.ByName("msgnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := engine.NewSession()
+	inputs := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	spec := engine.Spec{
+		Key:    "alloc-guard",
+		N:      len(inputs),
+		Inputs: inputs,
+		Noise:  dist.Exponential{MeanVal: 1},
+	}
+	seed := uint64(0)
+	run := func() {
+		seed++
+		spec.Seed = seed
+		if _, err := m.Run(spec, sess); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pools
+	if avg := testing.AllocsPerRun(20, run); avg > 50 {
+		t.Fatalf("pooled msgnet run allocates %.0f times, want <= 50 (pooling regressed?)", avg)
+	}
+}
+
 // BenchmarkEngineSession quantifies the Session's allocation win: the
 // pooled sub-benchmarks reuse one worker session across iterations (the
 // arena's steady state), the fresh ones pay the per-run setup cost.
 // Compare allocs/op between the pairs.
 func BenchmarkEngineSession(b *testing.B) {
 	noise := dist.Exponential{MeanVal: 1}
-	for _, name := range []string{"sched", "hybrid"} {
+	for _, name := range []string{"sched", "hybrid", "msgnet"} {
 		m, err := engine.ByName(name)
 		if err != nil {
 			b.Fatal(err)
@@ -37,6 +71,12 @@ func BenchmarkEngineSession(b *testing.B) {
 		}
 		b.Run(name+"/pooled", func(b *testing.B) { run(b, engine.NewSession()) })
 		b.Run(name+"/fresh", func(b *testing.B) { run(b, nil) })
+		if name == "msgnet" {
+			// The traced dimension below is enough for the cheap models;
+			// msgnet's point here is the pooled-vs-fresh allocation gap
+			// (TestMsgnetPooledAllocs guards it).
+			continue
+		}
 		// The tracing dimension: a pooled session with the flight recorder
 		// armed (reset per instance, as the arena does). The disabled path
 		// above is the 0-allocs baseline this one is compared against.

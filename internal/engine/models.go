@@ -164,8 +164,11 @@ type MsgNet struct{}
 // Name implements Model.
 func (*MsgNet) Name() string { return "msgnet" }
 
-// Run implements Model. The network simulation owns all of its state, so
-// there is nothing for the session to pool yet. MsgNet does not implement
+// Run implements Model. With a session, the run reuses the session's
+// pooled msgnet.Sim — nodes, replica maps, machines, network heap, RNG
+// streams, and reply-payload pool all survive across instances, which is
+// what cuts the model's per-run allocations by an order of magnitude
+// (BenchmarkEngineSession's msgnet pair). MsgNet does not implement
 // Adversarial — the emulated network has no Δ-schedule hook — so a spec
 // naming an adversary is rejected with the typed error here.
 func (m *MsgNet) Run(spec Spec, s *Session) (Result, error) {
@@ -179,12 +182,19 @@ func (m *MsgNet) Run(spec Spec, s *Session) (Result, error) {
 	if s != nil {
 		rec = s.rec
 	}
-	res, err := msgnet.Consensus(msgnet.ConsensusConfig{
+	ccfg := msgnet.ConsensusConfig{
 		Inputs: spec.Inputs,
 		Delay:  spec.Noise,
 		Seed:   spec.Seed,
 		Trace:  rec,
-	})
+	}
+	var res *msgnet.ConsensusResult
+	var err error
+	if s != nil {
+		res, err = s.MsgSim().Run(ccfg)
+	} else {
+		res, err = msgnet.Consensus(ccfg)
+	}
 	if err != nil {
 		// Re-wrap the network's failure classes into the engine's
 		// sentinels so aggregation layers classify msgnet failures like

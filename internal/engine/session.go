@@ -6,6 +6,7 @@ import (
 	"leanconsensus/internal/core"
 	"leanconsensus/internal/hybrid"
 	"leanconsensus/internal/machine"
+	"leanconsensus/internal/msgnet"
 	"leanconsensus/internal/register"
 	"leanconsensus/internal/sched"
 	"leanconsensus/internal/trace"
@@ -32,6 +33,8 @@ type Session struct {
 
 	sched    *sched.Engine
 	schedRes sched.Result
+
+	msgSim *msgnet.Sim
 
 	rec *trace.Recorder
 }
@@ -118,6 +121,17 @@ func (s *Session) hybridAdversary(seed uint64) *hybrid.Random {
 		s.hadv.Rng = rng
 	}
 	return s.hadv
+}
+
+// MsgSim returns the session's pooled message-passing simulator: nodes,
+// replica maps, machines, network heap, RNG streams, and reply-payload
+// pool retained across runs, with results bit-identical to a fresh
+// msgnet.Consensus call.
+func (s *Session) MsgSim() *msgnet.Sim {
+	if s.msgSim == nil {
+		s.msgSim = msgnet.NewSim()
+	}
+	return s.msgSim
 }
 
 // schedEngine returns the session's pooled discrete-event engine, armed

@@ -50,10 +50,13 @@ type stored struct {
 
 // Message payloads.
 
-// queryReq asks a replica for its (value, tag) of register Reg.
+// queryReq asks a replica for its (value, tag) of register Reg. Requests
+// travel as pooled pointers shared by all n deliveries of one broadcast;
+// refs counts deliveries still outstanding (see respPool).
 type queryReq struct {
-	Op  int64 // client's operation sequence number
-	Reg register.ID
+	Op   int64 // client's operation sequence number
+	Reg  register.ID
+	refs int32
 }
 
 // queryResp answers a queryReq.
@@ -63,11 +66,13 @@ type queryResp struct {
 	Cur stored
 }
 
-// updateReq asks a replica to adopt (Val, Tag) for Reg if newer.
+// updateReq asks a replica to adopt (Val, Tag) for Reg if newer. Pooled
+// and refcounted exactly like queryReq.
 type updateReq struct {
-	Op  int64
-	Reg register.ID
-	New stored
+	Op   int64
+	Reg  register.ID
+	New  stored
+	refs int32
 }
 
 // updateResp acknowledges an updateReq.
@@ -110,6 +115,16 @@ type ABDNode struct {
 	ops      int64
 	messages int64
 
+	// out is the node's outgoing-message scratch: every handler builds
+	// its batch here and the network copies the messages into its heap
+	// before the next handler runs, so one buffer per node suffices and
+	// broadcasts allocate nothing in steady state.
+	out []Message
+
+	// pool, when non-nil, recycles reply payloads (see respPool). All
+	// nodes of one simulation share it.
+	pool *respPool
+
 	// Flight recorder (nil when tracing is off). now reads the network's
 	// simulated clock; prevRound tracks the machine's last traced round.
 	rec       *trace.Recorder
@@ -119,12 +134,130 @@ type ABDNode struct {
 
 // NewABDNode builds process id of n running machine m.
 func NewABDNode(id, n int, m machine.Machine) *ABDNode {
-	return &ABDNode{
-		id:       id,
-		n:        n,
-		majority: n/2 + 1,
-		store:    make(map[register.ID]stored),
-		m:        m,
+	a := &ABDNode{}
+	a.Reset(id, n, m)
+	return a
+}
+
+// Reset re-arms the node as process id of n running machine m, keeping
+// the replica map, the outgoing-message scratch, and the payload pool.
+// A reset node behaves bit-identically to a fresh one.
+func (a *ABDNode) Reset(id, n int, m machine.Machine) {
+	a.id, a.n, a.majority = id, n, n/2+1
+	if a.store == nil {
+		a.store = make(map[register.ID]stored)
+	} else {
+		clear(a.store)
+	}
+	a.m = m
+	a.op = machine.Op{}
+	a.started, a.decided, a.failed = false, false, false
+	a.seq = 0
+	a.phase = phaseIdle
+	a.acks = 0
+	a.best = stored{}
+	a.pendingWr = false
+	a.wrVal = 0
+	a.ops, a.messages = 0, 0
+	a.rec, a.now = nil, nil
+	a.prevRound = 0
+}
+
+// respPool recycles the ABD emulation's message payloads — the allocation
+// hot spot: every query/update broadcast is one request box plus one
+// response box per replica, all boxed into Message interface payloads.
+// A response is delivered to exactly one client (or dropped with a
+// crashed receiver), so the receiver returns it here as soon as it has
+// copied the fields it needs. A request box is shared by all n deliveries
+// of its broadcast; its refs field counts deliveries still outstanding and
+// the last receiver returns it. A crash-dropped delivery never decrements,
+// so that box simply falls to the garbage collector — a missed recycle,
+// never a double use. The pool is single-goroutine like the network's
+// event loop itself.
+type respPool struct {
+	q  []*queryResp
+	u  []*updateResp
+	qr []*queryReq
+	ur []*updateReq
+}
+
+// newQueryResp draws a queryResp from the pool (or the heap without one).
+func (a *ABDNode) newQueryResp() *queryResp {
+	if a.pool != nil {
+		if n := len(a.pool.q); n > 0 {
+			r := a.pool.q[n-1]
+			a.pool.q = a.pool.q[:n-1]
+			return r
+		}
+	}
+	return new(queryResp)
+}
+
+// releaseQueryResp returns a delivered queryResp to the pool.
+func (a *ABDNode) releaseQueryResp(r *queryResp) {
+	if a.pool != nil {
+		a.pool.q = append(a.pool.q, r)
+	}
+}
+
+// newUpdateResp draws an updateResp from the pool.
+func (a *ABDNode) newUpdateResp() *updateResp {
+	if a.pool != nil {
+		if n := len(a.pool.u); n > 0 {
+			r := a.pool.u[n-1]
+			a.pool.u = a.pool.u[:n-1]
+			return r
+		}
+	}
+	return new(updateResp)
+}
+
+// releaseUpdateResp returns a delivered updateResp to the pool.
+func (a *ABDNode) releaseUpdateResp(r *updateResp) {
+	if a.pool != nil {
+		a.pool.u = append(a.pool.u, r)
+	}
+}
+
+// newQueryReq draws a queryReq from the pool; the caller sets refs.
+func (a *ABDNode) newQueryReq() *queryReq {
+	if a.pool != nil {
+		if n := len(a.pool.qr); n > 0 {
+			r := a.pool.qr[n-1]
+			a.pool.qr = a.pool.qr[:n-1]
+			return r
+		}
+	}
+	return new(queryReq)
+}
+
+// releaseQueryReq records one delivery of a broadcast queryReq and pools
+// the box when the last outstanding delivery lands.
+func (a *ABDNode) releaseQueryReq(r *queryReq) {
+	r.refs--
+	if r.refs == 0 && a.pool != nil {
+		a.pool.qr = append(a.pool.qr, r)
+	}
+}
+
+// newUpdateReq draws an updateReq from the pool; the caller sets refs.
+func (a *ABDNode) newUpdateReq() *updateReq {
+	if a.pool != nil {
+		if n := len(a.pool.ur); n > 0 {
+			r := a.pool.ur[n-1]
+			a.pool.ur = a.pool.ur[:n-1]
+			return r
+		}
+	}
+	return new(updateReq)
+}
+
+// releaseUpdateReq records one delivery of a broadcast updateReq and
+// pools the box when the last outstanding delivery lands.
+func (a *ABDNode) releaseUpdateReq(r *updateReq) {
+	r.refs--
+	if r.refs == 0 && a.pool != nil {
+		a.pool.ur = append(a.pool.ur, r)
 	}
 }
 
@@ -177,42 +310,62 @@ func (a *ABDNode) beginOp() []Message {
 	a.best = stored{Tag: tag{TS: -1}}
 	a.pendingWr = a.op.Kind == register.OpWrite
 	a.wrVal = a.op.Val
-	return a.broadcast(queryReq{Op: a.seq, Reg: a.op.Reg})
+	req := a.newQueryReq()
+	req.Op, req.Reg, req.refs = a.seq, a.op.Reg, int32(a.n)
+	return a.broadcast(req)
 }
 
 // broadcast sends payload to every process, including self (the loopback
 // message also goes through the network so that replica state transitions
-// are uniformly message-driven).
+// are uniformly message-driven). The batch lives in the node's scratch
+// buffer; the network consumes it before the next handler call.
 func (a *ABDNode) broadcast(payload any) []Message {
-	out := make([]Message, 0, a.n)
+	out := a.out[:0]
 	for to := 0; to < a.n; to++ {
 		out = append(out, Message{To: to, Payload: payload})
 	}
+	a.out = out
 	a.messages += int64(a.n)
 	return out
 }
 
-// Receive implements Node.
+// reply sends one payload back to process to, through the scratch buffer.
+func (a *ABDNode) reply(to int, payload any) []Message {
+	a.out = append(a.out[:0], Message{To: to, Payload: payload})
+	a.messages++
+	return a.out
+}
+
+// Receive implements Node. Every payload travels as a pooled pointer and
+// is released by its receiver the moment the fields are copied out:
+// responses are delivered exactly once, so the recycle is safe by
+// construction; request boxes are shared by all n deliveries of one
+// broadcast and refcounted, so the last replica to answer returns them.
 func (a *ABDNode) Receive(msg Message) []Message {
 	switch p := msg.Payload.(type) {
-	case queryReq:
-		cur := a.store[p.Reg]
-		a.messages++
-		return []Message{{To: msg.From, Payload: queryResp{Op: p.Op, Reg: p.Reg, Cur: cur}}}
+	case *queryReq:
+		resp := a.newQueryResp()
+		resp.Op, resp.Reg, resp.Cur = p.Op, p.Reg, a.store[p.Reg]
+		a.releaseQueryReq(p)
+		return a.reply(msg.From, resp)
 
-	case updateReq:
+	case *updateReq:
 		if cur, ok := a.store[p.Reg]; !ok || cur.Tag.less(p.New.Tag) {
 			a.store[p.Reg] = p.New
 		}
-		a.messages++
-		return []Message{{To: msg.From, Payload: updateResp{Op: p.Op}}}
+		resp := a.newUpdateResp()
+		resp.Op = p.Op
+		a.releaseUpdateReq(p)
+		return a.reply(msg.From, resp)
 
-	case queryResp:
-		if a.phase != phaseQuery || p.Op != a.seq || a.Done() {
+	case *queryResp:
+		op, cur := p.Op, p.Cur
+		a.releaseQueryResp(p)
+		if a.phase != phaseQuery || op != a.seq || a.Done() {
 			return nil // stale
 		}
-		if a.best.Tag.less(p.Cur.Tag) {
-			a.best = p.Cur
+		if a.best.Tag.less(cur.Tag) {
+			a.best = cur
 		}
 		a.acks++
 		if a.acks < a.majority {
@@ -228,10 +381,14 @@ func (a *ABDNode) Receive(msg Message) []Message {
 			next = a.best // read write-back
 		}
 		a.best = next
-		return a.broadcast(updateReq{Op: a.seq, Reg: a.op.Reg, New: next})
+		req := a.newUpdateReq()
+		req.Op, req.Reg, req.New, req.refs = a.seq, a.op.Reg, next, int32(a.n)
+		return a.broadcast(req)
 
-	case updateResp:
-		if a.phase != phaseUpdate || p.Op != a.seq || a.Done() {
+	case *updateResp:
+		op := p.Op
+		a.releaseUpdateResp(p)
+		if a.phase != phaseUpdate || op != a.seq || a.Done() {
 			return nil // stale
 		}
 		a.acks++

@@ -64,7 +64,36 @@ var (
 )
 
 // Consensus runs one lean-consensus instance over the emulated registers.
+// It is the one-shot form of Sim.Run; callers running many instances
+// (the engine's pooled sessions) reuse a Sim instead.
 func Consensus(cfg ConsensusConfig) (*ConsensusResult, error) {
+	return NewSim().Run(cfg)
+}
+
+// Sim is a reusable message-passing consensus runner: the pooled
+// analogue of engine.Session for this model. One Sim retains the nodes,
+// their replica maps, the lean machines, the network (event heap + RNG
+// streams), the reply-payload pool, and the result buffer across runs,
+// so steady-state reruns allocate only per-broadcast payload boxes and
+// whatever the map implementation churns. Every pooled structure resets
+// to exactly its freshly-constructed state, so a Sim's results are
+// bit-identical to Consensus. A Sim is not safe for concurrent use.
+type Sim struct {
+	nodes []Node
+	abds  []*ABDNode
+	leans []core.Lean
+	pool  respPool
+	net   Network
+	res   ConsensusResult
+	crash map[int]float64
+}
+
+// NewSim returns an empty simulator; buffers materialize on first use.
+func NewSim() *Sim { return &Sim{} }
+
+// Run executes one consensus instance. The returned result is owned by
+// the Sim and valid until the next Run.
+func (s *Sim) Run(cfg ConsensusConfig) (*ConsensusResult, error) {
 	n := len(cfg.Inputs)
 	if n == 0 {
 		return nil, fmt.Errorf("msgnet: need at least one process")
@@ -87,49 +116,71 @@ func Consensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		layout = register.Layout{N: n, BackupRounds: backupRounds}
 	}
 
-	crashAt := make(map[int]float64, len(cfg.Crash))
+	if s.crash == nil {
+		s.crash = make(map[int]float64, len(cfg.Crash))
+	} else {
+		clear(s.crash)
+	}
 	for _, c := range cfg.Crash {
 		if c < 0 || c >= n {
 			return nil, fmt.Errorf("msgnet: crash id %d out of range", c)
 		}
-		crashAt[c] = 0
+		s.crash[c] = 0
 	}
 
-	nodes := make([]Node, n)
-	abds := make([]*ABDNode, n)
+	if cap(s.nodes) < n {
+		s.nodes = make([]Node, n)
+	}
+	s.nodes = s.nodes[:n]
+	if cfg.RMax == 0 {
+		// Plain lean-consensus machines come from the session-style pool;
+		// the combined protocol keeps per-run construction (its RNG state
+		// is cheap next to its backup-register budget).
+		if cap(s.leans) < n {
+			s.leans = make([]core.Lean, n)
+		}
+		s.leans = s.leans[:n]
+	}
 	for i := 0; i < n; i++ {
 		var m machine.Machine
 		if cfg.RMax > 0 {
 			m = core.NewCombined(layout, i, n, cfg.Inputs[i], cfg.RMax,
 				xrand.Mix(cfg.Seed, 0x6d636f, uint64(i)))
 		} else {
-			m = core.NewLean(layout, cfg.Inputs[i])
+			s.leans[i].Reset(layout, cfg.Inputs[i])
+			m = &s.leans[i]
 		}
-		a := NewABDNode(i, n, m)
+		if i < len(s.abds) {
+			s.abds[i].Reset(i, n, m)
+		} else {
+			s.abds = append(s.abds, NewABDNode(i, n, m))
+		}
+		a := s.abds[i]
+		a.pool = &s.pool
 		// The algorithm's read-only prefix a_b[0] = 1 becomes preloaded
 		// replica state (tag zero, older than every real write).
 		a.Preload(layout.A(0, 0), 1)
 		a.Preload(layout.A(1, 0), 1)
-		abds[i] = a
-		nodes[i] = a
+		s.nodes[i] = a
 	}
 
-	net, err := NewNetwork(Config{
-		Nodes:       nodes,
+	if err := s.net.Reset(Config{
+		Nodes:       s.nodes,
 		Delay:       cfg.Delay,
 		LinkDelay:   cfg.LinkDelay,
-		CrashAt:     crashAt,
+		CrashAt:     s.crash,
 		Seed:        cfg.Seed,
 		MaxMessages: cfg.MaxMessages,
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
+	net := &s.net
 	if cfg.Trace != nil {
 		// The nodes and the network live in one package, so the recorder
 		// borrows the event loop's clock directly; appends happen in the
 		// network's deterministic delivery order.
-		for _, a := range abds {
+		for i := 0; i < n; i++ {
+			a := s.abds[i]
 			a.rec = cfg.Trace
 			a.now = func() float64 { return net.now }
 		}
@@ -139,16 +190,21 @@ func Consensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		return nil, err
 	}
 
-	out := &ConsensusResult{
+	if cap(s.res.Decisions) < n {
+		s.res.Decisions = make([]int, n)
+	}
+	s.res = ConsensusResult{
 		Value:     -1,
-		Decisions: make([]int, n),
+		Decisions: s.res.Decisions[:n],
 		Time:      netRes.Time,
 	}
-	for i, a := range abds {
+	out := &s.res
+	for i := 0; i < n; i++ {
+		a := s.abds[i]
 		out.Decisions[i] = -1
 		out.RegisterOps += a.Ops()
 		out.Messages += a.Messages()
-		if _, crashed := crashAt[i]; crashed {
+		if _, crashed := s.crash[i]; crashed {
 			continue
 		}
 		if a.Failed() {

@@ -130,10 +130,14 @@ func (h *netHeap) pop() event {
 	return top
 }
 
-// Network runs a message-passing simulation.
+// Network runs a message-passing simulation. A Network is reusable:
+// Reset re-arms it for a new configuration while keeping the event heap
+// and per-process RNG streams pooled, so steady-state reruns (the
+// engine's session path) allocate nothing here.
 type Network struct {
 	cfg   Config
 	heap  netHeap
+	srcs  []*xrand.Source
 	rngs  []*rand.Rand
 	seq   int64
 	now   float64
@@ -145,18 +149,38 @@ var ErrBadConfig = errors.New("msgnet: invalid config")
 
 // NewNetwork validates the configuration.
 func NewNetwork(cfg Config) (*Network, error) {
-	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("%w: need nodes", ErrBadConfig)
-	}
-	if cfg.Delay == nil {
-		return nil, fmt.Errorf("%w: Delay distribution required", ErrBadConfig)
-	}
-	n := &Network{cfg: cfg}
-	n.rngs = make([]*rand.Rand, len(cfg.Nodes))
-	for i := range n.rngs {
-		n.rngs[i] = xrand.New(cfg.Seed, 0x6d736e, uint64(i))
+	n := &Network{}
+	if err := n.Reset(cfg); err != nil {
+		return nil, err
 	}
 	return n, nil
+}
+
+// Reset validates cfg and re-arms the network for a fresh run. The RNG
+// streams are reseeded to exactly what NewNetwork would create, so a
+// reset network replays bit-identically to a fresh one.
+func (n *Network) Reset(cfg Config) error {
+	if len(cfg.Nodes) == 0 {
+		return fmt.Errorf("%w: need nodes", ErrBadConfig)
+	}
+	if cfg.Delay == nil {
+		return fmt.Errorf("%w: Delay distribution required", ErrBadConfig)
+	}
+	n.cfg = cfg
+	n.heap = n.heap[:0]
+	n.seq = 0
+	n.now = 0
+	n.stats = Result{}
+	for i := 0; i < len(cfg.Nodes); i++ {
+		if i < len(n.srcs) {
+			n.srcs[i].Reset(cfg.Seed, 0x6d736e, uint64(i))
+		} else {
+			src := xrand.NewSource(cfg.Seed, 0x6d736e, uint64(i))
+			n.srcs = append(n.srcs, src)
+			n.rngs = append(n.rngs, rand.New(src))
+		}
+	}
+	return nil
 }
 
 // crashed reports whether process i has crashed by time t.

@@ -137,9 +137,13 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runCampaign executes one admitted campaign. It owns the campaign's
-// queued-instance reservation: each executed repetition returns its unit
-// to the admission gate, and whatever an aborted campaign never ran is
-// returned in one piece at the end.
+// queued-instance reservation: each completed cell returns its
+// repetitions to the admission gate in one delta, and whatever an
+// aborted campaign never ran is returned in one piece at the end.
+// Accounting is deliberately cell-grained — a per-instance hook would
+// force the runner onto the streamed path, and admission only ever
+// compares the queued gauge against the high-water mark, so cell-sized
+// returns cost nothing but a little granularity.
 func (s *Server) runCampaign(cr *campaignRun) {
 	defer s.wg.Done()
 	s.sem <- struct{}{}
@@ -151,23 +155,22 @@ func (s *Server) runCampaign(cr *campaignRun) {
 
 	// Campaigns are never cancelled server-side: Close drains, exactly
 	// like jobs.
-	remaining := cr.camp.Instances
+	returned := int64(0)
 	rep, err := cr.camp.Run(context.Background(), campaign.Config{
 		Shards:  s.cfg.Shards,
 		Workers: s.cfg.Workers,
 		Metrics: s.campMetrics,
-		OnInstance: func() {
-			// Serial with respect to itself (the runner folds results on
-			// one goroutine), concurrent with admission CAS loops.
-			s.queued.Add(-1)
-			remaining--
-			cr.instancesDone.Add(1)
-		},
 		OnCell: func(p campaign.Progress) {
+			// Serial with respect to itself (the runner delivers cell
+			// completions on one goroutine), concurrent with admission CAS
+			// loops.
+			s.queued.Add(-(p.InstancesDone - returned))
+			returned = p.InstancesDone
 			cr.cellsDone.Store(int64(p.CellsDone))
+			cr.instancesDone.Store(p.InstancesDone)
 		},
 	})
-	s.queued.Add(-remaining)
+	s.queued.Add(-(cr.camp.Instances - returned))
 	if err != nil {
 		cr.errMu.Lock()
 		cr.err = err
