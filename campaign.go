@@ -2,6 +2,7 @@ package leanconsensus
 
 import (
 	"context"
+	"time"
 
 	"leanconsensus/internal/campaign"
 )
@@ -49,6 +50,10 @@ type CampaignProgress struct {
 	// count repetitions.
 	CellsDone, CellsTotal         int
 	InstancesDone, InstancesTotal int64
+	// CellLatency is the completed cell's wall-clock execution time (0
+	// for the restored-from-checkpoint notification) — the only
+	// nondeterministic field, for throughput and ETA displays.
+	CellLatency time.Duration
 }
 
 // CampaignCell is one completed grid cell's statistics. Every field is

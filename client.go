@@ -137,14 +137,57 @@ type AdversaryParam struct {
 }
 
 // Health is the service's liveness report. Version and Revision identify
-// the build the service is running.
+// the build the service is running; QueueDepth counts jobs plus
+// campaigns admitted but still waiting for an execution slot, and
+// Goroutines and GCPauseP99Ms are process-level runtime vitals.
 type Health struct {
-	Status          string `json:"status"`
-	Version         string `json:"version"`
-	Revision        string `json:"revision"`
-	QueuedInstances int64  `json:"queuedInstances"`
-	Jobs            int    `json:"jobs"`
-	Campaigns       int    `json:"campaigns"`
+	Status          string  `json:"status"`
+	Version         string  `json:"version"`
+	Revision        string  `json:"revision"`
+	QueuedInstances int64   `json:"queuedInstances"`
+	Jobs            int     `json:"jobs"`
+	Campaigns       int     `json:"campaigns"`
+	QueueDepth      int     `json:"queueDepth"`
+	Goroutines      int     `json:"goroutines"`
+	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
+}
+
+// Event is one operations-journal entry, mirroring the server's
+// internal/obslog wire shape. Kind is a wire-stable name: job.admit,
+// job.start, job.done, job.shed, campaign.start, campaign.cell.done,
+// campaign.checkpoint, campaign.resume, campaign.done, arena.drain, or
+// server.request. ID is the correlation ID of the entity the event is
+// about (job/campaign ID, cell key); Parent chains it to its owner —
+// a campaign's cells carry the campaign ID here — so a campaign's full
+// lifecycle tree reconstructs from the event stream alone.
+type Event struct {
+	Seq    uint64      `json:"seq"`
+	TS     int64       `json:"ts"` // Unix nanoseconds
+	Kind   string      `json:"kind"`
+	ID     string      `json:"id,omitempty"`
+	Parent string      `json:"parent,omitempty"`
+	Labels EventLabels `json:"labels"`
+}
+
+// EventLabels carries an event's workload axes (model × dist ×
+// adversary × n, the paper's experiment coordinates) and kind-specific
+// Count/Detail payload.
+type EventLabels struct {
+	Model     string `json:"model,omitempty"`
+	Dist      string `json:"dist,omitempty"`
+	Adversary string `json:"adversary,omitempty"`
+	N         int    `json:"n,omitempty"`
+	Count     int64  `json:"count,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// EventPage is one journal replay window: events with Seq > the
+// requested position, oldest first, and the position to poll from next.
+// A gap between the requested position and Events[0].Seq means the
+// server's ring wrapped past this reader.
+type EventPage struct {
+	Events []Event `json:"events"`
+	Next   uint64  `json:"next"`
 }
 
 // TraceEvent is one flight-recorder event, mirroring the server's
@@ -614,6 +657,44 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 		return nil, err
 	}
 	return &h, nil
+}
+
+// Events replays the service's operations journal from position since
+// (0 replays the whole retained window). Pollers loop on the returned
+// Next: page, err := c.Events(ctx, page.Next). The journal is a fixed
+// ring, so a poller that falls behind a full wrap sees a sequence gap
+// rather than the overwritten events.
+func (c *Client) Events(ctx context.Context, since uint64) (*EventPage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/events?since="+strconv.FormatUint(since, 10), nil)
+	if err != nil {
+		return nil, err
+	}
+	var page EventPage
+	if err := c.do(req, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// StreamEvents subscribes to the journal firehose (SSE), calling fn for
+// every event from the moment of subscription until ctx is cancelled,
+// which is the normal way to end the stream (the returned error is then
+// ctx's error). The server never buffers for a slow consumer: fall a
+// full ring behind and the skipped events surface as a Seq gap.
+func (c *Client) StreamEvents(ctx context.Context, fn func(Event)) error {
+	err := c.streamEvents(ctx, "/v1/events", func(event string, data []byte) (bool, error) {
+		var e Event
+		if err := json.Unmarshal(data, &e); err != nil {
+			return false, err
+		}
+		fn(e)
+		return false, nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
 }
 
 // Metrics fetches the Prometheus text exposition.

@@ -153,14 +153,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.Trace = &arena.TraceConfig{PerShard: *traceK}
 	}
 	if !*quiet {
+		// Pace accounting rides on the campaign's own cell-latency feed:
+		// cells run sequentially through one arena, so the mean observed
+		// cell latency times the remaining cells is the ETA, and the
+		// latency sum (not wall time, which includes resume skips and
+		// checkpoint writes) is the cells/sec denominator.
+		var latencySum time.Duration
+		var timed int
 		cfg.OnCell = func(p campaign.Progress) {
 			if p.CellKey == "" {
 				fmt.Fprintf(os.Stderr, "leansweep: resumed %d/%d cells from checkpoint\n",
 					p.CellsDone, p.CellsTotal)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "leansweep: cell %d/%d done (%s; instances %d/%d)\n",
-				p.CellsDone, p.CellsTotal, p.CellKey, p.InstancesDone, p.InstancesTotal)
+			latencySum += p.CellLatency
+			timed++
+			pace := ""
+			if latencySum > 0 {
+				rate := float64(timed) / latencySum.Seconds()
+				eta := time.Duration(float64(p.CellsTotal-p.CellsDone) / rate * float64(time.Second))
+				pace = fmt.Sprintf("; %.1f cells/s, eta %v", rate, eta.Round(100*time.Millisecond))
+			}
+			fmt.Fprintf(os.Stderr, "leansweep: cell %d/%d done (%s; instances %d/%d%s)\n",
+				p.CellsDone, p.CellsTotal, p.CellKey, p.InstancesDone, p.InstancesTotal, pace)
 		}
 	}
 

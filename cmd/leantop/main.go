@@ -1,0 +1,275 @@
+// Command leantop is a live operations view over a running leanserve
+// service: a top-like terminal screen assembled purely from the
+// service's public observability surface — /healthz vitals, the
+// /v1/events operations journal, and the per-axis decision counters on
+// /metrics. It needs no access to the server process; anything leantop
+// shows, any dashboard can show.
+//
+// Usage:
+//
+//	leantop [-url http://127.0.0.1:8080] [-interval 1s]
+//	        [-events 12] [-once] [-version]
+//
+// Each frame shows the service vitals (queue depth, goroutines, GC
+// pause p99), per-axis throughput — decisions per second for every
+// model × dist × adversary combination the service has executed,
+// computed by differencing leanconsensus_decisions_total between polls
+// — and the tail of the operations journal with correlation IDs.
+//
+// -once renders a single frame without touching the terminal (no
+// cursor addressing, no clearing) and exits; it is the non-TTY mode
+// used by scripts and the CI smoke test. The first frame of a live
+// session has no previous counter sample, so rates appear as "-" until
+// the second poll.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"leanconsensus"
+	"leanconsensus/internal/cli"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "leantop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("leantop", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "leanserve base URL")
+	interval := fs.Duration("interval", time.Second, "poll interval between frames")
+	tail := fs.Int("events", 12, "journal-tail lines per frame")
+	once := fs.Bool("once", false, "render one frame without clearing the screen, then exit (non-TTY mode)")
+	version := fs.Bool("version", false, "print build information, then exit")
+	if done, err := cli.Parse(fs, args); done {
+		return err
+	}
+	if *version {
+		cli.PrintVersion(stdout, "leantop")
+		return nil
+	}
+	if *tail < 0 {
+		return fmt.Errorf("-events must be non-negative, got %d", *tail)
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %v", *interval)
+	}
+
+	v := &view{client: leanconsensus.NewClient(*url), tail: *tail}
+	if *once {
+		return v.frame(ctx, stdout, false)
+	}
+	for {
+		if err := v.frame(ctx, stdout, true); err != nil {
+			// ^C mid-poll surfaces as a cancelled HTTP request; that is
+			// the normal way a live session ends, not a failure.
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// view accumulates the state a frame-to-frame diff needs: the journal
+// replay position, the retained event tail, and the previous counter
+// sample with its timestamp (rates are deltas over wall time).
+type view struct {
+	client *leanconsensus.Client
+	tail   int
+
+	pos    uint64 // next /v1/events?since= position
+	gap    bool   // the ring wrapped past us since the last frame
+	events []leanconsensus.Event
+
+	prev     map[string]float64 // axis key -> decisions_total at last sample
+	prevAt   time.Time
+	firstSeq uint64 // seq of the oldest retained event, for gap detection
+}
+
+// frame polls the service once and renders one screen. clear selects
+// live-terminal behaviour (home the cursor and erase below); -once
+// passes false so output is plain lines.
+func (v *view) frame(ctx context.Context, w io.Writer, clear bool) error {
+	h, err := v.client.Health(ctx)
+	if err != nil {
+		return err
+	}
+	page, err := v.client.Events(ctx, v.pos)
+	if err != nil {
+		return err
+	}
+	if len(page.Events) > 0 && v.pos != 0 && page.Events[0].Seq != v.pos+1 {
+		v.gap = true // ring wrapped: events between pos and Events[0] are gone
+	}
+	v.events = append(v.events, page.Events...)
+	if over := len(v.events) - v.tail; over > 0 {
+		v.events = append(v.events[:0], v.events[over:]...)
+	}
+	v.pos = page.Next
+
+	text, err := v.client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	cur := decisionTotals(text)
+	rates := map[string]float64{}
+	if v.prev != nil {
+		dt := now.Sub(v.prevAt).Seconds()
+		if dt > 0 {
+			for k, val := range cur {
+				rates[k] = (val - v.prev[k]) / dt
+			}
+		}
+	}
+
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(&b, "leantop — %s  [%s %s @ %s]\n", v.client.BaseURL, h.Status, h.Version, h.Revision)
+	fmt.Fprintf(&b, "queue depth %d   queued instances %d   jobs %d   campaigns %d   goroutines %d   gc pause p99 %.3fms\n\n",
+		h.QueueDepth, h.QueuedInstances, h.Jobs, h.Campaigns, h.Goroutines, h.GCPauseP99Ms)
+
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "%-52s %14s %12s\n", "AXIS (model × dist × adversary)", "DECISIONS", "RATE/S")
+	if len(keys) == 0 {
+		b.WriteString("  (no decisions yet)\n")
+	}
+	for _, k := range keys {
+		rate := "-"
+		if v.prev != nil {
+			rate = fmt.Sprintf("%.1f", rates[k])
+		}
+		fmt.Fprintf(&b, "%-52s %14.0f %12s\n", k, cur[k], rate)
+	}
+
+	fmt.Fprintf(&b, "\nJOURNAL (last %d of seq ≤ %d", len(v.events), v.pos)
+	if v.gap {
+		b.WriteString(", ring wrapped — some events missed")
+	}
+	b.WriteString(")\n")
+	for _, e := range v.events {
+		fmt.Fprintf(&b, "  %s\n", formatEvent(e))
+	}
+	v.prev, v.prevAt = cur, now
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// formatEvent renders one journal entry as a single line: timestamp,
+// kind, correlation chain, and whichever labels the event carries.
+func formatEvent(e leanconsensus.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %-22s", time.Unix(0, e.TS).Format("15:04:05.000"), e.Kind)
+	if e.ID != "" {
+		b.WriteString(" " + e.ID)
+	}
+	if e.Parent != "" {
+		b.WriteString(" ⤶ " + e.Parent)
+	}
+	l := e.Labels
+	if l.Model != "" || l.Dist != "" || l.Adversary != "" {
+		fmt.Fprintf(&b, "  [%s/%s/%s n=%d]", l.Model, l.Dist, l.Adversary, l.N)
+	}
+	if l.Count != 0 {
+		fmt.Fprintf(&b, "  count=%d", l.Count)
+	}
+	if l.Detail != "" {
+		fmt.Fprintf(&b, "  %s", l.Detail)
+	}
+	return b.String()
+}
+
+// decisionTotals extracts per-axis decided-instance totals from the
+// Prometheus text exposition, keyed "model/dist/adversary": the two
+// value series of leanconsensus_decisions_total (the job path) plus
+// the axis-labeled leanconsensus_campaign_instances_total series (the
+// campaign path — every repetition decides). Unlabeled aggregate
+// series are skipped so the axis table never grows a "//" row.
+func decisionTotals(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		var rest string
+		var ok bool
+		if rest, ok = strings.CutPrefix(line, "leanconsensus_decisions_total{"); !ok {
+			if rest, ok = strings.CutPrefix(line, "leanconsensus_campaign_instances_total{"); !ok {
+				continue
+			}
+		}
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest[end+2:]), 64)
+		if err != nil {
+			continue
+		}
+		labels := parseLabels(rest[:end])
+		if labels["model"] == "" {
+			continue
+		}
+		key := labels["model"] + "/" + labels["dist"] + "/" + labels["adversary"]
+		out[key] += val
+	}
+	return out
+}
+
+// parseLabels parses a Prometheus label body `k="v",k="v"`. Values in
+// this codebase are %q-quoted registry names, so strconv.Unquote
+// handles every escape the exposition can produce.
+func parseLabels(s string) map[string]string {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			break
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			break
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		if val, err := strconv.Unquote(s[:end+1]); err == nil {
+			out[key] = val
+		}
+		s = strings.TrimPrefix(s[end+1:], ",")
+	}
+	return out
+}

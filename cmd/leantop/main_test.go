@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"leanconsensus"
+	"leanconsensus/internal/cli"
+	"leanconsensus/internal/server"
+)
+
+// startService boots a real in-process leanserve and returns its base
+// URL and typed client.
+func startService(t *testing.T) (string, *leanconsensus.Client) {
+	t.Helper()
+	srv, err := server.New(server.Config{Shards: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL, leanconsensus.NewClient(ts.URL)
+}
+
+// TestRunOnce drives the non-TTY mode end to end: run a real job, then
+// render one frame and check it carries all three panels — health
+// vitals, the job's axis with its decision count, and the journal tail
+// with the job's correlation ID.
+func TestRunOnce(t *testing.T) {
+	url, client := startService(t)
+	ctx := context.Background()
+
+	id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{
+		Model: "sched", Dist: "exponential", Adversary: "zero", Instances: 200, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-url", url, "-once"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "\x1b[") {
+		t.Errorf("-once emitted terminal escapes:\n%s", got)
+	}
+	for _, want := range []string{
+		"leantop — " + url,
+		"queue depth",
+		"goroutines",
+		"sched/exponential/zero",
+		"job.admit",
+		"job.done",
+		id,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+	// One frame has no previous counter sample: the rate column is "-".
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "sched/exponential/zero") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
+			t.Errorf("first frame shows a rate: %q", line)
+		}
+	}
+	if !strings.Contains(got, "200") {
+		t.Errorf("frame missing the 200 decisions:\n%s", got)
+	}
+}
+
+// TestRunLive lets the polling loop render at least two frames and
+// stops it by context; the second frame must show a numeric rate.
+func TestRunLive(t *testing.T) {
+	url, client := startService(t)
+	ctx := context.Background()
+
+	id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{Model: "sched", Instances: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+	defer cancel()
+	var out bytes.Buffer
+	if err := run(runCtx, []string{"-url", url, "-once=false", "-interval", "50ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if n := strings.Count(got, "leantop — "); n < 2 {
+		t.Fatalf("live mode rendered %d frames, want >= 2:\n%s", n, got)
+	}
+	if !strings.Contains(got, "\x1b[H\x1b[2J") {
+		t.Error("live mode never cleared the screen")
+	}
+	// An idle service between frames: the axis rate on later frames is a
+	// number (0.0), not the no-sample dash.
+	frames := strings.Split(got, "leantop — ")
+	last := frames[len(frames)-1]
+	if !strings.Contains(last, "0.0") {
+		t.Errorf("later frame missing a numeric rate:\n%s", last)
+	}
+}
+
+func TestDecisionTotals(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP leanconsensus_decisions_total decided instances`,
+		`leanconsensus_decisions_total{model="sched",dist="exponential",adversary="zero",value="0"} 40`,
+		`leanconsensus_decisions_total{model="sched",dist="exponential",adversary="zero",value="1"} 60`,
+		`leanconsensus_decisions_total{model="msched",dist="uniform",adversary="antileader:m=2",value="0"} 7`,
+		`leanconsensus_campaign_instances_total{model="sched",dist="uniform",adversary="zero"} 50`,
+		`leanconsensus_campaign_instances_total 1000`,
+		`leanconsensus_other_total{model="sched"} 999`,
+		`garbage`,
+	}, "\n")
+	got := decisionTotals(text)
+	want := map[string]float64{
+		"sched/exponential/zero":        100,
+		"sched/uniform/zero":            50,
+		"msched/uniform/antileader:m=2": 7,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("decisionTotals = %v, want %v", got, want)
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	got := parseLabels(`model="sched",dist="exponential",adversary="antileader:m=2"`)
+	want := map[string]string{"model": "sched", "dist": "exponential", "adversary": "antileader:m=2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseLabels = %v, want %v", got, want)
+	}
+}
+
+func TestFormatEvent(t *testing.T) {
+	line := formatEvent(leanconsensus.Event{
+		Seq: 3, TS: time.Date(2026, 1, 2, 3, 4, 5, 0, time.Local).UnixNano(),
+		Kind: "campaign.cell.done", ID: "model=sched,...", Parent: "c-000001",
+		Labels: leanconsensus.EventLabels{Model: "sched", Dist: "uniform", Adversary: "zero", N: 4, Count: 25},
+	})
+	for _, want := range []string{"campaign.cell.done", "⤶ c-000001", "sched/uniform/zero n=4", "count=25"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("formatEvent missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "leantop ") {
+		t.Errorf("-version output %q", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &out); !errors.Is(err, cli.ErrUsage) {
+		t.Errorf("bad flag returned %v, want ErrUsage", err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-events", "-1"}, &out); err == nil {
+		t.Error("negative -events accepted")
+	}
+	if err := run(context.Background(), []string{"-interval", "0s"}, &out); err == nil {
+		t.Error("zero -interval accepted")
+	}
+}
+
+// TestRunUnreachable: a dead endpoint is an error, not a hang.
+func TestRunUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-url", "http://127.0.0.1:1", "-once"}, &out); err == nil {
+		t.Error("unreachable service accepted")
+	}
+}

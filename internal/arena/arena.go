@@ -31,6 +31,7 @@ import (
 
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/obslog"
 	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
@@ -91,6 +92,15 @@ type Config struct {
 	// PerShard most interesting captures (see TraceConfig). Read them
 	// with Traces. Nil tracing costs nothing on the serving path.
 	Trace *TraceConfig
+	// Journal, when non-nil, receives the arena's lifecycle events —
+	// currently one arena.drain on Close, chained to Owner. The journal
+	// is deliberately kept off the serving path: per-instance telemetry
+	// belongs to Metrics stripes, and journaling a coarse drain event
+	// costs nothing per request.
+	Journal *obslog.Journal
+	// Owner is the correlation ID the arena's journal events chain to
+	// (the job or campaign the arena serves; "" for a standalone arena).
+	Owner string
 }
 
 // Result reports one served consensus instance.
@@ -531,7 +541,8 @@ func (a *Arena) Stats() Stats {
 // idempotent.
 func (a *Arena) Close() error {
 	a.mu.Lock()
-	if !a.closed {
+	first := !a.closed
+	if first {
 		a.closed = true
 		for _, s := range a.shards {
 			close(s.reqs)
@@ -541,6 +552,12 @@ func (a *Arena) Close() error {
 	// Every caller waits for the drain, so a concurrent second Close
 	// also returns only once all in-flight instances have completed.
 	a.wg.Wait()
+	if first {
+		// Journaled once, after the drain: Count is the final proposal
+		// total, so the event doubles as the arena's closing line item.
+		a.cfg.Journal.Append(obslog.KindArenaDrain, "", a.cfg.Owner,
+			obslog.Labels{Count: a.Stats().Totals.Proposals})
+	}
 	return nil
 }
 

@@ -39,10 +39,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"leanconsensus/internal/arena"
 	"leanconsensus/internal/dist"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/obslog"
 	"leanconsensus/internal/stats"
 	"leanconsensus/internal/xrand"
 )
@@ -405,6 +407,23 @@ type Config struct {
 	// from a checkpoint were traced, if at all, by the run that executed
 	// them.
 	Trace *arena.TraceConfig
+	// Journal, when non-nil, receives the campaign's lifecycle events —
+	// campaign.cell.done per completed cell (carrying the cell's full
+	// workload axes), campaign.checkpoint per manifest write,
+	// campaign.resume on checkpoint restore, and the private arena's
+	// arena.drain — all chained to Correlation. Journal content never
+	// feeds reports, checkpoints, or resume decisions, so journaled runs
+	// stay byte-identical to silent ones.
+	Journal *obslog.Journal
+	// Correlation is the ID the campaign's journal events chain to (the
+	// server's campaign ID; "" for an uncorrelated run, e.g. leansweep).
+	Correlation string
+	// AxisMetrics, when non-nil, additionally attributes each completed
+	// cell to its workload axes: one Metrics bundle per
+	// model × dist × adversary combination, resolved lazily on the
+	// cell-completion cold path (see NewAxisMetrics). Independent of
+	// Metrics, which stays the unlabeled campaign-wide rollup.
+	AxisMetrics *AxisMetrics
 }
 
 // Progress is a campaign's position, delivered to Config.OnCell.
@@ -416,6 +435,11 @@ type Progress struct {
 	// InstancesTotal count repetitions.
 	CellsDone, CellsTotal         int
 	InstancesDone, InstancesTotal int64
+	// CellLatency is the just-completed cell's wall-clock execution time
+	// (0 for the restored-checkpoint notification). It is the only
+	// nondeterministic Progress field; consumers use it for throughput
+	// and ETA displays, never for anything that feeds a report.
+	CellLatency time.Duration
 }
 
 // Run resolves the spec and executes the campaign; see Campaign.Run.
@@ -480,14 +504,21 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 			instancesDone += cs.Reps
 		}
 	}
-	if cfg.OnCell != nil && cellsDone > 0 {
-		cfg.OnCell(Progress{
-			CellsDone: cellsDone, CellsTotal: len(c.Cells),
-			InstancesDone: instancesDone, InstancesTotal: c.Instances,
-		})
+	if cellsDone > 0 {
+		cfg.Journal.Append(obslog.KindResume, cfg.Correlation, "",
+			obslog.Labels{Count: int64(cellsDone), Detail: cfg.Checkpoint})
+		if cfg.OnCell != nil {
+			cfg.OnCell(Progress{
+				CellsDone: cellsDone, CellsTotal: len(c.Cells),
+				InstancesDone: instancesDone, InstancesTotal: c.Instances,
+			})
+		}
 	}
 
-	a, err := arena.New(arena.Config{Shards: cfg.Shards, Workers: cfg.Workers, Trace: cfg.Trace})
+	a, err := arena.New(arena.Config{
+		Shards: cfg.Shards, Workers: cfg.Workers, Trace: cfg.Trace,
+		Journal: cfg.Journal, Owner: cfg.Correlation,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -496,24 +527,37 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 	// complete folds one executed cell into the campaign state: the
 	// shared tail of both execution paths, called in grid order either
 	// way, so manifests and callbacks are indistinguishable across modes.
-	complete := func(i int, cs *CellStats) error {
+	// latency is the cell's wall-clock execution time — observability
+	// only; nothing deterministic depends on it.
+	complete := func(i int, cs *CellStats, latency time.Duration) error {
 		results[i] = cs
 		cellsDone++
 		instancesDone += cs.Reps
 		done[c.Cells[i].Key] = cs
+		job := &c.Cells[i].Job
 		if cfg.Metrics != nil {
-			cfg.Metrics.record(cs)
+			cfg.Metrics.record(cs, latency)
 		}
+		if cfg.AxisMetrics != nil {
+			cfg.AxisMetrics.For(job.ModelName, job.DistName, job.AdvName).record(cs, latency)
+		}
+		cfg.Journal.Append(obslog.KindCellDone, c.Cells[i].Key, cfg.Correlation, obslog.Labels{
+			Model: job.ModelName, Dist: job.DistName, Adversary: job.AdvName,
+			N: job.N, Count: cs.Reps,
+		})
 		if cfg.Checkpoint != "" {
 			if err := saveManifest(cfg.Checkpoint, c, results); err != nil {
 				return err
 			}
+			cfg.Journal.Append(obslog.KindCheckpoint, cfg.Correlation, "",
+				obslog.Labels{Count: int64(cellsDone), Detail: cfg.Checkpoint})
 		}
 		if cfg.OnCell != nil {
 			cfg.OnCell(Progress{
 				CellKey:   c.Cells[i].Key,
 				CellsDone: cellsDone, CellsTotal: len(c.Cells),
 				InstancesDone: instancesDone, InstancesTotal: c.Instances,
+				CellLatency: latency,
 			})
 		}
 		return nil
@@ -536,7 +580,7 @@ func (c *Campaign) Run(ctx context.Context, cfg Config) (*Report, error) {
 // runStreamed executes every pending cell one repetition at a time
 // through arena.RunSpecs — the per-instance path, kept for workloads
 // that need per-repetition observation (OnInstance, tracing).
-func (c *Campaign) runStreamed(ctx context.Context, cfg Config, a *arena.Arena, results []*CellStats, complete func(int, *CellStats) error) error {
+func (c *Campaign) runStreamed(ctx context.Context, cfg Config, a *arena.Arena, results []*CellStats, complete func(int, *CellStats, time.Duration) error) error {
 	for i := range c.Cells {
 		if results[i] != nil {
 			continue
@@ -544,6 +588,7 @@ func (c *Campaign) runStreamed(ctx context.Context, cfg Config, a *arena.Arena, 
 		cell := &c.Cells[i]
 		job := cell.Job
 		cs := &CellStats{}
+		start := time.Now()
 		err := a.RunSpecs(ctx, job.Instances,
 			func(rep int) arena.SpecRequest {
 				return arena.SpecRequest{
@@ -566,7 +611,7 @@ func (c *Campaign) runStreamed(ctx context.Context, cfg Config, a *arena.Arena, 
 		if err != nil {
 			return err
 		}
-		if err := complete(i, cs); err != nil {
+		if err := complete(i, cs, time.Since(start)); err != nil {
 			return err
 		}
 	}
@@ -581,7 +626,7 @@ func (c *Campaign) runStreamed(ctx context.Context, cfg Config, a *arena.Arena, 
 // and OnCell fire exactly as the streamed path fires them — same order,
 // same bytes. A worker folds repetitions in repetition order, so every
 // aggregate is bit-identical to the streamed fold.
-func (c *Campaign) runBatched(ctx context.Context, a *arena.Arena, results []*CellStats, complete func(int, *CellStats) error) error {
+func (c *Campaign) runBatched(ctx context.Context, a *arena.Arena, results []*CellStats, complete func(int, *CellStats, time.Duration) error) error {
 	var pending []int
 	for i := range c.Cells {
 		if results[i] == nil {
@@ -628,7 +673,7 @@ func (c *Campaign) runBatched(ctx context.Context, a *arena.Arena, results []*Ce
 			if completeErr != nil {
 				return
 			}
-			if err := complete(pending[k], sinks[k]); err != nil {
+			if err := complete(pending[k], sinks[k], r.Latency); err != nil {
 				completeErr = err
 				cancel()
 			}

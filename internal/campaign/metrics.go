@@ -1,6 +1,9 @@
 package campaign
 
 import (
+	"sync"
+	"time"
+
 	"leanconsensus/internal/metrics"
 )
 
@@ -12,6 +15,7 @@ const (
 	MetricViolations  = "leanconsensus_campaign_violations_total"
 	MetricCellRounds  = "leanconsensus_campaign_cell_mean_rounds"
 	MetricCellOpsProc = "leanconsensus_campaign_cell_ops_per_proc"
+	MetricCellLatency = "leanconsensus_campaign_cell_latency_seconds"
 )
 
 // RoundBuckets is the bucket layout for per-cell mean first-decision
@@ -43,6 +47,10 @@ type Metrics struct {
 	// first-decision round and mean per-process operation count.
 	CellRounds     *metrics.Histogram
 	CellOpsPerProc *metrics.Histogram
+	// CellLatency observes each completed cell's wall-clock execution
+	// time in seconds — the one nondeterministic series, feeding
+	// throughput/ETA views, never reports.
+	CellLatency *metrics.Histogram
 }
 
 // NewMetrics registers (or re-resolves) the campaign metric families in
@@ -59,11 +67,13 @@ func NewMetrics(reg *metrics.Registry, kv ...string) *Metrics {
 		Violations:     reg.Counter(MetricViolations+l(), "agreement/validity violations observed by campaigns"),
 		CellRounds:     reg.Histogram(MetricCellRounds+l(), "per-cell mean first-decision round", RoundBuckets),
 		CellOpsPerProc: reg.Histogram(MetricCellOpsProc+l(), "per-cell mean operations per process", OpsPerProcBuckets),
+		CellLatency:    reg.Histogram(MetricCellLatency+l(), "wall-clock cell execution time in seconds", nil),
 	}
 }
 
-// record folds one completed cell into the bundle.
-func (m *Metrics) record(cs *CellStats) {
+// record folds one completed cell into the bundle; latency is the cell's
+// wall-clock execution time.
+func (m *Metrics) record(cs *CellStats, latency time.Duration) {
 	m.Cells.Inc()
 	m.Instances.Add(cs.Reps)
 	m.Errors.Add(cs.Errors)
@@ -72,4 +82,49 @@ func (m *Metrics) record(cs *CellStats) {
 		m.CellRounds.Observe(cs.Rounds.Mean())
 		m.CellOpsPerProc.Observe(cs.OpsPerProc.Mean())
 	}
+	m.CellLatency.Observe(float64(latency) / float64(time.Second))
+}
+
+// axisKey identifies one workload-axis combination — the paper's
+// experiment coordinates, minus the purely numeric n and seed axes
+// (those stay visible per cell in the journal, where cardinality is
+// bounded by the ring, not by the metric namespace).
+type axisKey struct {
+	model, dist, adversary string
+}
+
+// AxisMetrics lazily resolves one campaign Metrics bundle per
+// model × dist × adversary combination, all in one registry under one
+// base label set plus the axis labels. Resolution happens on the
+// cell-completion cold path (once per cell, with a per-axis cache), so
+// per-axis attribution costs the hot path nothing.
+type AxisMetrics struct {
+	reg  *metrics.Registry
+	base []string
+
+	mu      sync.Mutex
+	bundles map[axisKey]*Metrics
+}
+
+// NewAxisMetrics returns an axis-resolving bundle cache over reg; kv is
+// the base label set every axis bundle shares.
+func NewAxisMetrics(reg *metrics.Registry, kv ...string) *AxisMetrics {
+	return &AxisMetrics{reg: reg, base: kv, bundles: make(map[axisKey]*Metrics)}
+}
+
+// For returns the bundle for one axis combination, registering its
+// series on first use. Campaigns sharing the AxisMetrics share series,
+// exactly like NewMetrics.
+func (am *AxisMetrics) For(model, dist, adversary string) *Metrics {
+	k := axisKey{model, dist, adversary}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if m, ok := am.bundles[k]; ok {
+		return m
+	}
+	kv := append(append([]string{}, am.base...),
+		"model", model, "dist", dist, "adversary", adversary)
+	m := NewMetrics(am.reg, kv...)
+	am.bundles[k] = m
+	return m
 }

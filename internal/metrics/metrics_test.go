@@ -269,3 +269,46 @@ func BenchmarkHistogramStripeObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestHistogramQuantileSingleBucket pins the degenerate one-bound
+// layout: every rank below the bound interpolates inside [0, bound],
+// and the implicit overflow bucket still reports the (only) finite
+// bound rather than inventing a larger number.
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{2})
+	for i := 1; i <= 4; i++ {
+		h.Observe(0.5) // all mass in the single finite bucket
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %g, want 1 (rank 2 of 4 interpolated in [0, 2])", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %g, want the bucket bound 2", got)
+	}
+	h.Observe(100) // overflow of a single-bucket histogram
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("overflow Quantile(1) = %g, want the only finite bound 2", got)
+	}
+}
+
+// TestHistogramQuantileAllOverflow pins the saturated case: when every
+// observation outruns the largest finite bound, every quantile reports
+// that bound — a deliberate, monotone underestimate — and Count and Sum
+// still see the real observations.
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for i := 0; i < 10; i++ {
+		h.Observe(1e6)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5 {
+			t.Fatalf("all-overflow Quantile(%g) = %g, want 5 (largest finite bound)", q, got)
+		}
+	}
+	if c := h.Count(); c != 10 {
+		t.Fatalf("Count = %d, want 10", c)
+	}
+	if s := h.Sum(); s != 1e7 {
+		t.Fatalf("Sum = %g, want 1e7", s)
+	}
+}

@@ -1,0 +1,248 @@
+package obslog
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// still pins a deterministic clock so tests can assert on timestamps.
+func still(j *Journal) { j.now = func() int64 { return 42 } }
+
+func TestAppendAssignsSeqAndTS(t *testing.T) {
+	j := New(8)
+	still(j)
+	j.Append(KindJobAdmit, "j-000001", "", Labels{Model: "sched", Count: 10})
+	j.Append(KindJobStart, "j-000001", "", Labels{})
+	if got := j.Seq(); got != 2 {
+		t.Fatalf("Seq = %d, want 2", got)
+	}
+	evs, next := j.Since(0, nil)
+	if len(evs) != 2 || next != 2 {
+		t.Fatalf("Since(0) = %d events, next %d; want 2, 2", len(evs), next)
+	}
+	if evs[0].Seq != 1 || evs[0].Kind != KindJobAdmit || evs[0].ID != "j-000001" ||
+		evs[0].TS != 42 || evs[0].Labels.Model != "sched" || evs[0].Labels.Count != 10 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Seq != 2 || evs[1].Kind != KindJobStart {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	j.Append(KindJobAdmit, "x", "", Labels{}) // must not panic
+	if j.Seq() != 0 || j.Cap() != 0 {
+		t.Fatalf("nil journal Seq/Cap = %d/%d, want 0/0", j.Seq(), j.Cap())
+	}
+	evs, next := j.Since(7, nil)
+	if evs != nil || next != 7 {
+		t.Fatalf("nil Since = %v, %d; want nil, 7", evs, next)
+	}
+}
+
+func TestSinceReplaysFromPosition(t *testing.T) {
+	j := New(16)
+	still(j)
+	for i := 0; i < 5; i++ {
+		j.Append(KindCellDone, "cell", "c-000001", Labels{Count: int64(i)})
+	}
+	evs, next := j.Since(3, nil)
+	if len(evs) != 2 || next != 5 {
+		t.Fatalf("Since(3) = %d events, next %d; want 2, 5", len(evs), next)
+	}
+	if evs[0].Seq != 4 || evs[1].Seq != 5 {
+		t.Fatalf("Since(3) seqs = %d,%d; want 4,5", evs[0].Seq, evs[1].Seq)
+	}
+	// At the tip there is nothing new and the position is unchanged.
+	evs, next = j.Since(5, evs[:0])
+	if len(evs) != 0 || next != 5 {
+		t.Fatalf("Since(5) = %d events, next %d; want 0, 5", len(evs), next)
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	j := New(4)
+	still(j)
+	for i := 1; i <= 10; i++ {
+		j.Append(KindServerRequest, "", "", Labels{Count: int64(i)})
+	}
+	// Only the newest 4 survive; a reader at position 0 sees the gap.
+	evs, next := j.Since(0, nil)
+	if len(evs) != 4 || next != 10 {
+		t.Fatalf("Since(0) after wrap = %d events, next %d; want 4, 10", len(evs), next)
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	// A reader inside the surviving window resumes cleanly.
+	evs, _ = j.Since(8, nil)
+	if len(evs) != 2 || evs[0].Seq != 9 {
+		t.Fatalf("Since(8) = %+v, want seqs 9,10", evs)
+	}
+}
+
+func TestSubscribeWakesAndCoalesces(t *testing.T) {
+	j := New(8)
+	still(j)
+	sub := j.Subscribe()
+	defer sub.Unsubscribe()
+	// A burst of appends coalesces into at least one pending token.
+	for i := 0; i < 5; i++ {
+		j.Append(KindJobAdmit, "j", "", Labels{})
+	}
+	select {
+	case <-sub.C():
+	case <-time.After(time.Second):
+		t.Fatal("no wake-up token after appends")
+	}
+	// The subscriber drains everything with one Since regardless of how
+	// many tokens coalesced.
+	evs, next := j.Since(0, nil)
+	if len(evs) != 5 || next != 5 {
+		t.Fatalf("drain = %d events, next %d; want 5, 5", len(evs), next)
+	}
+}
+
+func TestUnsubscribeStopsWakeups(t *testing.T) {
+	j := New(8)
+	still(j)
+	sub := j.Subscribe()
+	sub.Unsubscribe()
+	j.Append(KindJobAdmit, "j", "", Labels{})
+	select {
+	case <-sub.C():
+		t.Fatal("token delivered after Unsubscribe")
+	default:
+	}
+}
+
+// TestSlowSubscriberNeverBlocksAppend is the journal-level half of the
+// slow-reader guarantee: a subscriber that never reads costs producers
+// nothing, because wake-ups are non-blocking sends into a 1-slot channel.
+func TestSlowSubscriberNeverBlocksAppend(t *testing.T) {
+	j := New(8)
+	still(j)
+	sub := j.Subscribe() // never read
+	defer sub.Unsubscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			j.Append(KindCellDone, "cell", "c-1", Labels{})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked behind an unread subscriber")
+	}
+	if j.Seq() != 10_000 {
+		t.Fatalf("Seq = %d, want 10000", j.Seq())
+	}
+}
+
+func TestConcurrentAppendersAssignDistinctSeqs(t *testing.T) {
+	j := New(1 << 14)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append(KindServerRequest, "", "", Labels{})
+			}
+		}()
+	}
+	wg.Wait()
+	evs, next := j.Since(0, nil)
+	if next != goroutines*per || len(evs) != goroutines*per {
+		t.Fatalf("got %d events, next %d; want %d", len(evs), next, goroutines*per)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d: sequence not dense", i, e.Seq)
+		}
+	}
+}
+
+func TestKindWireNames(t *testing.T) {
+	// The wire names are a stable protocol surface: every kind has one,
+	// and they round-trip through JSON.
+	for k := Kind(1); k < kindMax; k++ {
+		name := k.String()
+		if name == "" || name[0] == 'k' { // would be "kind(N)" fallback
+			t.Fatalf("kind %d has no wire name", k)
+		}
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("kind %v round-tripped to %v", k, back)
+		}
+	}
+	var bad Kind
+	if err := json.Unmarshal([]byte(`"no.such.kind"`), &bad); err == nil {
+		t.Fatal("unknown wire name unmarshalled without error")
+	}
+}
+
+func TestEventJSONShape(t *testing.T) {
+	e := Event{
+		Seq: 3, TS: 99, Kind: KindCellDone,
+		ID: "model=sched,dist=exponential,adv=zero,n=8,seed=1", Parent: "c-000001",
+		Labels: Labels{Model: "sched", Dist: "exponential", Adversary: "zero", N: 8, Count: 50},
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatalf("event round-trip mismatch:\n got %+v\nwant %+v", back, e)
+	}
+}
+
+// BenchmarkJournalAppend pins acceptance criterion 3: an armed journal
+// append allocates nothing.
+func BenchmarkJournalAppend(b *testing.B) {
+	j := New(4096)
+	labels := Labels{Model: "sched", Dist: "exponential", Adversary: "zero", N: 8, Count: 50}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Append(KindCellDone, "cell-key", "c-000001", labels)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		j.Append(KindCellDone, "cell-key", "c-000001", labels)
+	}); allocs != 0 {
+		b.Fatalf("armed Append allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkJournalAppendSubscribed shows the armed+subscribed path is
+// also allocation-free: wake-ups are non-blocking channel sends.
+func BenchmarkJournalAppendSubscribed(b *testing.B) {
+	j := New(4096)
+	sub := j.Subscribe()
+	defer sub.Unsubscribe()
+	labels := Labels{Model: "sched", Dist: "exponential", Adversary: "zero", N: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Append(KindCellDone, "cell-key", "c-000001", labels)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"leanconsensus/internal/campaign"
+	"leanconsensus/internal/obslog"
 )
 
 // CampaignStatus is the GET /v1/campaigns/{id} body and the campaign SSE
@@ -97,6 +98,8 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if cur, ok := s.reserve(camp.Instances); !ok {
 		s.mCampRejected.Inc()
+		s.journal.Append(obslog.KindJobShed, "", "",
+			obslog.Labels{Count: camp.Instances, Detail: "campaign"})
 		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
 		writeError(w, http.StatusTooManyRequests,
 			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
@@ -125,6 +128,8 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.mCampAccepted.Inc()
+	s.journal.Append(obslog.KindCampaignStart, cr.id, "",
+		obslog.Labels{Count: camp.Instances, Detail: camp.Spec.Name})
 	go s.runCampaign(cr)
 
 	w.Header().Set("Location", "/v1/campaigns/"+cr.id)
@@ -157,9 +162,12 @@ func (s *Server) runCampaign(cr *campaignRun) {
 	// like jobs.
 	returned := int64(0)
 	rep, err := cr.camp.Run(context.Background(), campaign.Config{
-		Shards:  s.cfg.Shards,
-		Workers: s.cfg.Workers,
-		Metrics: s.campMetrics,
+		Shards:      s.cfg.Shards,
+		Workers:     s.cfg.Workers,
+		Metrics:     s.campMetrics,
+		AxisMetrics: s.campAxes,
+		Journal:     s.journal,
+		Correlation: cr.id,
 		OnCell: func(p campaign.Progress) {
 			// Serial with respect to itself (the runner delivers cell
 			// completions on one goroutine), concurrent with admission CAS
@@ -171,12 +179,14 @@ func (s *Server) runCampaign(cr *campaignRun) {
 		},
 	})
 	s.queued.Add(-(cr.camp.Instances - returned))
+	outcome := "ok"
 	if err != nil {
 		cr.errMu.Lock()
 		cr.err = err
 		cr.errMu.Unlock()
 		cr.state.Store(int32(stateFailed))
 		s.mCampFailed.Inc()
+		outcome = err.Error()
 	} else {
 		cr.repMu.Lock()
 		cr.report = rep
@@ -184,6 +194,7 @@ func (s *Server) runCampaign(cr *campaignRun) {
 		cr.state.Store(int32(stateDone))
 		s.mCampCompleted.Inc()
 	}
+	s.journal.Append(obslog.KindCampaignDone, cr.id, "", obslog.Labels{Detail: outcome})
 	close(cr.done)
 }
 

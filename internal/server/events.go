@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"leanconsensus/internal/obslog"
+)
+
+// eventsResponse is the GET /v1/events?since=N body: every journal event
+// with sequence number > N still held by the ring, oldest first, plus
+// the position to poll from next. A gap between N and the first event's
+// seq means the ring wrapped past the reader — the flight-recorder
+// contract (recent window, never blocked producers).
+type eventsResponse struct {
+	Events []obslog.Event `json:"events"`
+	Next   uint64         `json:"next"`
+}
+
+// handleEvents serves the operations journal two ways:
+//
+//   - GET /v1/events?since=N — one-shot JSON replay from position N
+//     (N=0 replays the whole retained window). Pollers (cmd/leantop)
+//     loop on the returned next.
+//   - GET /v1/events — an SSE firehose: one "journal" event per journal
+//     entry, starting at the current tip, until the client goes away.
+//
+// The firehose can never block the workers that emit events: the
+// subscription carries wake-up tokens only, and this handler pulls from
+// the ring at its own pace. A reader slower than a full ring wrap skips
+// the overwritten events (visible as a seq gap) instead of exerting
+// backpressure — TestEventsStreamSlowReader pins that down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		since, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "server: bad since %q: %v", raw, err)
+			return
+		}
+		events, next := s.journal.Since(since, nil)
+		if events == nil {
+			events = []obslog.Event{}
+		}
+		writeJSON(w, http.StatusOK, eventsResponse{Events: events, Next: next})
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "server: response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := s.journal.Subscribe()
+	defer sub.Unsubscribe()
+	pos := s.journal.Seq() // firehose semantics: from now on
+	var buf []obslog.Event
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.C():
+		}
+		buf, pos = s.journal.Since(pos, buf[:0])
+		for i := range buf {
+			data, err := json.Marshal(&buf[i])
+			if err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("event: journal\ndata: ")); err != nil {
+				return
+			}
+			if _, err := w.Write(data); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return
+			}
+		}
+		if len(buf) > 0 {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"leanconsensus"
+	"leanconsensus/internal/campaign"
+	"leanconsensus/internal/obslog"
+	"leanconsensus/internal/server"
+)
+
+// fetchEvents replays the journal window from position since via
+// GET /v1/events?since=N.
+func fetchEvents(t *testing.T, base string, since uint64) ([]obslog.Event, uint64) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/events?since=%d", base, since))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/events?since=%d: %s", since, resp.Status)
+	}
+	var body struct {
+		Events []obslog.Event `json:"events"`
+		Next   uint64         `json:"next"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Events, body.Next
+}
+
+// TestEventsReplay drives one job through the server and checks its full
+// lifecycle is reconstructible from the ring replay endpoint: admission,
+// start, completion, and the arena's drain chained to the job ID.
+func TestEventsReplay(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+	ctx := context.Background()
+
+	id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{
+		Dist: "uniform", N: 4, Instances: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	base := client.BaseURL
+	events, next := fetchEvents(t, base, 0)
+	if len(events) == 0 || next == 0 {
+		t.Fatal("no events after a completed job")
+	}
+	var last uint64
+	kinds := map[obslog.Kind]obslog.Event{}
+	for _, e := range events {
+		if e.Seq <= last {
+			t.Fatalf("events out of order: seq %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+		kinds[e.Kind] = e
+	}
+	if last != next {
+		t.Fatalf("next = %d, last seq = %d", next, last)
+	}
+	admit, ok := kinds[obslog.KindJobAdmit]
+	if !ok || admit.ID != id {
+		t.Fatalf("job.admit = %+v, want ID %s", admit, id)
+	}
+	if admit.Labels.Count != 50 || admit.Labels.Dist != "uniform" || admit.Labels.N != 4 {
+		t.Fatalf("job.admit labels = %+v, want count 50 dist uniform n 4", admit.Labels)
+	}
+	if e, ok := kinds[obslog.KindJobStart]; !ok || e.ID != id {
+		t.Fatalf("job.start = %+v, want ID %s", e, id)
+	}
+	done, ok := kinds[obslog.KindJobDone]
+	if !ok || done.ID != id || done.Labels.Detail != "ok" {
+		t.Fatalf("job.done = %+v, want ID %s detail ok", done, id)
+	}
+	drain, ok := kinds[obslog.KindArenaDrain]
+	if !ok || drain.Parent != id || drain.Labels.Count != 50 {
+		t.Fatalf("arena.drain = %+v, want parent %s count 50", drain, id)
+	}
+
+	// Incremental polling from the tip sees nothing new; journaled state
+	// agrees with the server's own journal.
+	if more, n2 := fetchEvents(t, base, next); len(more) != 0 || n2 != next {
+		t.Fatalf("replay from tip returned %d events, next %d (want 0, %d)", len(more), n2, next)
+	}
+	if srv.Journal().Seq() != next {
+		t.Fatalf("journal seq %d != replay next %d", srv.Journal().Seq(), next)
+	}
+
+	// A malformed position is a client error.
+	resp, err := http.Get(base + "/v1/events?since=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("since=bogus: got %s, want 400", resp.Status)
+	}
+}
+
+// TestEventsFirehose subscribes to the SSE stream, then runs a job, and
+// expects the job's lifecycle to arrive as journal events in order.
+func TestEventsFirehose(t *testing.T) {
+	_, client := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, "GET", client.BaseURL+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("firehose content type = %q", ct)
+	}
+
+	id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{N: 2, Instances: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The firehose starts at the subscription tip, so every lifecycle
+	// event of the job submitted above must flow through.
+	var got []obslog.Event
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var e obslog.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", data, err)
+		}
+		got = append(got, e)
+		if e.Kind == obslog.KindJobDone {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var sawAdmit, sawStart, sawDrain bool
+	for _, e := range got {
+		switch e.Kind {
+		case obslog.KindJobAdmit:
+			sawAdmit = e.ID == id
+		case obslog.KindJobStart:
+			sawStart = e.ID == id
+		case obslog.KindArenaDrain:
+			sawDrain = e.Parent == id
+		}
+	}
+	if !sawAdmit || !sawStart || !sawDrain {
+		t.Fatalf("firehose missed lifecycle events: admit=%v start=%v drain=%v (%d events)",
+			sawAdmit, sawStart, sawDrain, len(got))
+	}
+}
+
+// TestEventsStreamSlowReader pins the slow-consumer guarantee end to
+// end: a firehose client that never reads its socket must not block the
+// workers emitting events — jobs keep completing, and the journal keeps
+// advancing past the stalled reader.
+func TestEventsStreamSlowReader(t *testing.T) {
+	srv, err := server.New(server.Config{Shards: 2, Workers: 1, JournalCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	client := leanconsensus.NewClient(ts.URL)
+
+	// A raw connection that sends the firehose request and then goes
+	// silent: the handler's writes will eventually fill the kernel
+	// buffers and block — but only that handler goroutine.
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /v1/events HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", u.Host)
+	// Give the handler time to subscribe so the stall is real.
+	time.Sleep(50 * time.Millisecond)
+
+	// Many small jobs: far more events than the 64-slot ring holds, so
+	// the stalled reader is lapped, not waited for.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	before := srv.Journal().Seq()
+	for i := 0; i < 30; i++ {
+		id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{N: 2, Instances: 5, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := client.WaitJob(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status != "done" {
+			t.Fatalf("job %s finished %q with a stalled events reader", id, st.Status)
+		}
+	}
+	after := srv.Journal().Seq()
+	if delta := after - before; delta < 90 {
+		t.Fatalf("journal advanced only %d events across 30 jobs", delta)
+	}
+	// The ring replay still serves fresh readers the retained window.
+	events, _ := fetchEvents(t, ts.URL, 0)
+	if len(events) == 0 {
+		t.Fatal("replay empty despite completed jobs")
+	}
+}
+
+// TestEventsCampaignLifecycleTree is the tentpole's e2e acceptance
+// test: submit a campaign spanning three workload axes (dist ×
+// adversary × n), then reconstruct its complete lifecycle tree from
+// GET /v1/events alone — campaign.start at the root, one
+// campaign.cell.done per grid cell chained to the campaign's
+// correlation ID and carrying that cell's full axes, the arena drain,
+// and the terminal campaign.done.
+func TestEventsCampaignLifecycleTree(t *testing.T) {
+	_, client := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	spec := leanconsensus.CampaignSpec{
+		Name:        "tree",
+		Dists:       []string{"exponential", "uniform"},
+		Adversaries: []string{"zero", "antileader:m=2"},
+		Ns:          []int{2, 4},
+		Reps:        5,
+	}
+	cid, err := client.SubmitCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitCampaign(ctx, cid); err != nil {
+		t.Fatal(err)
+	}
+
+	// The expected grid, resolved exactly as the server resolves it.
+	camp, err := campaign.Spec{
+		Name:        spec.Name,
+		Dists:       spec.Dists,
+		Adversaries: spec.Adversaries,
+		Ns:          spec.Ns,
+		Reps:        spec.Reps,
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruction input: the event stream, nothing else.
+	page, err := client.Events(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the tree: roots keyed by ID, children keyed by Parent.
+	children := map[string][]leanconsensus.Event{}
+	var start, done *leanconsensus.Event
+	for i, e := range page.Events {
+		switch e.Kind {
+		case "campaign.start":
+			if e.ID == cid {
+				start = &page.Events[i]
+			}
+		case "campaign.done":
+			if e.ID == cid {
+				done = &page.Events[i]
+			}
+		}
+		if e.Parent != "" {
+			children[e.Parent] = append(children[e.Parent], e)
+		}
+	}
+	if start == nil || start.Labels.Count != camp.Instances {
+		t.Fatalf("campaign.start = %+v, want ID %s count %d", start, cid, camp.Instances)
+	}
+	if start.Labels.Detail != "tree" {
+		t.Fatalf("campaign.start detail = %q, want spec name", start.Labels.Detail)
+	}
+	if done == nil || done.Labels.Detail != "ok" {
+		t.Fatalf("campaign.done = %+v, want ID %s detail ok", done, cid)
+	}
+
+	// Every cell of the 2×2×2 grid appears exactly once under the
+	// campaign's correlation ID, with its own axes as labels.
+	wantCells := map[string]int{}
+	for i, c := range camp.Cells {
+		wantCells[c.Key] = i
+	}
+	var drains int
+	seen := map[string]bool{}
+	for _, e := range children[cid] {
+		switch e.Kind {
+		case "campaign.cell.done":
+			i, ok := wantCells[e.ID]
+			if !ok {
+				t.Fatalf("cell.done for unknown cell %q", e.ID)
+			}
+			if seen[e.ID] {
+				t.Fatalf("cell %q journaled twice", e.ID)
+			}
+			seen[e.ID] = true
+			job := camp.Cells[i].Job
+			l := e.Labels
+			if l.Model != job.ModelName || l.Dist != job.DistName || l.Adversary != job.AdvName ||
+				l.N != job.N || l.Count != int64(job.Instances) {
+				t.Fatalf("cell %q labels = %+v, want its job axes", e.ID, l)
+			}
+		case "arena.drain":
+			drains++
+			if e.Labels.Count != camp.Instances {
+				t.Fatalf("arena.drain count = %d, want %d", e.Labels.Count, camp.Instances)
+			}
+		default:
+			t.Fatalf("unexpected child kind %q under %s", e.Kind, cid)
+		}
+	}
+	if len(seen) != len(camp.Cells) {
+		t.Fatalf("reconstructed %d cells, want %d", len(seen), len(camp.Cells))
+	}
+	if drains != 1 {
+		t.Fatalf("campaign has %d arena.drain children, want 1", drains)
+	}
+	// Lifecycle ordering within the correlation: start before every
+	// cell, every cell before done.
+	for _, e := range children[cid] {
+		if e.Seq <= start.Seq || e.Seq >= done.Seq {
+			t.Fatalf("child %s/%s (seq %d) outside [start %d, done %d]",
+				e.Kind, e.ID, e.Seq, start.Seq, done.Seq)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"leanconsensus/internal/arena"
 	"leanconsensus/internal/engine"
+	"leanconsensus/internal/obslog"
 	"leanconsensus/internal/trace"
 	"leanconsensus/internal/xrand"
 )
@@ -138,23 +139,27 @@ func (s *Server) runJob(j *job) {
 	j.state.Store(int32(stateRunning))
 	s.mRunning.Inc()
 	defer s.mRunning.Dec()
+	s.journal.Append(obslog.KindJobStart, j.id, "", obslog.Labels{})
 
 	var failed error
 	for _, sr := range j.specs {
-		if err := s.runSpec(sr); err != nil && failed == nil {
+		if err := s.runSpec(j.id, sr); err != nil && failed == nil {
 			failed = err
 		}
 	}
+	outcome := "ok"
 	if failed != nil {
 		j.errMu.Lock()
 		j.err = failed
 		j.errMu.Unlock()
 		j.state.Store(int32(stateFailed))
 		s.mFailed.Inc()
+		outcome = failed.Error()
 	} else {
 		j.state.Store(int32(stateDone))
 		s.mCompleted.Inc()
 	}
+	s.journal.Append(obslog.KindJobDone, j.id, "", obslog.Labels{Detail: outcome})
 	close(j.done)
 }
 
@@ -162,9 +167,9 @@ func (s *Server) runJob(j *job) {
 // its SpecResult. The workload derivation — keys "key-%08d", proposal
 // bits from the seed's "load" stream — matches cmd/leanarena exactly, so
 // a job replays byte-identically against the CLI's deterministic report.
-func (s *Server) runSpec(sr *specRun) error {
+func (s *Server) runSpec(jobID string, sr *specRun) error {
 	jb := sr.job
-	am := arena.NewMetrics(s.reg, "model", jb.ModelName, "dist", jb.DistName)
+	am := arena.NewMetrics(s.reg, "model", jb.ModelName, "dist", jb.DistName, "adversary", jb.AdvName)
 	var tc *arena.TraceConfig
 	if sr.traceK > 0 {
 		tc = &arena.TraceConfig{PerShard: sr.traceK}
@@ -179,6 +184,8 @@ func (s *Server) runSpec(sr *specRun) error {
 		Adversary: jb.Adversary,
 		Seed:      jb.Seed,
 		Metrics:   am,
+		Journal:   s.journal,
+		Owner:     jobID,
 		OnServe: func(r arena.Result) {
 			if r.Shard >= 0 && r.Shard < len(sr.perShard) {
 				sr.perShard[r.Shard].Add(1)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"leanconsensus/internal/campaign"
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/metrics"
+	"leanconsensus/internal/obslog"
 )
 
 // Defaults applied by New.
@@ -72,6 +74,14 @@ type Config struct {
 	// creates one when nil. Expose it at /metrics or share it across
 	// subsystems.
 	Registry *metrics.Registry
+	// Journal receives the service's lifecycle events and backs
+	// GET /v1/events; New creates one with JournalCapacity (or the obslog
+	// default) when nil. Pass an existing journal to share one event
+	// stream across subsystems.
+	Journal *obslog.Journal
+	// JournalCapacity sizes the journal's event ring when New creates it
+	// (default obslog.DefaultCapacity). Ignored when Journal is set.
+	JournalCapacity int
 }
 
 // Server is the HTTP consensus service. Create one with New, mount
@@ -106,6 +116,9 @@ type Server struct {
 	mCampFailed    *metrics.Counter
 	mCampRunning   *metrics.Gauge
 	campMetrics    *campaign.Metrics
+	campAxes       *campaign.AxisMetrics
+
+	journal *obslog.Journal
 }
 
 // New validates the configuration, applies defaults, registers the
@@ -159,9 +172,18 @@ func New(cfg Config) (*Server, error) {
 	s.mCampFailed = s.reg.Counter(campaignsTotal+metrics.Labels("event", "failed"), "campaigns by lifecycle event")
 	s.mCampRunning = s.reg.Gauge("leanconsensus_campaigns_running", "campaigns currently executing")
 	s.campMetrics = campaign.NewMetrics(s.reg)
+	s.campAxes = campaign.NewAxisMetrics(s.reg)
 	s.reg.GaugeFunc("leanconsensus_queued_instances",
 		"instances admitted but not yet finished (the admission-control queue depth)",
 		s.queued.Load)
+	bi := buildinfo.Read()
+	s.reg.Gauge("leanconsensus_build_info"+metrics.Labels("version", bi.Version, "revision", bi.Revision),
+		"constant 1; the labels identify the running build").Set(1)
+
+	s.journal = cfg.Journal
+	if s.journal == nil {
+		s.journal = obslog.New(cfg.JournalCapacity)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -173,13 +195,52 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/adversaries", s.handleAdversaries)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the routes wrapped so
+// every served request journals one server.request event on completion.
+// Observability reads — /v1/events itself, /metrics, /healthz — are
+// exempt, or a polling leantop would fill the ring with its own
+// footprints.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/events", "/metrics", "/healthz":
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.journal.Append(obslog.KindServerRequest, "", "",
+			obslog.Labels{Count: int64(sw.status), Detail: r.Method + " " + r.URL.Path})
+	})
+}
+
+// statusWriter captures the response status for the request journal.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards streaming flushes so SSE keeps working through the
+// journaling wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Journal returns the server's event journal.
+func (s *Server) Journal() *obslog.Journal { return s.journal }
 
 // Registry returns the metrics registry the server records into.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -232,6 +293,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if cur, ok := s.reserve(total); !ok {
 		s.mRejected.Inc()
+		s.journal.Append(obslog.KindJobShed, "", "", obslog.Labels{Count: total, Detail: "job"})
 		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
 		writeError(w, http.StatusTooManyRequests,
 			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
@@ -255,6 +317,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.mAccepted.Inc()
+	// A single-spec batch (the common case) gets its workload axes on the
+	// admit event; multi-spec batches carry them per spec via metrics.
+	admit := obslog.Labels{Count: total}
+	if len(batch.Jobs) == 1 {
+		jb := batch.Jobs[0]
+		admit.Model, admit.Dist, admit.Adversary, admit.N = jb.ModelName, jb.DistName, jb.AdvName, jb.N
+	}
+	s.journal.Append(obslog.KindJobAdmit, j.id, "", admit)
 	go s.runJob(j)
 
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
@@ -390,16 +460,22 @@ func (s *Server) handleAdversaries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
-	live := 0
+	live, depth := 0, 0
 	for _, j := range s.jobs {
 		if !j.finished() {
 			live++
+			if jobState(j.state.Load()) == stateQueued {
+				depth++
+			}
 		}
 	}
 	liveCampaigns := 0
 	for _, cr := range s.campaigns {
 		if !cr.finished() {
 			liveCampaigns++
+			if jobState(cr.state.Load()) == stateQueued {
+				depth++
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -415,7 +491,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueuedInstances: s.queued.Load(),
 		Jobs:            live,
 		Campaigns:       liveCampaigns,
+		QueueDepth:      depth,
+		Goroutines:      runtime.NumGoroutine(),
+		GCPauseP99Ms:    gcPauseP99Ms(),
 	})
+}
+
+// gcPauseP99Ms reports the 99th-percentile stop-the-world GC pause, in
+// milliseconds, over the runtime's recent-pause ring (up to the last 256
+// GCs). 0 before the first collection.
+func gcPauseP99Ms() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (n*99 + 99) / 100 // ceil(0.99 n), 1-based
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e6
 }
 
 // handleMetrics renders the registry in Prometheus text format.

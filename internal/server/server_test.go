@@ -118,7 +118,7 @@ func TestEndToEndBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, ss := range final.Specs {
-		labels := fmt.Sprintf(`model=%q,dist=%q`, ss.Result.Model, ss.Result.Dist)
+		labels := fmt.Sprintf(`model=%q,dist=%q,adversary=%q`, ss.Result.Model, ss.Result.Dist, ss.Result.Adversary)
 		d0 := metricValue(t, text, fmt.Sprintf(`leanconsensus_decisions_total{%s,value="0"}`, labels))
 		d1 := metricValue(t, text, fmt.Sprintf(`leanconsensus_decisions_total{%s,value="1"}`, labels))
 		if int64(d0) != ss.Result.Decided0 || int64(d1) != ss.Result.Decided1 {

@@ -138,14 +138,19 @@ type SpecTrace struct {
 
 // healthResponse is the GET /healthz body. Jobs and Campaigns count live
 // (queued or running) work only; Version and Revision identify the
-// running build (internal/buildinfo).
+// running build (internal/buildinfo). QueueDepth counts jobs plus
+// campaigns admitted but still waiting for an execution slot;
+// Goroutines and GCPauseP99Ms are process-level runtime vitals.
 type healthResponse struct {
-	Status          string `json:"status"`
-	Version         string `json:"version"`
-	Revision        string `json:"revision"`
-	QueuedInstances int64  `json:"queuedInstances"`
-	Jobs            int    `json:"jobs"`
-	Campaigns       int    `json:"campaigns"`
+	Status          string  `json:"status"`
+	Version         string  `json:"version"`
+	Revision        string  `json:"revision"`
+	QueuedInstances int64   `json:"queuedInstances"`
+	Jobs            int     `json:"jobs"`
+	Campaigns       int     `json:"campaigns"`
+	QueueDepth      int     `json:"queueDepth"`
+	Goroutines      int     `json:"goroutines"`
+	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
 }
 
 // distNames lists the registered distribution names.
