@@ -39,6 +39,13 @@ type CampaignSpec struct {
 	Seeds []uint64 `json:"seeds,omitempty"`
 	// Reps is the repetition count per cell.
 	Reps int `json:"reps"`
+	// Correlation, when non-empty, is sent as the X-Lean-Correlation
+	// header on Client.SubmitCampaign: the service stamps it as the
+	// Parent of the campaign's root journal events, chaining this
+	// submission into a correlation tree that spans processes. It is
+	// never part of the spec body (or the spec hash) — two submissions
+	// differing only in Correlation are the same campaign.
+	Correlation string `json:"-"`
 }
 
 // CampaignProgress reports a campaign's position to Campaign.OnProgress.
@@ -168,14 +175,39 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 }
 
 // specToInternal converts the public spec to the internal one.
-func specToInternal(s CampaignSpec) campaign.Spec { return campaign.Spec(s) }
+// Correlation is transport metadata, not part of the grid, so it does
+// not cross this boundary.
+func specToInternal(s CampaignSpec) campaign.Spec {
+	return campaign.Spec{
+		Name:        s.Name,
+		Models:      s.Models,
+		Dists:       s.Dists,
+		Adversaries: s.Adversaries,
+		Ns:          s.Ns,
+		Seeds:       s.Seeds,
+		Reps:        s.Reps,
+	}
+}
+
+// specFromInternal converts the internal spec to the public mirror.
+func specFromInternal(s campaign.Spec) CampaignSpec {
+	return CampaignSpec{
+		Name:        s.Name,
+		Models:      s.Models,
+		Dists:       s.Dists,
+		Adversaries: s.Adversaries,
+		Ns:          s.Ns,
+		Seeds:       s.Seeds,
+		Reps:        s.Reps,
+	}
+}
 
 // reportFromInternal converts the internal report to the public mirror.
 func reportFromInternal(rep *campaign.Report) *CampaignReport {
 	out := &CampaignReport{
 		Name:     rep.Name,
 		SpecHash: rep.SpecHash,
-		Spec:     CampaignSpec(rep.Spec),
+		Spec:     specFromInternal(rep.Spec),
 		Cells:    make([]CampaignCell, len(rep.Cells)),
 	}
 	for i, c := range rep.Cells {

@@ -5,13 +5,22 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// CorrelationHeader is the request header carrying a caller-chosen
+// correlation ID on POST /v1/jobs and /v1/campaigns. The service stamps
+// the value as the Parent of the admitted work's root journal events,
+// so a coordinator fanning work out across processes can reconstruct
+// the whole tree from the merged event streams.
+const CorrelationHeader = "X-Lean-Correlation"
 
 // This file is the typed Go client for the leanserve HTTP service
 // (internal/server, cmd/leanserve). The JSON shapes here mirror the
@@ -42,6 +51,11 @@ type JobSpec struct {
 	N         int    `json:"n,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
 	Instances int    `json:"instances"`
+	// Correlation, when non-empty, is sent as the X-Lean-Correlation
+	// header on submission (the batch uses the first non-empty value):
+	// the service stamps it as the Parent of the job's root journal
+	// events. It is transport metadata, never part of the request body.
+	Correlation string `json:"-"`
 }
 
 // JobStatus is one job's lifecycle state, live progress, and — once
@@ -139,17 +153,22 @@ type AdversaryParam struct {
 // Health is the service's liveness report. Version and Revision identify
 // the build the service is running; QueueDepth counts jobs plus
 // campaigns admitted but still waiting for an execution slot, and
-// Goroutines and GCPauseP99Ms are process-level runtime vitals.
+// Goroutines and GCPauseP99Ms are process-level runtime vitals. Node is
+// the journal node identity the service stamps on its events, and
+// JournalDropped counts events its persistence follower lost to ring
+// wraps — nonzero means the durable journal has sequence gaps.
 type Health struct {
 	Status          string  `json:"status"`
 	Version         string  `json:"version"`
 	Revision        string  `json:"revision"`
+	Node            string  `json:"node,omitempty"`
 	QueuedInstances int64   `json:"queuedInstances"`
 	Jobs            int     `json:"jobs"`
 	Campaigns       int     `json:"campaigns"`
 	QueueDepth      int     `json:"queueDepth"`
 	Goroutines      int     `json:"goroutines"`
 	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
+	JournalDropped  uint64  `json:"journalDropped,omitempty"`
 }
 
 // Event is one operations-journal entry, mirroring the server's
@@ -166,6 +185,7 @@ type Event struct {
 	Kind   string      `json:"kind"`
 	ID     string      `json:"id,omitempty"`
 	Parent string      `json:"parent,omitempty"`
+	Node   string      `json:"node,omitempty"` // emitting process's identity
 	Labels EventLabels `json:"labels"`
 }
 
@@ -184,10 +204,54 @@ type EventLabels struct {
 // EventPage is one journal replay window: events with Seq > the
 // requested position, oldest first, and the position to poll from next.
 // A gap between the requested position and Events[0].Seq means the
-// server's ring wrapped past this reader.
+// server's ring wrapped (or its retention trimmed) past this reader.
+// First is the oldest sequence number the service can still serve, from
+// its on-disk store when the journal is durable, else its ring.
 type EventPage struct {
 	Events []Event `json:"events"`
 	Next   uint64  `json:"next"`
+	First  uint64  `json:"first,omitempty"`
+}
+
+// EventQuery selects journal events for Client.QueryEvents. The zero
+// value replays everything the service retains (up to the server's page
+// limit). Kind/ID/Parent are equality filters; After/Before bound the
+// event timestamp (half-open: After ≤ TS < Before); Limit caps the page
+// (0 selects the server default of 4096, hard max 65536).
+type EventQuery struct {
+	Since  uint64
+	Kind   string
+	ID     string
+	Parent string
+	After  time.Time
+	Before time.Time
+	Limit  int
+}
+
+// encode renders the query string, always including since so the
+// request selects the one-shot JSON query mode.
+func (q *EventQuery) encode() string {
+	v := url.Values{}
+	v.Set("since", strconv.FormatUint(q.Since, 10))
+	if q.Kind != "" {
+		v.Set("kind", q.Kind)
+	}
+	if q.ID != "" {
+		v.Set("id", q.ID)
+	}
+	if q.Parent != "" {
+		v.Set("parent", q.Parent)
+	}
+	if !q.After.IsZero() {
+		v.Set("after", q.After.Format(time.RFC3339Nano))
+	}
+	if !q.Before.IsZero() {
+		v.Set("before", q.Before.Format(time.RFC3339Nano))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	return v.Encode()
 }
 
 // TraceEvent is one flight-recorder event, mirroring the server's
@@ -372,6 +436,12 @@ func (c *Client) SubmitJobsTraced(ctx context.Context, traceK int, specs ...JobS
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for _, spec := range specs {
+		if spec.Correlation != "" {
+			req.Header.Set(CorrelationHeader, spec.Correlation)
+			break
+		}
+	}
 	var out struct {
 		ID string `json:"id"`
 	}
@@ -532,6 +602,9 @@ func (c *Client) SubmitCampaign(ctx context.Context, spec CampaignSpec) (string,
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if spec.Correlation != "" {
+		req.Header.Set(CorrelationHeader, spec.Correlation)
+	}
 	var out struct {
 		ID string `json:"id"`
 	}
@@ -660,13 +733,24 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 }
 
 // Events replays the service's operations journal from position since
-// (0 replays the whole retained window). Pollers loop on the returned
-// Next: page, err := c.Events(ctx, page.Next). The journal is a fixed
-// ring, so a poller that falls behind a full wrap sees a sequence gap
-// rather than the overwritten events.
+// (0 replays the whole retained window — the on-disk history too, when
+// the service runs with a journal directory). Pollers loop on the
+// returned Next: page, err := c.Events(ctx, page.Next). Retention is
+// finite, so a poller that falls behind sees a sequence gap rather than
+// the discarded events; it is Events(ctx, since) with an empty query.
 func (c *Client) Events(ctx context.Context, since uint64) (*EventPage, error) {
+	return c.QueryEvents(ctx, EventQuery{Since: since})
+}
+
+// QueryEvents evaluates one event query against the service's journal —
+// the on-disk store first (history beyond the in-memory ring, when the
+// service is durable), then the ring — and returns the matching page in
+// sequence order. Loop on Next to page through a large result; when the
+// page came back full, Next is the last returned seq, else the journal
+// tip.
+func (c *Client) QueryEvents(ctx context.Context, q EventQuery) (*EventPage, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/events?since="+strconv.FormatUint(since, 10), nil)
+		c.BaseURL+"/v1/events?"+q.encode(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -680,21 +764,55 @@ func (c *Client) Events(ctx context.Context, since uint64) (*EventPage, error) {
 // StreamEvents subscribes to the journal firehose (SSE), calling fn for
 // every event from the moment of subscription until ctx is cancelled,
 // which is the normal way to end the stream (the returned error is then
-// ctx's error). The server never buffers for a slow consumer: fall a
-// full ring behind and the skipped events surface as a Seq gap.
+// ctx's error).
+//
+// The stream survives disconnects: on a transport failure the client
+// reconnects with capped exponential backoff (250ms doubling to 5s),
+// resuming from the last seen sequence number via ?since= so nothing
+// the service still retains is missed, and deduplicating any overlap.
+// What retention has discarded in the meantime surfaces as a Seq gap,
+// exactly like a slow reader's ring wrap — the server never buffers for
+// a disconnected consumer. An HTTP-level rejection (*APIError) is
+// returned immediately: a service that answers 4xx/5xx is reachable and
+// saying no, so retrying cannot help.
 func (c *Client) StreamEvents(ctx context.Context, fn func(Event)) error {
-	err := c.streamEvents(ctx, "/v1/events", func(event string, data []byte) (bool, error) {
-		var e Event
-		if err := json.Unmarshal(data, &e); err != nil {
-			return false, err
+	var last uint64
+	seen := false // resume only after the first event: before that, "from now" is the contract
+	backoff := 250 * time.Millisecond
+	for {
+		path := "/v1/events"
+		if seen {
+			path += "?since=" + strconv.FormatUint(last, 10)
 		}
-		fn(e)
-		return false, nil
-	})
-	if err != nil && ctx.Err() != nil {
-		return ctx.Err()
+		err := c.streamEvents(ctx, path, func(event string, data []byte) (bool, error) {
+			var e Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return false, err
+			}
+			if seen && e.Seq <= last {
+				return false, nil // replayed overlap after a reconnect
+			}
+			last, seen = e.Seq, true
+			backoff = 250 * time.Millisecond
+			fn(e)
+			return false, nil
+		})
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
 	}
-	return err
 }
 
 // Metrics fetches the Prometheus text exposition.

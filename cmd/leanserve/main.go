@@ -7,7 +7,16 @@
 //	leanserve [-addr 127.0.0.1:8080] [-shards 8] [-workers 2]
 //	          [-highwater 262144] [-maxbatch 64]
 //	          [-maxjobs N]  (default GOMAXPROCS/2)
-//	          [-debug-addr ADDR] [-list] [-version]
+//	          [-journal-dir DIR] [-debug-addr ADDR] [-list] [-version]
+//
+// -journal-dir makes the operations journal durable: a follower
+// goroutine persists every event to length-prefixed, CRC-checked
+// segments under DIR, and on startup the retained history replays into
+// the in-memory ring — sequence numbers continue across restarts, so
+// GET /v1/events?since= positions stay valid over a crash or deploy.
+// Disk writes never touch the request path: a stalling disk costs
+// history (visible as leanconsensus_journal_dropped_total), never
+// admission latency.
 //
 // -debug-addr serves net/http/pprof (CPU and heap profiles, goroutine
 // dumps, execution traces) on a separate listener, so profiling stays
@@ -80,6 +89,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	highwater := fs.Int64("highwater", 0, "queued-instance high-water mark for 429 shedding (default 262144)")
 	maxbatch := fs.Int("maxbatch", 0, "maximum job specs per POST (default 64)")
 	maxjobs := fs.Int("maxjobs", 0, "maximum concurrently executing jobs (default GOMAXPROCS/2)")
+	journalDir := fs.String("journal-dir", "", "persist the operations journal to segments in this directory (off when empty)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra listener (off when empty)")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
 	version := fs.Bool("version", false, "print build information, then exit")
@@ -101,6 +111,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		HighWater:         *highwater,
 		MaxBatch:          *maxbatch,
 		MaxConcurrentJobs: *maxjobs,
+		JournalDir:        *journalDir,
 	})
 	if err != nil {
 		return err
@@ -111,6 +122,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "leanserve: listening on http://%s\n", ln.Addr())
+	if *journalDir != "" {
+		fmt.Fprintf(stdout, "leanserve: journal persisted to %s\n", *journalDir)
+	}
 
 	// The debug listener is deliberately separate from the service port:
 	// profiling endpoints never ride on the address operators expose, and

@@ -9,6 +9,16 @@
 //
 //	leantop [-url http://127.0.0.1:8080] [-interval 1s]
 //	        [-events 12] [-once] [-version]
+//	leantop -query [-since N] [-kind K] [-id ID] [-parent ID]
+//	        [-after RFC3339] [-before RFC3339] [-limit N] [-json]
+//
+// -query is the scripting mode: evaluate one journal query against
+// GET /v1/events — the on-disk history too, when the service runs with
+// -journal-dir — print the matching events oldest first, and exit.
+// Filters compose (kind AND id AND parent AND time window); -json emits
+// the whole page as one JSON object for jq, and the plain mode ends
+// with a "# next <seq> first <seq>" line so a script can page with
+// -since.
 //
 // Each frame shows the service vitals (queue depth, goroutines, GC
 // pause p99), per-axis throughput — decisions per second for every
@@ -25,6 +35,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +70,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	interval := fs.Duration("interval", time.Second, "poll interval between frames")
 	tail := fs.Int("events", 12, "journal-tail lines per frame")
 	once := fs.Bool("once", false, "render one frame without clearing the screen, then exit (non-TTY mode)")
+	query := fs.Bool("query", false, "evaluate one journal query, print the matches, and exit (scripting mode)")
+	qSince := fs.Uint64("since", 0, "with -query: replay from this sequence position (0 = all retained history)")
+	qKind := fs.String("kind", "", "with -query: only events of this kind (e.g. job.done)")
+	qID := fs.String("id", "", "with -query: only events about this correlation ID")
+	qParent := fs.String("parent", "", "with -query: only events chained to this parent ID")
+	qAfter := fs.String("after", "", "with -query: only events at or after this RFC3339 time")
+	qBefore := fs.String("before", "", "with -query: only events before this RFC3339 time")
+	qLimit := fs.Int("limit", 0, "with -query: page size (0 = server default)")
+	qJSON := fs.Bool("json", false, "with -query: emit the page as one JSON object")
 	version := fs.Bool("version", false, "print build information, then exit")
 	if done, err := cli.Parse(fs, args); done {
 		return err
@@ -66,6 +86,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *version {
 		cli.PrintVersion(stdout, "leantop")
 		return nil
+	}
+	if *query {
+		q := leanconsensus.EventQuery{
+			Since:  *qSince,
+			Kind:   *qKind,
+			ID:     *qID,
+			Parent: *qParent,
+			Limit:  *qLimit,
+		}
+		for _, bound := range []struct {
+			name, raw string
+			dst       *time.Time
+		}{{"-after", *qAfter, &q.After}, {"-before", *qBefore, &q.Before}} {
+			if bound.raw == "" {
+				continue
+			}
+			t, err := time.Parse(time.RFC3339Nano, bound.raw)
+			if err != nil {
+				return fmt.Errorf("%s: want RFC3339, e.g. 2026-08-08T12:00:00Z: %v", bound.name, err)
+			}
+			*bound.dst = t
+		}
+		return runQuery(ctx, leanconsensus.NewClient(*url), q, *qJSON, stdout)
 	}
 	if *tail < 0 {
 		return fmt.Errorf("-events must be non-negative, got %d", *tail)
@@ -93,6 +136,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		case <-time.After(*interval):
 		}
 	}
+}
+
+// runQuery evaluates one event query and prints the page: JSON as a
+// single object for pipelines, plain as one formatted line per event
+// plus a trailing paging hint.
+func runQuery(ctx context.Context, client *leanconsensus.Client, q leanconsensus.EventQuery, asJSON bool, w io.Writer) error {
+	page, err := client.QueryEvents(ctx, q)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(page)
+	}
+	for _, e := range page.Events {
+		fmt.Fprintf(w, "%6d  %s\n", e.Seq, formatEvent(e))
+	}
+	_, err = fmt.Fprintf(w, "# %d events  next %d  first %d\n", len(page.Events), page.Next, page.First)
+	return err
 }
 
 // view accumulates the state a frame-to-frame diff needs: the journal
@@ -152,9 +215,17 @@ func (v *view) frame(ctx context.Context, w io.Writer, clear bool) error {
 	if clear {
 		b.WriteString("\x1b[H\x1b[2J")
 	}
-	fmt.Fprintf(&b, "leantop — %s  [%s %s @ %s]\n", v.client.BaseURL, h.Status, h.Version, h.Revision)
-	fmt.Fprintf(&b, "queue depth %d   queued instances %d   jobs %d   campaigns %d   goroutines %d   gc pause p99 %.3fms\n\n",
+	fmt.Fprintf(&b, "leantop — %s  [%s %s @ %s]", v.client.BaseURL, h.Status, h.Version, h.Revision)
+	if h.Node != "" {
+		fmt.Fprintf(&b, "  node %s", h.Node)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "queue depth %d   queued instances %d   jobs %d   campaigns %d   goroutines %d   gc pause p99 %.3fms",
 		h.QueueDepth, h.QueuedInstances, h.Jobs, h.Campaigns, h.Goroutines, h.GCPauseP99Ms)
+	if h.JournalDropped > 0 {
+		fmt.Fprintf(&b, "   journal drops %d", h.JournalDropped)
+	}
+	b.WriteString("\n\n")
 
 	keys := make([]string, 0, len(cur))
 	for k := range cur {

@@ -1,0 +1,135 @@
+package obslog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A Sink is a durable (or otherwise slow) destination for journal
+// events. The journal never writes to a sink on the append path —
+// constraint 3 of the package contract (armed appends allocate nothing
+// and never block) would not survive an fsync. Instead a Follower runs
+// the sink on the subscriber side: it drains the ring at its own pace
+// and hands the sink batches, so a stalling disk costs the producers
+// nothing worse than a ring wrap, which the follower observes as a
+// sequence gap and reports as a drop count.
+type Sink interface {
+	// Record persists one batch of events, oldest first. Calls are
+	// serial: the follower never overlaps them.
+	Record(events []Event) error
+}
+
+// Follower pumps a journal into a sink from a dedicated goroutine.
+// Construct with Journal.Follow; Stop performs a final drain.
+type Follower struct {
+	j    *Journal
+	sink Sink
+	sub  *Sub
+	pos  uint64
+
+	dropped atomic.Uint64
+	onDrop  func(n uint64)
+	onError func(err error)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// FollowConfig tunes a Follower. The zero value is usable.
+type FollowConfig struct {
+	// From is the position to resume from: events with Seq > From are
+	// delivered. A persistence follower passes its store's LastSeq so a
+	// restart never re-writes what is already on disk.
+	From uint64
+	// OnDrop, when non-nil, is called with the number of events lost
+	// each time the ring wraps past the follower (a sequence gap between
+	// its position and the oldest event still held).
+	OnDrop func(n uint64)
+	// OnError, when non-nil, receives sink errors. The follower keeps
+	// following either way — a full disk should cost history, not the
+	// in-memory journal.
+	OnError func(err error)
+}
+
+// Follow starts pumping this journal into sink and returns the handle.
+// On a nil journal it returns nil (Stop on a nil Follower is a no-op),
+// so call sites gate persistence exactly like emission: one nil check.
+func (j *Journal) Follow(sink Sink, cfg FollowConfig) *Follower {
+	if j == nil {
+		return nil
+	}
+	f := &Follower{
+		j:       j,
+		sink:    sink,
+		sub:     j.Subscribe(),
+		pos:     cfg.From,
+		onDrop:  cfg.OnDrop,
+		onError: cfg.OnError,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// run is the pump loop: wait for a wake token (coalescing), drain the
+// ring from the follower's position, hand the batch to the sink.
+func (f *Follower) run() {
+	defer close(f.done)
+	var buf []Event
+	for {
+		select {
+		case <-f.stop:
+			f.drain(buf[:0]) // final drain: everything appended before Stop
+			return
+		case <-f.sub.C():
+		}
+		buf = f.drain(buf[:0])
+	}
+}
+
+// drain forwards every event past the follower's position to the sink,
+// counting ring-wrap drops, and returns the (possibly grown) buffer for
+// reuse.
+func (f *Follower) drain(buf []Event) []Event {
+	buf, next := f.j.Since(f.pos, buf)
+	if len(buf) == 0 {
+		return buf
+	}
+	if first := buf[0].Seq; first > f.pos+1 {
+		n := first - f.pos - 1
+		f.dropped.Add(n)
+		if f.onDrop != nil {
+			f.onDrop(n)
+		}
+	}
+	if err := f.sink.Record(buf); err != nil && f.onError != nil {
+		f.onError(err)
+	}
+	f.pos = next
+	return buf
+}
+
+// Dropped reports the cumulative events lost to ring wraps — appends
+// the sink never saw because the follower fell a full ring behind.
+func (f *Follower) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
+}
+
+// Stop drains whatever the ring still holds past the follower's
+// position, detaches the subscription, and waits for the pump goroutine
+// to exit. It is idempotent.
+func (f *Follower) Stop() {
+	if f == nil {
+		return
+	}
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		<-f.done
+		f.sub.Unsubscribe()
+	})
+}

@@ -1,0 +1,159 @@
+package obslog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memSink is an in-memory Sink for follower tests; failFirst makes the
+// first Record call report an error.
+type memSink struct {
+	mu        sync.Mutex
+	events    []Event
+	failFirst bool
+	calls     int
+}
+
+func (s *memSink) Record(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.failFirst && s.calls == 1 {
+		return errors.New("disk full")
+	}
+	s.events = append(s.events, events...)
+	return nil
+}
+
+func (s *memSink) snapshot() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFollowerPumpsRingToSink(t *testing.T) {
+	j := New(64)
+	still(j)
+	sink := &memSink{}
+	f := j.Follow(sink, FollowConfig{})
+	defer f.Stop()
+	for i := 0; i < 10; i++ {
+		j.Append(KindJobAdmit, "j-000001", "", Labels{Count: int64(i)})
+	}
+	waitFor(t, func() bool { return len(sink.snapshot()) == 10 })
+	for i, e := range sink.snapshot() {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("sink event %d has Seq %d: not in order", i, e.Seq)
+		}
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", f.Dropped())
+	}
+}
+
+func TestFollowerStopDrainsPendingEvents(t *testing.T) {
+	j := New(64)
+	still(j)
+	sink := &memSink{}
+	f := j.Follow(sink, FollowConfig{})
+	for i := 0; i < 5; i++ {
+		j.Append(KindCellDone, "cell", "c-1", Labels{})
+	}
+	f.Stop() // must deliver everything appended before Stop
+	if got := len(sink.snapshot()); got != 5 {
+		t.Fatalf("sink has %d events after Stop, want 5 (final drain)", got)
+	}
+	f.Stop() // idempotent
+}
+
+func TestFollowerCountsRingWrapDrops(t *testing.T) {
+	j := New(4)
+	still(j)
+	// Wrap the ring before the follower starts: events 1..6 are gone.
+	for i := 0; i < 10; i++ {
+		j.Append(KindServerRequest, "", "", Labels{})
+	}
+	var reported uint64
+	sink := &memSink{}
+	f := j.Follow(sink, FollowConfig{OnDrop: func(n uint64) { reported += n }})
+	f.Stop()
+	if f.Dropped() != 6 || reported != 6 {
+		t.Fatalf("Dropped/OnDrop = %d/%d, want 6/6", f.Dropped(), reported)
+	}
+	got := sink.snapshot()
+	if len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("sink got %+v, want seqs 7..10", got)
+	}
+}
+
+func TestFollowerResumesFromPosition(t *testing.T) {
+	j := New(64)
+	still(j)
+	for i := 0; i < 8; i++ {
+		j.Append(KindJobAdmit, "j", "", Labels{})
+	}
+	sink := &memSink{}
+	// A persistence restart: the store already holds 1..5.
+	f := j.Follow(sink, FollowConfig{From: 5})
+	f.Stop()
+	got := sink.snapshot()
+	if len(got) != 3 || got[0].Seq != 6 {
+		t.Fatalf("sink got %+v, want seqs 6..8", got)
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0: no gap between From and the ring", f.Dropped())
+	}
+}
+
+func TestFollowerSurvivesSinkErrors(t *testing.T) {
+	j := New(64)
+	still(j)
+	sink := &memSink{failFirst: true}
+	errs := make(chan error, 1)
+	f := j.Follow(sink, FollowConfig{OnError: func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}})
+	defer f.Stop()
+	j.Append(KindJobAdmit, "j", "", Labels{})
+	select {
+	case <-errs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink error never reported")
+	}
+	// The failed batch is lost (persistence degrades, the ring does
+	// not), but the follower keeps pumping later events.
+	j.Append(KindJobDone, "j", "", Labels{})
+	waitFor(t, func() bool {
+		s := sink.snapshot()
+		return len(s) > 0 && s[len(s)-1].Kind == KindJobDone
+	})
+}
+
+func TestFollowerNilJournal(t *testing.T) {
+	var j *Journal
+	f := j.Follow(&memSink{}, FollowConfig{})
+	if f != nil {
+		t.Fatal("Follow on a nil journal returned a live follower")
+	}
+	f.Stop() // must not panic
+	if f.Dropped() != 0 {
+		t.Fatal("nil follower reports drops")
+	}
+}

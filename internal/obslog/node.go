@@ -1,0 +1,60 @@
+package obslog
+
+import (
+	"crypto/rand"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"leanconsensus/internal/buildinfo"
+)
+
+// The node identity is minted once per process: every event a journal
+// appends carries it, so when one correlation chain spans processes —
+// a coordinator's campaign fanned out to leanserve workers, or a journal
+// replayed across a restart — the stream still says which process
+// emitted what. The identity is hostname + build revision + a random
+// suffix: the hostname locates the machine, the revision pins the build
+// (two workers on different builds is a diagnosis, not a coincidence),
+// and the random suffix separates processes sharing both.
+
+var (
+	nodeOnce sync.Once
+	nodeID   string
+)
+
+// NodeID returns this process's journal node identity, e.g.
+// "worker-3.f00dfeedcafe.a1b2c3". It is stable for the process lifetime
+// and fresh across restarts — two journal windows with different node
+// stamps on the same hostname are two process incarnations.
+func NodeID() string {
+	nodeOnce.Do(func() {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "localhost"
+		}
+		// Hostnames are free-form; keep the identity one clean token.
+		host = strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+				return r
+			default:
+				return '-'
+			}
+		}, host)
+		rev := buildinfo.Read().Revision
+		rev = strings.TrimSuffix(rev, "+dirty")
+		if len(rev) > 8 {
+			rev = rev[:8]
+		}
+		var suffix [3]byte
+		if _, err := rand.Read(suffix[:]); err != nil {
+			// math-free fallback: the PID still separates live processes.
+			nodeID = fmt.Sprintf("%s.%s.pid%d", host, rev, os.Getpid())
+			return
+		}
+		nodeID = fmt.Sprintf("%s.%s.%06x", host, rev, suffix)
+	})
+	return nodeID
+}

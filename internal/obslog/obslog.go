@@ -93,23 +93,40 @@ const (
 	// KindServerRequest is one served HTTP request: Detail is
 	// "METHOD /path", Count the response status code.
 	KindServerRequest
+	// KindJournalTruncate is a torn segment tail discarded while opening
+	// the on-disk store (internal/obslog/store): Count is the byte count
+	// dropped, Detail the segment file. Exactly one is journaled per
+	// truncating open — the durable record that a crash cost something.
+	KindJournalTruncate
 
 	kindMax
 )
 
 // kindNames maps kinds to their wire names.
 var kindNames = [...]string{
-	KindJobAdmit:      "job.admit",
-	KindJobStart:      "job.start",
-	KindJobDone:       "job.done",
-	KindJobShed:       "job.shed",
-	KindCampaignStart: "campaign.start",
-	KindCellDone:      "campaign.cell.done",
-	KindCheckpoint:    "campaign.checkpoint",
-	KindResume:        "campaign.resume",
-	KindCampaignDone:  "campaign.done",
-	KindArenaDrain:    "arena.drain",
-	KindServerRequest: "server.request",
+	KindJobAdmit:        "job.admit",
+	KindJobStart:        "job.start",
+	KindJobDone:         "job.done",
+	KindJobShed:         "job.shed",
+	KindCampaignStart:   "campaign.start",
+	KindCellDone:        "campaign.cell.done",
+	KindCheckpoint:      "campaign.checkpoint",
+	KindResume:          "campaign.resume",
+	KindCampaignDone:    "campaign.done",
+	KindArenaDrain:      "arena.drain",
+	KindServerRequest:   "server.request",
+	KindJournalTruncate: "journal.truncate",
+}
+
+// KindNames lists every wire-stable kind name, in kind order. Query
+// surfaces (the server's ?kind= filter, leantop -kind) validate against
+// it so a typo fails loudly instead of matching nothing forever.
+func KindNames() []string {
+	out := make([]string, 0, int(kindMax)-1)
+	for k := Kind(1); k < kindMax; k++ {
+		out = append(out, kindNames[k])
+	}
+	return out
 }
 
 // String renders the kind's wire name.
@@ -176,6 +193,11 @@ type Event struct {
 	// Parent is the correlation ID this event chains to ("" at a root):
 	// cells chain to their campaign, arena drains to their owner.
 	Parent string `json:"parent,omitempty"`
+	// Node identifies the process that emitted the event (NodeID). Events
+	// replayed from the on-disk store keep the node that wrote them, so a
+	// journal spanning restarts — or, eventually, a fleet — still says
+	// which process did what.
+	Node string `json:"node,omitempty"`
 	// Labels carries the workload axes and kind-specific payload.
 	Labels Labels `json:"labels"`
 }
@@ -185,25 +207,46 @@ type Event struct {
 // valid "journaling off" value: Append on nil is a no-op, so emission
 // sites need no separate flag.
 type Journal struct {
-	mu   sync.Mutex
-	buf  []Event
-	seq  uint64 // last assigned sequence number
-	subs []*Sub
+	mu    sync.Mutex
+	buf   []Event
+	seq   uint64 // last assigned sequence number
+	first uint64 // oldest sequence number still in the ring (0 = empty)
+	node  string // per-process identity stamped on every appended event
+	subs  []*Sub
 
 	now func() int64 // stamping hook; tests pin it
 }
 
 // New returns a journal with the given ring capacity (DefaultCapacity
 // when non-positive). The ring is the journal's only steady-state
-// allocation.
+// allocation. Every appended event is stamped with this process's
+// NodeID; SetNode overrides it (tests pin it to "").
 func New(capacity int) *Journal {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
 	return &Journal{
-		buf: make([]Event, capacity),
-		now: func() int64 { return time.Now().UnixNano() },
+		buf:  make([]Event, capacity),
+		node: NodeID(),
+		now:  func() int64 { return time.Now().UnixNano() },
 	}
+}
+
+// SetNode overrides the node identity stamped on appended events.
+func (j *Journal) SetNode(node string) {
+	j.mu.Lock()
+	j.node = node
+	j.mu.Unlock()
+}
+
+// Node reports the identity stamped on appended events.
+func (j *Journal) Node() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.node
 }
 
 // Cap reports the ring capacity.
@@ -242,7 +285,14 @@ func (j *Journal) Append(kind Kind, id, parent string, labels Labels) {
 		Kind:   kind,
 		ID:     id,
 		Parent: parent,
+		Node:   j.node,
 		Labels: labels,
+	}
+	if j.first == 0 {
+		j.first = j.seq
+	}
+	if j.seq-j.first >= uint64(len(j.buf)) {
+		j.first = j.seq - uint64(len(j.buf)) + 1
 	}
 	subs := j.subs
 	j.mu.Unlock()
@@ -265,20 +315,67 @@ func (j *Journal) Since(seq uint64, dst []Event) ([]Event, uint64) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.seq <= seq {
+	if j.seq <= seq || j.first == 0 {
 		return dst, seq
 	}
-	first := uint64(1)
-	if j.seq > uint64(len(j.buf)) {
-		first = j.seq - uint64(len(j.buf)) + 1
-	}
+	first := j.first
 	if seq+1 > first {
 		first = seq + 1
 	}
+	n := len(dst)
 	for s := first; s <= j.seq; s++ {
-		dst = append(dst, j.buf[int((s-1)%uint64(len(j.buf)))])
+		// A restored ring (Restore) may have holes where the previous
+		// process's ring wrapped past its persistence follower; skip the
+		// slots whose occupant is not the sequence number being walked.
+		if e := &j.buf[int((s-1)%uint64(len(j.buf)))]; e.Seq == s {
+			dst = append(dst, *e)
+		}
+	}
+	if len(dst) == n {
+		return dst, seq
 	}
 	return dst, j.seq
+}
+
+// First reports the oldest sequence number the ring still holds (0 when
+// the journal is empty or nil). A reader positioned before First-1 has
+// been lapped: the events in between are gone from the ring (though the
+// on-disk store, when armed, may still hold them).
+func (j *Journal) First() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.first
+}
+
+// Restore preloads the ring with history replayed from a persistent
+// store and advances the sequence counter to lastSeq, so events appended
+// after a restart continue the pre-restart numbering instead of
+// restarting at 1 — the property that makes ?since= positions durable
+// across process lifetimes. Only the newest ring-capacity events are
+// kept (the store retains the rest); events must arrive in ascending
+// Seq order. Restore is meant for startup, before the journal has
+// subscribers or appenders.
+func (j *Journal) Restore(events []Event, lastSeq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(events) > len(j.buf) {
+		events = events[len(events)-len(j.buf):]
+	}
+	for _, e := range events {
+		j.buf[int((e.Seq-1)%uint64(len(j.buf)))] = e
+		if j.first == 0 || e.Seq < j.first {
+			j.first = e.Seq
+		}
+		if e.Seq > j.seq {
+			j.seq = e.Seq
+		}
+	}
+	if lastSeq > j.seq {
+		j.seq = lastSeq
+	}
 }
 
 // Sub is one subscriber's wake-up handle. Consumers wait on C, then

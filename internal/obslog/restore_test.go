@@ -1,0 +1,126 @@
+package obslog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeIdentityStamped(t *testing.T) {
+	if NodeID() == "" || NodeID() != NodeID() {
+		t.Fatalf("NodeID unstable or empty: %q vs %q", NodeID(), NodeID())
+	}
+	if parts := strings.Split(NodeID(), "."); len(parts) < 2 {
+		t.Fatalf("NodeID %q lacks the host.revision.suffix shape", NodeID())
+	}
+	j := New(8)
+	still(j)
+	if j.Node() != NodeID() {
+		t.Fatalf("journal node = %q, want process NodeID %q", j.Node(), NodeID())
+	}
+	j.SetNode("proc-a")
+	j.Append(KindJobAdmit, "j", "", Labels{})
+	evs, _ := j.Since(0, nil)
+	if evs[0].Node != "proc-a" {
+		t.Fatalf("event node = %q, want the journal's identity", evs[0].Node)
+	}
+	var nilJ *Journal
+	if nilJ.Node() != "" {
+		t.Fatal("nil journal has a node identity")
+	}
+}
+
+func TestFirstTracksRingWindow(t *testing.T) {
+	j := New(4)
+	still(j)
+	if j.First() != 0 {
+		t.Fatalf("empty First = %d, want 0", j.First())
+	}
+	for i := 0; i < 3; i++ {
+		j.Append(KindJobAdmit, "j", "", Labels{})
+	}
+	if j.First() != 1 {
+		t.Fatalf("First = %d, want 1 before any wrap", j.First())
+	}
+	for i := 0; i < 7; i++ {
+		j.Append(KindJobAdmit, "j", "", Labels{})
+	}
+	if j.First() != 7 {
+		t.Fatalf("First = %d after wrapping to seq 10, want 7", j.First())
+	}
+	var nilJ *Journal
+	if nilJ.First() != 0 {
+		t.Fatal("nil journal has a First")
+	}
+}
+
+func TestRestoreContinuesSequence(t *testing.T) {
+	j := New(8)
+	still(j)
+	j.Restore([]Event{
+		{Seq: 5, TS: 1, Kind: KindJobAdmit, ID: "j-1", Node: "old-proc"},
+		{Seq: 6, TS: 2, Kind: KindJobDone, ID: "j-1", Node: "old-proc"},
+	}, 6)
+	if j.Seq() != 6 || j.First() != 5 {
+		t.Fatalf("Seq/First = %d/%d after restore, want 6/5", j.Seq(), j.First())
+	}
+	// New appends continue the pre-restart numbering — the property that
+	// keeps ?since= positions valid across process lifetimes.
+	j.Append(KindJobAdmit, "j-2", "", Labels{})
+	evs, next := j.Since(0, nil)
+	if len(evs) != 3 || next != 7 {
+		t.Fatalf("Since(0) = %d events, next %d; want 3, 7", len(evs), next)
+	}
+	if evs[0].Seq != 5 || evs[0].Node != "old-proc" || evs[2].Seq != 7 {
+		t.Fatalf("restored window = %+v", evs)
+	}
+	// Replay from a mid-history position still works.
+	evs, _ = j.Since(5, nil)
+	if len(evs) != 2 || evs[0].Seq != 6 {
+		t.Fatalf("Since(5) = %+v, want seqs 6,7", evs)
+	}
+}
+
+func TestRestoreWithHolesSkipsMissingSeqs(t *testing.T) {
+	// The previous process's ring wrapped past its follower: the store
+	// holds 3 and 7 but not 4..6. Since must skip the holes, not serve
+	// stale slot occupants.
+	j := New(8)
+	still(j)
+	j.Restore([]Event{
+		{Seq: 3, Kind: KindJobAdmit},
+		{Seq: 7, Kind: KindJobDone},
+	}, 7)
+	evs, next := j.Since(0, nil)
+	if len(evs) != 2 || evs[0].Seq != 3 || evs[1].Seq != 7 || next != 7 {
+		t.Fatalf("Since(0) over holes = %+v next %d, want seqs 3,7 next 7", evs, next)
+	}
+}
+
+func TestRestoreKeepsNewestCapacity(t *testing.T) {
+	j := New(4)
+	still(j)
+	events := make([]Event, 10)
+	for i := range events {
+		events[i] = Event{Seq: uint64(i + 1), Kind: KindServerRequest}
+	}
+	j.Restore(events, 10)
+	if j.First() != 7 || j.Seq() != 10 {
+		t.Fatalf("First/Seq = %d/%d, want 7/10: only the newest ring-capacity survive", j.First(), j.Seq())
+	}
+	evs, _ := j.Since(0, nil)
+	if len(evs) != 4 || evs[0].Seq != 7 {
+		t.Fatalf("Since(0) = %+v, want seqs 7..10", evs)
+	}
+}
+
+func TestRestoreAdvancesPastTailGap(t *testing.T) {
+	// The store's newest record can trail the pre-crash tip (unsynced
+	// tail lost): lastSeq carries the authoritative position.
+	j := New(8)
+	still(j)
+	j.Restore([]Event{{Seq: 2, Kind: KindJobAdmit}}, 2)
+	j.Append(KindJobStart, "j", "", Labels{})
+	if j.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", j.Seq())
+	}
+}

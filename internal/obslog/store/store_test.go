@@ -1,0 +1,383 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"leanconsensus/internal/obslog"
+)
+
+// mkEvent builds one deterministic event; TS mirrors Seq so age
+// retention is testable with a pinned clock.
+func mkEvent(seq uint64) obslog.Event {
+	return obslog.Event{
+		Seq:    seq,
+		TS:     int64(seq),
+		Kind:   obslog.KindServerRequest,
+		ID:     "j-000001",
+		Node:   "node-a",
+		Labels: obslog.Labels{Count: int64(seq), Detail: "GET /v1/events"},
+	}
+}
+
+// mkEvents builds the inclusive sequence range [lo, hi].
+func mkEvents(lo, hi uint64) []obslog.Event {
+	out := make([]obslog.Event, 0, hi-lo+1)
+	for s := lo; s <= hi; s++ {
+		out = append(out, mkEvent(s))
+	}
+	return out
+}
+
+// replayAll collects every retained event after since.
+func replayAll(t *testing.T, s *Store, since uint64) []obslog.Event {
+	t.Helper()
+	var out []obslog.Event
+	if err := s.Replay(since, func(e obslog.Event) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay(%d): %v", since, err)
+	}
+	return out
+}
+
+// assertContiguous pins the store's core invariant: the retained window
+// is exactly the contiguous range [FirstSeq, LastSeq], no gaps, no
+// duplicates, no orphaned ranges.
+func assertContiguous(t *testing.T, s *Store) {
+	t.Helper()
+	events := replayAll(t, s, 0)
+	first, last := s.FirstSeq(), s.LastSeq()
+	if len(events) == 0 {
+		if first != 0 || last != 0 {
+			t.Fatalf("empty replay but FirstSeq/LastSeq = %d/%d", first, last)
+		}
+		return
+	}
+	if events[0].Seq != first || events[len(events)-1].Seq != last {
+		t.Fatalf("replay spans [%d, %d], index says [%d, %d]",
+			events[0].Seq, events[len(events)-1].Seq, first, last)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("gap in replay: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FirstSeq() != 0 || s.LastSeq() != 0 {
+		t.Fatalf("fresh store FirstSeq/LastSeq = %d/%d, want 0/0", s.FirstSeq(), s.LastSeq())
+	}
+	if err := s.Record(mkEvents(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if r := s.Recovery(); r.Truncated {
+		t.Fatalf("clean reopen reported recovery %+v", r)
+	}
+	if s.FirstSeq() != 1 || s.LastSeq() != 5 {
+		t.Fatalf("reopened FirstSeq/LastSeq = %d/%d, want 1/5", s.FirstSeq(), s.LastSeq())
+	}
+	got := replayAll(t, s, 2)
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("Replay(2) = %+v, want seqs 3..5", got)
+	}
+	if want := mkEvent(3); got[0] != want {
+		t.Fatalf("event content mismatch:\n got %+v\nwant %+v", got[0], want)
+	}
+}
+
+func TestRecordSkipsAlreadyPersisted(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Record(mkEvents(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// A restart-shaped overlap: the follower re-delivers 3..8.
+	if err := s.Record(mkEvents(3, 8)); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, s, 0)
+	if len(got) != 8 {
+		t.Fatalf("replay has %d events, want 8 (each seq exactly once)", len(got))
+	}
+	assertContiguous(t, s)
+}
+
+func TestReopenAppendsToTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	for round := uint64(0); round < 3; round++ {
+		s, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Record(mkEvents(round*3+1, round*3+3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.LastSeq() != 9 {
+		t.Fatalf("LastSeq = %d, want 9", s.LastSeq())
+	}
+	if n := s.Segments(); n != 1 {
+		t.Fatalf("three small restarts grew %d segments, want the tail reused: 1", n)
+	}
+	assertContiguous(t, s)
+}
+
+func TestRotationSplitsSegments(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Record(mkEvents(1, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Segments(); n < 2 {
+		t.Fatalf("40 events in 256-byte segments produced %d segment(s), want rotation", n)
+	}
+	assertContiguous(t, s)
+	if got := replayAll(t, s, 0); len(got) != 40 {
+		t.Fatalf("replay has %d events, want 40", len(got))
+	}
+}
+
+// TestRetentionKeepsContiguousRange is the property test: whatever
+// batch pattern arrives, rotation plus count-retention never orphans a
+// sequence range — replay is always exactly [FirstSeq, LastSeq].
+func TestRetentionKeepsContiguousRange(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 300, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(1))
+	next := uint64(1)
+	for round := 0; round < 200; round++ {
+		n := uint64(1 + rng.Intn(7))
+		if err := s.Record(mkEvents(next, next+n-1)); err != nil {
+			t.Fatal(err)
+		}
+		next += n
+		assertContiguous(t, s)
+		if got := s.Segments(); got > 3 {
+			t.Fatalf("round %d: %d segments retained, cap 3", round, got)
+		}
+	}
+	if s.FirstSeq() == 1 {
+		t.Fatal("retention never trimmed the front; the property test exercised nothing")
+	}
+	if s.LastSeq() != next-1 {
+		t.Fatalf("LastSeq = %d, want %d", s.LastSeq(), next-1)
+	}
+}
+
+func TestAgeRetentionDropsOldSegments(t *testing.T) {
+	// Event TS mirrors Seq (nanoseconds); pin "now" far past the early
+	// events so every closed segment is over age at rotation time.
+	opts := Options{
+		NoSync:       true,
+		SegmentBytes: 200,
+		MaxAge:       10 * time.Nanosecond,
+		now:          func() time.Time { return time.Unix(0, 1_000_000) },
+	}
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Record(mkEvents(1, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if s.FirstSeq() == 1 {
+		t.Fatal("age retention kept every segment")
+	}
+	assertContiguous(t, s)
+}
+
+func TestTornTailTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(mkEvents(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: tear bytes off the final frame.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("glob = %v, %v", segs, err)
+	}
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Recovery()
+	if !rec.Truncated || rec.DroppedBytes <= 0 || rec.File == "" {
+		t.Fatalf("recovery = %+v, want a truncation with dropped bytes and a file", rec)
+	}
+	if s.LastSeq() != 9 {
+		t.Fatalf("LastSeq after torn tail = %d, want 9", s.LastSeq())
+	}
+	assertContiguous(t, s)
+
+	// The store keeps working past the tear, and the next open is clean.
+	if err := s.Record(mkEvents(10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if r := s.Recovery(); r.Truncated {
+		t.Fatalf("second open reported recovery %+v, want clean", r)
+	}
+	if s.LastSeq() != 12 {
+		t.Fatalf("LastSeq = %d, want 12", s.LastSeq())
+	}
+	assertContiguous(t, s)
+}
+
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(mkEvents(1, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %v (%v)", segs, err)
+	}
+
+	// Flip one payload byte in the middle segment: its CRC fails, and
+	// every later segment sits beyond the tear, so replay must stop at
+	// the verified prefix rather than cross a gap.
+	victim := segs[1]
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerLen+2] ^= 0xff
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := s.Recovery()
+	if !rec.Truncated || rec.File != filepath.Base(victim) {
+		t.Fatalf("recovery = %+v, want truncation at %s", rec, filepath.Base(victim))
+	}
+	if s.Segments() != 1 {
+		t.Fatalf("%d segments survived a mid-history tear, want 1 (the intact prefix)", s.Segments())
+	}
+	assertContiguous(t, s)
+	if s.LastSeq() >= 40 {
+		t.Fatalf("LastSeq = %d: corrupt history was not discarded", s.LastSeq())
+	}
+}
+
+func TestTailWindow(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Record(mkEvents(1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := s.Tail(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 5 || tail[0].Seq != 16 || tail[4].Seq != 20 {
+		t.Fatalf("Tail(5) = %+v, want seqs 16..20", tail)
+	}
+	all, err := s.Tail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("Tail(0) has %d events, want all 20", len(all))
+	}
+}
+
+func TestAlienFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal-abc.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a non-numeric segment name")
+	}
+}
+
+func TestFsyncObserved(t *testing.T) {
+	var syncs int
+	s, err := Open(t.TempDir(), Options{OnFsync: func(time.Duration) { syncs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Record(mkEvents(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 1 || s.Fsyncs() != 1 {
+		t.Fatalf("one batch produced %d observed / %d counted fsyncs, want 1/1", syncs, s.Fsyncs())
+	}
+}

@@ -39,6 +39,7 @@ type CampaignStatus struct {
 type campaignRun struct {
 	id      string
 	created time.Time
+	corr    string // X-Lean-Correlation: cross-process parent of the campaign's root events
 	camp    *campaign.Campaign
 
 	cellsDone     atomic.Int64
@@ -89,6 +90,12 @@ func (cr *campaignRun) snapshot() CampaignStatus {
 // rejections), reserve the whole grid against the admission gate (429
 // past the high-water mark), and run asynchronously.
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	corr, err := correlationFrom(r)
+	if err != nil {
+		s.mCampRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	camp, err := campaign.DecodeSpec(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		s.mCampRejected.Inc()
@@ -98,7 +105,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if cur, ok := s.reserve(camp.Instances); !ok {
 		s.mCampRejected.Inc()
-		s.journal.Append(obslog.KindJobShed, "", "",
+		s.journal.Append(obslog.KindJobShed, "", corr,
 			obslog.Labels{Count: camp.Instances, Detail: "campaign"})
 		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
 		writeError(w, http.StatusTooManyRequests,
@@ -118,6 +125,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	cr := &campaignRun{
 		id:      fmt.Sprintf("c-%06d", s.cseq),
 		created: time.Now(),
+		corr:    corr,
 		camp:    camp,
 		done:    make(chan struct{}),
 	}
@@ -128,7 +136,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.mCampAccepted.Inc()
-	s.journal.Append(obslog.KindCampaignStart, cr.id, "",
+	s.journal.Append(obslog.KindCampaignStart, cr.id, corr,
 		obslog.Labels{Count: camp.Instances, Detail: camp.Spec.Name})
 	go s.runCampaign(cr)
 
@@ -194,7 +202,7 @@ func (s *Server) runCampaign(cr *campaignRun) {
 		cr.state.Store(int32(stateDone))
 		s.mCampCompleted.Inc()
 	}
-	s.journal.Append(obslog.KindCampaignDone, cr.id, "", obslog.Labels{Detail: outcome})
+	s.journal.Append(obslog.KindCampaignDone, cr.id, cr.corr, obslog.Labels{Detail: outcome})
 	close(cr.done)
 }
 

@@ -57,6 +57,7 @@ type specRun struct {
 type job struct {
 	id      string
 	created time.Time
+	corr    string // X-Lean-Correlation: cross-process parent of the job's root events
 	specs   []*specRun
 
 	state atomic.Int32
@@ -67,10 +68,11 @@ type job struct {
 }
 
 // newJob builds the bookkeeping for one admitted batch.
-func newJob(id string, batch *Batch, shards int) *job {
+func newJob(id string, batch *Batch, shards int, corr string) *job {
 	j := &job{
 		id:      id,
 		created: time.Now(),
+		corr:    corr,
 		specs:   make([]*specRun, len(batch.Jobs)),
 		done:    make(chan struct{}),
 	}
@@ -139,7 +141,7 @@ func (s *Server) runJob(j *job) {
 	j.state.Store(int32(stateRunning))
 	s.mRunning.Inc()
 	defer s.mRunning.Dec()
-	s.journal.Append(obslog.KindJobStart, j.id, "", obslog.Labels{})
+	s.journal.Append(obslog.KindJobStart, j.id, j.corr, obslog.Labels{})
 
 	var failed error
 	for _, sr := range j.specs {
@@ -159,7 +161,7 @@ func (s *Server) runJob(j *job) {
 		j.state.Store(int32(stateDone))
 		s.mCompleted.Inc()
 	}
-	s.journal.Append(obslog.KindJobDone, j.id, "", obslog.Labels{Detail: outcome})
+	s.journal.Append(obslog.KindJobDone, j.id, j.corr, obslog.Labels{Detail: outcome})
 	close(j.done)
 }
 

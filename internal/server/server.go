@@ -30,8 +30,10 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"leanconsensus/internal/arena"
 	"leanconsensus/internal/buildinfo"
@@ -39,7 +41,22 @@ import (
 	"leanconsensus/internal/engine"
 	"leanconsensus/internal/metrics"
 	"leanconsensus/internal/obslog"
+	"leanconsensus/internal/obslog/store"
 )
+
+// CorrelationHeader is the request header a coordinating process sets
+// on POST /v1/jobs and POST /v1/campaigns to chain the admitted work's
+// journal events to its own correlation ID. This is the cross-process
+// half of the correlation story: a future distributed-campaign
+// coordinator mints c-%06d, stamps it here, and every worker-side
+// job/cell event parents into it — reconstructible from the merged
+// event streams alone, exactly as single-process trees are today.
+const CorrelationHeader = "X-Lean-Correlation"
+
+// maxCorrelationLen bounds the accepted header value; anything longer
+// (or containing control characters) is a 400, not a silent trim —
+// correlation IDs that mutate in flight are worse than none.
+const maxCorrelationLen = 128
 
 // Defaults applied by New.
 const (
@@ -82,6 +99,18 @@ type Config struct {
 	// JournalCapacity sizes the journal's event ring when New creates it
 	// (default obslog.DefaultCapacity). Ignored when Journal is set.
 	JournalCapacity int
+	// JournalDir, when non-empty, arms durable journaling: an
+	// append-only segment store (internal/obslog/store) at this
+	// directory. On startup the retained history replays into the ring —
+	// sequence numbers continue across restarts, so GET /v1/events?since=
+	// positions stay valid — and a follower goroutine persists every new
+	// event on the subscriber side, leaving the producers' append path
+	// untouched (0 allocs, no blocking; a stalled disk costs ring wraps,
+	// counted by leanconsensus_journal_dropped_total).
+	JournalDir string
+	// JournalStore tunes the segment store (rotation size, retention);
+	// zero values select the store defaults. Ignored without JournalDir.
+	JournalStore store.Options
 }
 
 // Server is the HTTP consensus service. Create one with New, mount
@@ -118,7 +147,12 @@ type Server struct {
 	campMetrics    *campaign.Metrics
 	campAxes       *campaign.AxisMetrics
 
-	journal *obslog.Journal
+	journal  *obslog.Journal
+	store    *store.Store
+	follower *obslog.Follower
+
+	journalDropped  atomic.Uint64
+	mJournalDropped *metrics.Counter
 }
 
 // New validates the configuration, applies defaults, registers the
@@ -184,6 +218,13 @@ func New(cfg Config) (*Server, error) {
 	if s.journal == nil {
 		s.journal = obslog.New(cfg.JournalCapacity)
 	}
+	s.mJournalDropped = s.reg.Counter("leanconsensus_journal_dropped_total",
+		"journal events lost to ring wrap before the persistence follower could record them (seq gaps)")
+	if cfg.JournalDir != "" {
+		if err := s.armJournalStore(cfg); err != nil {
+			return nil, err
+		}
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -239,8 +280,60 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// armJournalStore opens the segment store, replays its retained tail
+// into the ring (continuing the sequence numbering across the restart
+// boundary), journals the torn-tail truncation if Open had to cut one,
+// and starts the persistence follower. Disk writes happen only on the
+// follower's goroutine — never on a producer's append path.
+func (s *Server) armJournalStore(cfg Config) error {
+	opts := cfg.JournalStore
+	fsync := s.reg.Histogram("leanconsensus_journal_fsync_seconds",
+		"journal segment fsync latency in seconds", fsyncBuckets)
+	prevFsync := opts.OnFsync
+	opts.OnFsync = func(d time.Duration) {
+		fsync.Observe(d.Seconds())
+		if prevFsync != nil {
+			prevFsync(d)
+		}
+	}
+	st, err := store.Open(cfg.JournalDir, opts)
+	if err != nil {
+		return err
+	}
+	tail, err := st.Tail(s.journal.Cap())
+	if err != nil {
+		st.Close()
+		return err
+	}
+	s.journal.Restore(tail, st.LastSeq())
+	if rec := st.Recovery(); rec.Truncated {
+		s.journal.Append(obslog.KindJournalTruncate, "", "",
+			obslog.Labels{Count: rec.DroppedBytes, Detail: rec.File})
+	}
+	s.store = st
+	s.reg.GaugeFunc("leanconsensus_journal_segment_bytes",
+		"total on-disk journal segment bytes", st.Bytes)
+	s.follower = s.journal.Follow(st, obslog.FollowConfig{
+		From: st.LastSeq(),
+		OnDrop: func(n uint64) {
+			s.journalDropped.Add(n)
+			s.mJournalDropped.Add(int64(n))
+		},
+	})
+	return nil
+}
+
+// fsyncBuckets spans SSD-fast (100µs) to spinning-rust-contended (1s).
+var fsyncBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
 // Journal returns the server's event journal.
 func (s *Server) Journal() *obslog.Journal { return s.journal }
+
+// JournalDropped reports events the persistence follower lost to ring
+// wraps (0 when durable journaling is off).
+func (s *Server) JournalDropped() uint64 { return s.journalDropped.Load() }
 
 // Registry returns the metrics registry the server records into.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -249,13 +342,21 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 func (s *Server) QueuedInstances() int64 { return s.queued.Load() }
 
 // Close stops admitting jobs and drains: it returns once every accepted
-// job has run to completion. It is idempotent and safe to call
-// concurrently with in-flight requests.
+// job has run to completion and — when durable journaling is armed —
+// the persistence follower has flushed the tail of the event stream to
+// disk. It is idempotent and safe to call concurrently with in-flight
+// requests.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.follower != nil {
+		s.follower.Stop()
+	}
+	if s.store != nil {
+		return s.store.Close()
+	}
 	return nil
 }
 
@@ -278,8 +379,33 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// correlationFrom extracts and validates the X-Lean-Correlation header:
+// empty when absent, a 400-worthy error when malformed. The value
+// becomes the Parent of the admitted work's root journal events.
+func correlationFrom(r *http.Request) (string, error) {
+	v := strings.TrimSpace(r.Header.Get(CorrelationHeader))
+	if v == "" {
+		return "", nil
+	}
+	if len(v) > maxCorrelationLen {
+		return "", fmt.Errorf("server: %s longer than %d bytes", CorrelationHeader, maxCorrelationLen)
+	}
+	for _, c := range v {
+		if c < 0x20 || c == 0x7f {
+			return "", fmt.Errorf("server: %s contains control characters", CorrelationHeader)
+		}
+	}
+	return v, nil
+}
+
 // handleSubmit admits one batch of job specs.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	corr, err := correlationFrom(r)
+	if err != nil {
+		s.mRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	batch, err := DecodeSubmit(http.MaxBytesReader(w, r.Body, 1<<20), s.cfg.MaxBatch)
 	if err != nil {
 		s.mRejected.Inc()
@@ -293,7 +419,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if cur, ok := s.reserve(total); !ok {
 		s.mRejected.Inc()
-		s.journal.Append(obslog.KindJobShed, "", "", obslog.Labels{Count: total, Detail: "job"})
+		s.journal.Append(obslog.KindJobShed, "", corr, obslog.Labels{Count: total, Detail: "job"})
 		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
 		writeError(w, http.StatusTooManyRequests,
 			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
@@ -309,7 +435,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
-	j := newJob(fmt.Sprintf("j-%06d", s.seq), batch, s.cfg.Shards)
+	j := newJob(fmt.Sprintf("j-%06d", s.seq), batch, s.cfg.Shards, corr)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
@@ -324,7 +450,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		jb := batch.Jobs[0]
 		admit.Model, admit.Dist, admit.Adversary, admit.N = jb.ModelName, jb.DistName, jb.AdvName, jb.N
 	}
-	s.journal.Append(obslog.KindJobAdmit, j.id, "", admit)
+	s.journal.Append(obslog.KindJobAdmit, j.id, corr, admit)
 	go s.runJob(j)
 
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
@@ -488,12 +614,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:          status,
 		Version:         bi.Version,
 		Revision:        bi.Revision,
+		Node:            s.journal.Node(),
 		QueuedInstances: s.queued.Load(),
 		Jobs:            live,
 		Campaigns:       liveCampaigns,
 		QueueDepth:      depth,
 		Goroutines:      runtime.NumGoroutine(),
 		GCPauseP99Ms:    gcPauseP99Ms(),
+		JournalDropped:  s.JournalDropped(),
 	})
 }
 

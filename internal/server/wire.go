@@ -140,17 +140,22 @@ type SpecTrace struct {
 // (queued or running) work only; Version and Revision identify the
 // running build (internal/buildinfo). QueueDepth counts jobs plus
 // campaigns admitted but still waiting for an execution slot;
-// Goroutines and GCPauseP99Ms are process-level runtime vitals.
+// Goroutines and GCPauseP99Ms are process-level runtime vitals. Node is
+// the journal node identity stamped on this process's events, and
+// JournalDropped counts events the persistence follower lost to ring
+// wraps — nonzero means the on-disk journal has sequence gaps.
 type healthResponse struct {
 	Status          string  `json:"status"`
 	Version         string  `json:"version"`
 	Revision        string  `json:"revision"`
+	Node            string  `json:"node,omitempty"`
 	QueuedInstances int64   `json:"queuedInstances"`
 	Jobs            int     `json:"jobs"`
 	Campaigns       int     `json:"campaigns"`
 	QueueDepth      int     `json:"queueDepth"`
 	Goroutines      int     `json:"goroutines"`
 	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
+	JournalDropped  uint64  `json:"journalDropped,omitempty"`
 }
 
 // distNames lists the registered distribution names.
