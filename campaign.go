@@ -46,6 +46,12 @@ type CampaignSpec struct {
 	// never part of the spec body (or the spec hash) — two submissions
 	// differing only in Correlation are the same campaign.
 	Correlation string `json:"-"`
+	// Tenant, when non-empty, is sent as the X-Lean-Tenant header on
+	// Client.SubmitCampaign: the service admits the grid under that
+	// tenant's fair share and labels its journal events. Like
+	// Correlation, it is transport metadata — never part of the spec body
+	// or the spec hash.
+	Tenant string `json:"-"`
 }
 
 // CampaignProgress reports a campaign's position to Campaign.OnProgress.

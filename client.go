@@ -22,6 +22,14 @@ import (
 // the whole tree from the merged event streams.
 const CorrelationHeader = "X-Lean-Correlation"
 
+// TenantHeader is the request header naming the submitting tenant on
+// POST /v1/jobs and /v1/campaigns. Tenanted submissions are admitted
+// under the service's per-tenant fair-share gate: each tenant is
+// guaranteed its share of the high-water mark even while another tenant
+// saturates the queue, and the tenant label rides on the work's journal
+// events and status bodies.
+const TenantHeader = "X-Lean-Tenant"
+
 // This file is the typed Go client for the leanserve HTTP service
 // (internal/server, cmd/leanserve). The JSON shapes here mirror the
 // server's wire contract; the server's end-to-end tests drive the real
@@ -56,6 +64,11 @@ type JobSpec struct {
 	// the service stamps it as the Parent of the job's root journal
 	// events. It is transport metadata, never part of the request body.
 	Correlation string `json:"-"`
+	// Tenant, when non-empty, is sent as the X-Lean-Tenant header on
+	// submission (the batch uses the first non-empty value): the service
+	// admits the batch under that tenant's fair share and labels its
+	// journal events. Transport metadata, never part of the request body.
+	Tenant string `json:"-"`
 }
 
 // JobStatus is one job's lifecycle state, live progress, and — once
@@ -64,6 +77,7 @@ type JobStatus struct {
 	ID      string       `json:"id"`
 	Status  string       `json:"status"`
 	Created time.Time    `json:"created"`
+	Tenant  string       `json:"tenant,omitempty"`
 	Specs   []SpecStatus `json:"specs"`
 	Error   string       `json:"error,omitempty"`
 }
@@ -153,7 +167,8 @@ type AdversaryParam struct {
 // Health is the service's liveness report. Version and Revision identify
 // the build the service is running; QueueDepth counts jobs plus
 // campaigns admitted but still waiting for an execution slot, and
-// Goroutines and GCPauseP99Ms are process-level runtime vitals. Node is
+// Goroutines and GCPauseP99Ms are process-level runtime vitals. Tenants
+// counts tenants with queued work at the admission gate. Node is
 // the journal node identity the service stamps on its events, and
 // JournalDropped counts events its persistence follower lost to ring
 // wraps — nonzero means the durable journal has sequence gaps.
@@ -166,6 +181,7 @@ type Health struct {
 	Jobs            int     `json:"jobs"`
 	Campaigns       int     `json:"campaigns"`
 	QueueDepth      int     `json:"queueDepth"`
+	Tenants         int     `json:"tenants,omitempty"`
 	Goroutines      int     `json:"goroutines"`
 	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
 	JournalDropped  uint64  `json:"journalDropped,omitempty"`
@@ -197,6 +213,7 @@ type EventLabels struct {
 	Dist      string `json:"dist,omitempty"`
 	Adversary string `json:"adversary,omitempty"`
 	N         int    `json:"n,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
 	Count     int64  `json:"count,omitempty"`
 	Detail    string `json:"detail,omitempty"`
 }
@@ -312,6 +329,7 @@ type CampaignStatus struct {
 	Status   string    `json:"status"`
 	Created  time.Time `json:"created"`
 	Name     string    `json:"name,omitempty"`
+	Tenant   string    `json:"tenant,omitempty"`
 	SpecHash string    `json:"specHash"`
 
 	CellsDone      int   `json:"cellsDone"`
@@ -439,6 +457,12 @@ func (c *Client) SubmitJobsTraced(ctx context.Context, traceK int, specs ...JobS
 	for _, spec := range specs {
 		if spec.Correlation != "" {
 			req.Header.Set(CorrelationHeader, spec.Correlation)
+			break
+		}
+	}
+	for _, spec := range specs {
+		if spec.Tenant != "" {
+			req.Header.Set(TenantHeader, spec.Tenant)
 			break
 		}
 	}
@@ -604,6 +628,9 @@ func (c *Client) SubmitCampaign(ctx context.Context, spec CampaignSpec) (string,
 	req.Header.Set("Content-Type", "application/json")
 	if spec.Correlation != "" {
 		req.Header.Set(CorrelationHeader, spec.Correlation)
+	}
+	if spec.Tenant != "" {
+		req.Header.Set(TenantHeader, spec.Tenant)
 	}
 	var out struct {
 		ID string `json:"id"`

@@ -7,7 +7,18 @@
 //	leanserve [-addr 127.0.0.1:8080] [-shards 8] [-workers 2]
 //	          [-highwater 262144] [-maxbatch 64]
 //	          [-maxjobs N]  (default GOMAXPROCS/2)
+//	          [-state-dir DIR] [-tenant-share 0.5]
 //	          [-journal-dir DIR] [-debug-addr ADDR] [-list] [-version]
+//
+// -state-dir makes the service state durable: every admitted job and
+// campaign is persisted as an atomic record under DIR, ID sequences
+// continue across restarts, finished work stays servable at
+// GET /v1/jobs/{id} / GET /v1/campaigns/{id} on the new process, and
+// interrupted work re-runs at boot — campaigns resume from their
+// checkpoint manifest, emitting a report byte-identical to an
+// uninterrupted run. With -state-dir, SIGINT is a checkpoint-and-stop
+// handoff instead of a full drain: running campaigns stop at the next
+// cell boundary and the restarted process picks them up.
 //
 // -journal-dir makes the operations journal durable: a follower
 // goroutine persists every event to length-prefixed, CRC-checked
@@ -17,6 +28,11 @@
 // Disk writes never touch the request path: a stalling disk costs
 // history (visible as leanconsensus_journal_dropped_total), never
 // admission latency.
+//
+// Admission is per-tenant fair: requests carrying an X-Lean-Tenant
+// header are bucketed, each tenant is guaranteed -tenant-share of the
+// high-water mark (unused share spills over to whoever needs it), and
+// leanconsensus_tenant_queued_instances says who owns the backlog.
 //
 // -debug-addr serves net/http/pprof (CPU and heap profiles, goroutine
 // dumps, execution traces) on a separate listener, so profiling stays
@@ -89,6 +105,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	highwater := fs.Int64("highwater", 0, "queued-instance high-water mark for 429 shedding (default 262144)")
 	maxbatch := fs.Int("maxbatch", 0, "maximum job specs per POST (default 64)")
 	maxjobs := fs.Int("maxjobs", 0, "maximum concurrently executing jobs (default GOMAXPROCS/2)")
+	stateDir := fs.String("state-dir", "", "persist admitted jobs/campaigns and resume them across restarts (off when empty)")
+	tenantShare := fs.Float64("tenant-share", 0, "guaranteed per-tenant fraction of the high-water mark (default 0.5)")
 	journalDir := fs.String("journal-dir", "", "persist the operations journal to segments in this directory (off when empty)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra listener (off when empty)")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
@@ -112,6 +130,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxBatch:          *maxbatch,
 		MaxConcurrentJobs: *maxjobs,
 		JournalDir:        *journalDir,
+		StateDir:          *stateDir,
+		TenantShare:       *tenantShare,
 	})
 	if err != nil {
 		return err
@@ -124,6 +144,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "leanserve: listening on http://%s\n", ln.Addr())
 	if *journalDir != "" {
 		fmt.Fprintf(stdout, "leanserve: journal persisted to %s\n", *journalDir)
+	}
+	if *stateDir != "" {
+		fmt.Fprintf(stdout, "leanserve: state persisted to %s\n", *stateDir)
 	}
 
 	// The debug listener is deliberately separate from the service port:

@@ -24,7 +24,10 @@
 // pause p99), per-axis throughput — decisions per second for every
 // model × dist × adversary combination the service has executed,
 // computed by differencing leanconsensus_decisions_total between polls
-// — and the tail of the operations journal with correlation IDs.
+// — a per-tenant backlog section (from
+// leanconsensus_tenant_queued_instances, shown only when the service
+// has named tenants), and the tail of the operations journal with
+// correlation IDs and tenant labels.
 //
 // -once renders a single frame without touching the terminal (no
 // cursor addressing, no clearing) and exits; it is the non-TTY mode
@@ -222,6 +225,9 @@ func (v *view) frame(ctx context.Context, w io.Writer, clear bool) error {
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "queue depth %d   queued instances %d   jobs %d   campaigns %d   goroutines %d   gc pause p99 %.3fms",
 		h.QueueDepth, h.QueuedInstances, h.Jobs, h.Campaigns, h.Goroutines, h.GCPauseP99Ms)
+	if h.Tenants > 0 {
+		fmt.Fprintf(&b, "   tenants %d", h.Tenants)
+	}
 	if h.JournalDropped > 0 {
 		fmt.Fprintf(&b, "   journal drops %d", h.JournalDropped)
 	}
@@ -242,6 +248,18 @@ func (v *view) frame(ctx context.Context, w io.Writer, clear bool) error {
 			rate = fmt.Sprintf("%.1f", rates[k])
 		}
 		fmt.Fprintf(&b, "%-52s %14.0f %12s\n", k, cur[k], rate)
+	}
+
+	if tenants := tenantBacklog(text); len(tenants) > 0 {
+		tkeys := make([]string, 0, len(tenants))
+		for k := range tenants {
+			tkeys = append(tkeys, k)
+		}
+		sort.Strings(tkeys)
+		b.WriteString("\nTENANT BACKLOG (queued instances)\n")
+		for _, k := range tkeys {
+			fmt.Fprintf(&b, "%-52s %14.0f\n", k, tenants[k])
+		}
 	}
 
 	fmt.Fprintf(&b, "\nJOURNAL (last %d of seq ≤ %d", len(v.events), v.pos)
@@ -271,6 +289,9 @@ func formatEvent(e leanconsensus.Event) string {
 	l := e.Labels
 	if l.Model != "" || l.Dist != "" || l.Adversary != "" {
 		fmt.Fprintf(&b, "  [%s/%s/%s n=%d]", l.Model, l.Dist, l.Adversary, l.N)
+	}
+	if l.Tenant != "" {
+		fmt.Fprintf(&b, "  tenant=%s", l.Tenant)
 	}
 	if l.Count != 0 {
 		fmt.Fprintf(&b, "  count=%d", l.Count)
@@ -311,6 +332,34 @@ func decisionTotals(text string) map[string]float64 {
 		}
 		key := labels["model"] + "/" + labels["dist"] + "/" + labels["adversary"]
 		out[key] += val
+	}
+	return out
+}
+
+// tenantBacklog extracts per-tenant queued-instance gauges from the
+// Prometheus text exposition, keyed by tenant name. The service only
+// registers the gauge for named tenants, so an untenanted deployment
+// yields an empty map and the section stays hidden.
+func tenantBacklog(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, "leanconsensus_tenant_queued_instances{")
+		if !ok {
+			continue
+		}
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest[end+2:]), 64)
+		if err != nil {
+			continue
+		}
+		labels := parseLabels(rest[:end])
+		if labels["tenant"] == "" {
+			continue
+		}
+		out[labels["tenant"]] = val
 	}
 	return out
 }

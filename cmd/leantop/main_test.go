@@ -139,6 +139,24 @@ func TestDecisionTotals(t *testing.T) {
 	}
 }
 
+func TestTenantBacklog(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP leanconsensus_tenant_queued_instances instances admitted under this tenant`,
+		`leanconsensus_tenant_queued_instances{tenant="acme"} 900`,
+		`leanconsensus_tenant_queued_instances{tenant="globex"} 500`,
+		`leanconsensus_queued_instances 1400`,
+		`garbage`,
+	}, "\n")
+	got := tenantBacklog(text)
+	want := map[string]float64{"acme": 900, "globex": 500}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tenantBacklog = %v, want %v", got, want)
+	}
+	if got := tenantBacklog("leanconsensus_queued_instances 7\n"); len(got) != 0 {
+		t.Errorf("untenanted exposition produced a backlog: %v", got)
+	}
+}
+
 func TestParseLabels(t *testing.T) {
 	got := parseLabels(`model="sched",dist="exponential",adversary="antileader:m=2"`)
 	want := map[string]string{"model": "sched", "dist": "exponential", "adversary": "antileader:m=2"}
@@ -151,9 +169,9 @@ func TestFormatEvent(t *testing.T) {
 	line := formatEvent(leanconsensus.Event{
 		Seq: 3, TS: time.Date(2026, 1, 2, 3, 4, 5, 0, time.Local).UnixNano(),
 		Kind: "campaign.cell.done", ID: "model=sched,...", Parent: "c-000001",
-		Labels: leanconsensus.EventLabels{Model: "sched", Dist: "uniform", Adversary: "zero", N: 4, Count: 25},
+		Labels: leanconsensus.EventLabels{Model: "sched", Dist: "uniform", Adversary: "zero", N: 4, Tenant: "acme", Count: 25},
 	})
-	for _, want := range []string{"campaign.cell.done", "⤶ c-000001", "sched/uniform/zero n=4", "count=25"} {
+	for _, want := range []string{"campaign.cell.done", "⤶ c-000001", "sched/uniform/zero n=4", "tenant=acme", "count=25"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("formatEvent missing %q: %s", want, line)
 		}

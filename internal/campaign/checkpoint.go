@@ -112,5 +112,14 @@ func saveManifest(path string, c *Campaign, results []*CellStats) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
 	}
+	// Fsync the directory so the rename itself survives a power loss:
+	// syncing the file makes the bytes durable, but the directory entry
+	// pointing at them is its own write. Best-effort — some filesystems
+	// refuse directory fsync, and the worst case is the previous (still
+	// consistent) snapshot.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
 }

@@ -167,6 +167,11 @@ type Labels struct {
 	Adversary string `json:"adversary,omitempty"`
 	// N is the per-instance process count (0 when not applicable).
 	N int `json:"n,omitempty"`
+	// Tenant is the admission bucket the work was accounted against
+	// (X-Lean-Tenant; "" for untenanted work). Set on admission-side
+	// events — job.admit, job.shed, campaign.start — so the journal can
+	// answer "who owns the backlog" without joining against job tables.
+	Tenant string `json:"tenant,omitempty"`
 	// Count is the kind-specific magnitude: instances admitted or shed,
 	// repetitions in a cell, proposals drained, an HTTP status.
 	Count int64 `json:"count,omitempty"`

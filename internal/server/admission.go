@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leanconsensus/internal/metrics"
+)
+
+// TenantHeader is the optional request header that buckets a
+// submission's admission accounting: every reservation made under a
+// tenant counts against that tenant's share of the high-water mark, the
+// tenant label rides the work's journal events and status bodies, and
+// leanconsensus_tenant_queued_instances{tenant=...} shows who owns the
+// backlog. Absent header means the unnamed default bucket, which
+// behaves exactly like the pre-tenant admission gate.
+const TenantHeader = "X-Lean-Tenant"
+
+// maxTenantLen bounds the accepted tenant name; like correlation IDs,
+// anything longer (or containing control characters) is a 400, not a
+// silent trim.
+const maxTenantLen = 64
+
+// DefaultTenantShare is each tenant's guaranteed fraction of the
+// high-water mark when Config.TenantShare is unset.
+const DefaultTenantShare = 0.5
+
+// tenantFrom extracts and validates the X-Lean-Tenant header: empty
+// when absent, a 400-worthy error when malformed.
+func tenantFrom(r *http.Request) (string, error) {
+	v := strings.TrimSpace(r.Header.Get(TenantHeader))
+	if v == "" {
+		return "", nil
+	}
+	if len(v) > maxTenantLen {
+		return "", fmt.Errorf("server: %s longer than %d bytes", TenantHeader, maxTenantLen)
+	}
+	for _, c := range v {
+		if c < 0x20 || c == 0x7f {
+			return "", fmt.Errorf("server: %s contains control characters", TenantHeader)
+		}
+	}
+	return v, nil
+}
+
+// tenant is one admission bucket: the instances it has queued. Returns
+// are lock-free atomic decrements (they happen on completion paths);
+// only the admission decision itself serializes, under admitMu.
+type tenant struct {
+	name   string
+	queued atomic.Int64
+}
+
+// tenantFor returns the named bucket, creating it — and, for named
+// tenants, registering its backlog gauge — on first use.
+func (s *Server) tenantFor(name string) *tenant {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenant{name: name}
+		s.tenants[name] = t
+		if name != "" {
+			s.reg.GaugeFunc("leanconsensus_tenant_queued_instances"+metrics.Labels("tenant", name),
+				"instances admitted under this tenant but not yet finished", t.queued.Load)
+		}
+	}
+	return t
+}
+
+// reserve is the admission gate shared by jobs and campaigns: shed
+// rather than buffer. A submission is admitted when any of these holds,
+// checked in order:
+//
+//  1. The global queue is empty — one legal batch is never
+//     unschedulable.
+//  2. The tenant has nothing queued — the per-tenant mirror of rule 1,
+//     which is what guarantees a tenant its first batch even while
+//     another tenant has filled the global mark (fair admission's whole
+//     point).
+//  3. The reservation fits the tenant's guaranteed share,
+//     TenantShare × HighWater — admitted even when spillover from other
+//     tenants has pushed the global queue past the mark.
+//  4. The reservation fits under the global high-water mark — unused
+//     share is anyone's headroom (spillover).
+//
+// With all traffic in one bucket rules 2–3 collapse into 1 and 4, so an
+// untenanted service admits exactly as it always has. The global
+// backlog stays bounded by HighWater plus one guaranteed share per
+// tenant admitted through rules 2–3.
+//
+// The decision runs under admitMu so the two counters are read
+// consistently; returns stay lock-free atomic decrements. On rejection
+// it reports the observed backlog for the Retry-After hint.
+func (s *Server) reserve(tb *tenant, total int64) (observed int64, ok bool) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	cur := s.queued.Load()
+	tq := tb.queued.Load()
+	share := int64(float64(s.cfg.HighWater) * s.cfg.TenantShare)
+	switch {
+	case cur <= 0:
+	case tq <= 0:
+	case tq+total <= share:
+	case cur+total <= s.cfg.HighWater:
+	default:
+		return cur, false
+	}
+	s.queued.Add(total)
+	tb.queued.Add(total)
+	return cur + total, true
+}
+
+// release returns n reserved instances to the gate without counting
+// them as throughput — the path for work that was admitted but never
+// ran (decode-after-reserve failures, closed-while-reserving, arena
+// construction errors, drain handoffs). Every release must mirror the
+// reserve it undoes on both counters, or admission tightens forever.
+func (s *Server) release(tb *tenant, n int64) {
+	s.queued.Add(-n)
+	if tb != nil {
+		tb.queued.Add(-n)
+	}
+}
+
+// complete returns n finished instances to the gate and feeds the
+// completion-rate estimate behind the Retry-After hint.
+func (s *Server) complete(tb *tenant, n int64) {
+	s.release(tb, n)
+	s.completed.Add(n)
+}
+
+// The Retry-After hint derives from a measured EWMA of the actual
+// completion rate, sampled lazily on the rejection path. initialRate
+// seeds the estimate before the first measurement (the PR 1 load-test
+// figure; the batched path measured ~333k/s in PR 7, and hardware
+// varies, which is exactly why the hint now tracks the observed rate
+// instead of hardcoding either number). The floor and cap keep a
+// cold or absurd sample from producing a useless hint.
+const (
+	initialRate = 50_000
+	rateFloor   = 5_000
+	rateCap     = 50_000_000
+	rateAlpha   = 0.3 // EWMA weight of the newest sample
+	rateWindow  = 100 * time.Millisecond
+)
+
+// rateEWMA estimates instance completions per second from the
+// monotonic completed counter. Samples shorter than rateWindow reuse
+// the previous estimate, so a burst of rejections cannot turn counter
+// noise into rate noise.
+type rateEWMA struct {
+	mu       sync.Mutex
+	now      func() time.Time // injectable for tests
+	last     time.Time
+	lastDone int64
+	rate     float64
+}
+
+// observe folds the counter into the estimate and returns it.
+func (e *rateEWMA) observe(done int64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	if e.last.IsZero() {
+		e.last, e.lastDone = now, done
+		return e.rate
+	}
+	dt := now.Sub(e.last)
+	if dt < rateWindow {
+		return e.rate
+	}
+	sample := float64(done-e.lastDone) / dt.Seconds()
+	e.rate = rateAlpha*sample + (1-rateAlpha)*e.rate
+	e.last, e.lastDone = now, done
+	return e.rate
+}
+
+// retryAfter estimates seconds until the backlog clears at the
+// observed completion rate; clients treat it as a hint.
+func (s *Server) retryAfter(queued int64) int64 {
+	rate := s.rate.observe(s.completed.Load())
+	if rate < rateFloor {
+		rate = rateFloor
+	}
+	if rate > rateCap {
+		rate = rateCap
+	}
+	secs := queued/int64(rate) + 1
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// evictFinished trims table to at most max entries, evicting finished
+// entries in roughly creation order; live entries are never evicted.
+// It returns the updated order slice.
+//
+// skip persists across calls: entries before it were live on the last
+// scan, so the common case — a long prefix of long-running work ahead
+// of freshly finished entries — costs one scan from the frontier
+// instead of an O(n²) restart from the front. When a scan from the
+// frontier finds nothing evictable, the prefix is rescanned once
+// (entries skipped earlier may have finished since); only then does
+// the table run long.
+func evictFinished[T interface{ finished() bool }](table map[string]T, order []string, max int, skip *int, onEvict func(id string)) []string {
+	for len(table) > max {
+		if *skip > len(order) {
+			*skip = 0
+		}
+		found := -1
+		for i := *skip; i < len(order); i++ {
+			if e, ok := table[order[i]]; ok && e.finished() {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			if *skip == 0 {
+				return order // everything live; let the table run long
+			}
+			*skip = 0
+			continue
+		}
+		id := order[found]
+		delete(table, id)
+		order = append(order[:found], order[found+1:]...)
+		*skip = found
+		if onEvict != nil {
+			onEvict(id)
+		}
+	}
+	return order
+}

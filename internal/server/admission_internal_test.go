@@ -1,0 +1,198 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced time source for the EWMA and TTL tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+// TestRateEWMATracksCompletionRate: the estimate seeds from the first
+// observation, folds each windowed sample at the configured weight, and
+// ignores samples shorter than the window so rejection bursts cannot
+// alias counter noise into rate noise.
+func TestRateEWMATracksCompletionRate(t *testing.T) {
+	clk := newFakeClock()
+	e := rateEWMA{now: clk.now, rate: initialRate}
+
+	// First observation only seeds the baseline; the estimate is still
+	// the initial rate.
+	if got := e.observe(0); got != initialRate {
+		t.Fatalf("pre-measurement estimate = %v, want the %v seed", got, float64(initialRate))
+	}
+	// 100k completions over 1s: one EWMA fold toward the sample.
+	clk.advance(time.Second)
+	want := rateAlpha*100_000 + (1-rateAlpha)*initialRate
+	if got := e.observe(100_000); got != want {
+		t.Fatalf("after 100k/s sample: %v, want %v", got, want)
+	}
+	// A sub-window re-read must not move the estimate.
+	clk.advance(rateWindow / 2)
+	if got := e.observe(200_000); got != want {
+		t.Fatalf("sub-window sample moved the estimate: %v, want %v", got, want)
+	}
+	// Repeated samples converge on the true rate.
+	for i := 0; i < 50; i++ {
+		clk.advance(time.Second)
+		e.observe(100_000 + int64(i+1)*100_000)
+	}
+	if got := e.observe(0); got < 95_000 || got > 105_000 {
+		t.Fatalf("estimate did not converge to 100k/s: %v", got)
+	}
+}
+
+// TestRetryAfterBounds pins the hint's clamps: the floor keeps a cold
+// estimate from promising a week, the 60s cap keeps a huge backlog from
+// telling clients to go away for an hour.
+func TestRetryAfterBounds(t *testing.T) {
+	newSrv := func(rate float64) *Server {
+		clk := newFakeClock()
+		s := &Server{}
+		s.rate.now = clk.now
+		s.rate.rate = rate
+		// Seed last so observe reuses the injected rate (dt < window).
+		s.rate.last = clk.t
+		return s
+	}
+	if got := newSrv(1).retryAfter(5_000); got != 2 {
+		t.Errorf("floored hint = %d, want 5000/5000+1 = 2", got)
+	}
+	if got := newSrv(initialRate).retryAfter(100_000); got != 3 {
+		t.Errorf("hint at the seed rate = %d, want 100000/50000+1 = 3", got)
+	}
+	if got := newSrv(rateFloor).retryAfter(1 << 40); got != 60 {
+		t.Errorf("huge-backlog hint = %d, want the 60s cap", got)
+	}
+	if got := newSrv(1e12).retryAfter(1 << 30); got != (1<<30)/rateCap+1 {
+		t.Errorf("capped-rate hint = %d, want %d", got, (1<<30)/rateCap+1)
+	}
+}
+
+// TestGCPauseCacheRefreshesOnTTL: the /healthz GC vital is served from
+// the cache inside the TTL (one stop-the-world read, not one per poll)
+// and refreshed after it.
+func TestGCPauseCacheRefreshesOnTTL(t *testing.T) {
+	clk := newFakeClock()
+	reads := 0
+	s := &Server{gcNow: clk.now, gcRead: func() float64 {
+		reads++
+		return float64(reads)
+	}}
+	if got := s.cachedGCPauseP99Ms(); got != 1 {
+		t.Fatalf("first read = %v, want 1", got)
+	}
+	clk.advance(gcPauseTTL - time.Millisecond)
+	if got := s.cachedGCPauseP99Ms(); got != 1 {
+		t.Fatalf("read inside the TTL = %v, want the cached 1", got)
+	}
+	if reads != 1 {
+		t.Fatalf("ReadMemStats proxy ran %d times inside the TTL, want 1", reads)
+	}
+	clk.advance(2 * time.Millisecond)
+	if got := s.cachedGCPauseP99Ms(); got != 2 {
+		t.Fatalf("read past the TTL = %v, want the refreshed 2", got)
+	}
+}
+
+// evictEntry is a minimal finished()-bearing table entry.
+type evictEntry struct{ fin bool }
+
+func (e *evictEntry) finished() bool { return e.fin }
+
+// TestEvictFinishedChurn drives the shared eviction helper through the
+// access pattern that used to be O(n²): a long prefix of live entries
+// ahead of a churning tail of finished ones. The skip frontier must keep
+// each call's scan short, live entries must survive every round, and
+// finished entries must leave oldest-first.
+func TestEvictFinishedChurn(t *testing.T) {
+	const livePrefix = 512
+	const max = livePrefix + 8
+	table := map[string]*evictEntry{}
+	var order []string
+	id := 0
+	add := func(fin bool) string {
+		id++
+		key := fmt.Sprintf("e-%06d", id)
+		table[key] = &evictEntry{fin: fin}
+		order = append(order, key)
+		return key
+	}
+	for i := 0; i < livePrefix; i++ {
+		add(false)
+	}
+
+	skip := 0
+	var evicted []string
+	onEvict := func(id string) { evicted = append(evicted, id) }
+
+	// Churn: rounds of finished arrivals, evicting after each insert the
+	// way the submit path does.
+	for round := 0; round < 200; round++ {
+		add(true)
+		order = evictFinished(table, order, max, &skip, onEvict)
+		if len(table) > max {
+			t.Fatalf("round %d: table at %d, bound %d", round, len(table), max)
+		}
+	}
+	for i := 0; i < livePrefix; i++ {
+		key := fmt.Sprintf("e-%06d", i+1)
+		if table[key] == nil {
+			t.Fatalf("live prefix entry %s evicted", key)
+		}
+	}
+	// Finished entries left oldest-first.
+	for i := 1; i < len(evicted); i++ {
+		if evicted[i] <= evicted[i-1] {
+			t.Fatalf("eviction out of order: %s after %s", evicted[i], evicted[i-1])
+		}
+	}
+	// The frontier skips the live prefix: a scan after warm-up must not
+	// restart from the front. (Behavioral proxy: the skip index sits past
+	// the live prefix once the pattern stabilizes.)
+	if skip < livePrefix-1 {
+		t.Errorf("skip frontier = %d, want at or past the %d-entry live prefix", skip, livePrefix)
+	}
+
+	// All-live tables are left alone rather than spun on.
+	table2 := map[string]*evictEntry{"a": {}, "b": {}}
+	order2 := []string{"a", "b"}
+	skip2 := 0
+	got := evictFinished(table2, order2, 1, &skip2, nil)
+	if len(table2) != 2 || len(got) != 2 {
+		t.Errorf("all-live table was evicted: %v", got)
+	}
+}
+
+// TestEvictFinishedPrefixRescan: an entry skipped while live but
+// finished since must still be found — the frontier resets and rescans
+// the prefix exactly once before giving up.
+func TestEvictFinishedPrefixRescan(t *testing.T) {
+	a, b, c, d := &evictEntry{}, &evictEntry{}, &evictEntry{fin: true}, &evictEntry{}
+	table := map[string]*evictEntry{"a": a, "b": b, "c": c}
+	order := []string{"a", "b", "c"}
+	skip := 0
+
+	// First eviction takes c and parks the frontier past the live a, b.
+	order = evictFinished(table, order, 2, &skip, nil)
+	if table["c"] != nil || len(order) != 2 {
+		t.Fatalf("first eviction = %v, skip %d", order, skip)
+	}
+
+	// a finishes behind the frontier; a new live d pushes past the bound.
+	a.fin = true
+	table["d"] = d
+	order = append(order, "d")
+	order = evictFinished(table, order, 2, &skip, nil)
+	if table["a"] != nil {
+		t.Fatalf("prefix rescan missed the finished head entry; order %v", order)
+	}
+	if table["b"] == nil || table["d"] == nil {
+		t.Fatalf("rescan evicted a live entry; order %v", order)
+	}
+}

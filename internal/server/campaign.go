@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -22,6 +24,7 @@ type CampaignStatus struct {
 	Status   string    `json:"status"` // queued | running | done | failed
 	Created  time.Time `json:"created"`
 	Name     string    `json:"name,omitempty"`
+	Tenant   string    `json:"tenant,omitempty"`
 	SpecHash string    `json:"specHash"`
 
 	CellsDone      int   `json:"cellsDone"`
@@ -39,8 +42,14 @@ type CampaignStatus struct {
 type campaignRun struct {
 	id      string
 	created time.Time
-	corr    string // X-Lean-Correlation: cross-process parent of the campaign's root events
+	corr    string  // X-Lean-Correlation: cross-process parent of the campaign's root events
+	tenant  string  // X-Lean-Tenant: the admission bucket the grid counts against
+	tb      *tenant // the bucket itself, for reservation returns
 	camp    *campaign.Campaign
+
+	// restored, when non-nil, is a terminal snapshot loaded from the
+	// state store after a restart; it is served verbatim (camp is nil).
+	restored *CampaignStatus
 
 	cellsDone     atomic.Int64
 	instancesDone atomic.Int64
@@ -61,13 +70,19 @@ func (cr *campaignRun) finished() bool {
 	return st == stateDone || st == stateFailed
 }
 
-// snapshot assembles the wire status from the live counters.
+// snapshot assembles the wire status from the live counters. A
+// campaign restored from a terminal state record serves its stored
+// snapshot verbatim.
 func (cr *campaignRun) snapshot() CampaignStatus {
+	if cr.restored != nil {
+		return *cr.restored
+	}
 	st := CampaignStatus{
 		ID:             cr.id,
 		Status:         jobState(cr.state.Load()).name(),
 		Created:        cr.created,
 		Name:           cr.camp.Spec.Name,
+		Tenant:         cr.tenant,
 		SpecHash:       cr.camp.Hash,
 		CellsDone:      int(cr.cellsDone.Load()),
 		CellsTotal:     len(cr.camp.Cells),
@@ -96,6 +111,12 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ten, err := tenantFrom(r)
+	if err != nil {
+		s.mCampRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	camp, err := campaign.DecodeSpec(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		s.mCampRejected.Inc()
@@ -103,11 +124,12 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if cur, ok := s.reserve(camp.Instances); !ok {
+	tb := s.tenantFor(ten)
+	if cur, ok := s.reserve(tb, camp.Instances); !ok {
 		s.mCampRejected.Inc()
 		s.journal.Append(obslog.KindJobShed, "", corr,
-			obslog.Labels{Count: camp.Instances, Detail: "campaign"})
-		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
+			obslog.Labels{Count: camp.Instances, Tenant: ten, Detail: "campaign"})
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfter(cur), 10))
 		writeError(w, http.StatusTooManyRequests,
 			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
 		return
@@ -116,7 +138,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.queued.Add(-camp.Instances)
+		s.release(tb, camp.Instances)
 		s.mCampRejected.Inc()
 		writeError(w, http.StatusServiceUnavailable, "server: draining, not accepting campaigns")
 		return
@@ -126,8 +148,30 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		id:      fmt.Sprintf("c-%06d", s.cseq),
 		created: time.Now(),
 		corr:    corr,
+		tenant:  ten,
+		tb:      tb,
 		camp:    camp,
 		done:    make(chan struct{}),
+	}
+	if s.state != nil {
+		// Persist the admission before acknowledging it, exactly like
+		// jobs; the normalized spec re-resolves to the same cells and
+		// spec hash at boot, tying the record to its checkpoint.
+		err := s.state.saveCampaign(&campaignRecord{
+			ID: cr.id, Created: cr.created, Corr: corr, Tenant: ten,
+			Spec: camp.Spec, Status: recAdmitted,
+		})
+		if err == nil {
+			err = s.state.saveSeqs(s.seq, s.cseq)
+		}
+		if err != nil {
+			s.cseq--
+			s.mu.Unlock()
+			s.release(tb, camp.Instances)
+			s.mCampRejected.Inc()
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 	}
 	s.campaigns[cr.id] = cr
 	s.corder = append(s.corder, cr.id)
@@ -137,7 +181,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mCampAccepted.Inc()
 	s.journal.Append(obslog.KindCampaignStart, cr.id, corr,
-		obslog.Labels{Count: camp.Instances, Detail: camp.Spec.Name})
+		obslog.Labels{Count: camp.Instances, Tenant: ten, Detail: camp.Spec.Name})
 	go s.runCampaign(cr)
 
 	w.Header().Set("Location", "/v1/campaigns/"+cr.id)
@@ -159,34 +203,71 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 // returns cost nothing but a little granularity.
 func (s *Server) runCampaign(cr *campaignRun) {
 	defer s.wg.Done()
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.stopCtx.Done():
+		// Checkpoint-and-stop drain: the record is still "admitted"; the
+		// successor process re-runs the campaign from its checkpoint.
+		s.release(cr.tb, cr.camp.Instances)
+		close(cr.done)
+		return
+	}
 	defer func() { <-s.sem }()
 
 	cr.state.Store(int32(stateRunning))
 	s.mCampRunning.Inc()
 	defer s.mCampRunning.Dec()
 
-	// Campaigns are never cancelled server-side: Close drains, exactly
-	// like jobs.
-	returned := int64(0)
-	rep, err := cr.camp.Run(context.Background(), campaign.Config{
+	cfg := campaign.Config{
 		Shards:      s.cfg.Shards,
 		Workers:     s.cfg.Workers,
 		Metrics:     s.campMetrics,
 		AxisMetrics: s.campAxes,
 		Journal:     s.journal,
 		Correlation: cr.id,
-		OnCell: func(p campaign.Progress) {
-			// Serial with respect to itself (the runner delivers cell
-			// completions on one goroutine), concurrent with admission CAS
-			// loops.
-			s.queued.Add(-(p.InstancesDone - returned))
-			returned = p.InstancesDone
-			cr.cellsDone.Store(int64(p.CellsDone))
-			cr.instancesDone.Store(p.InstancesDone)
-		},
-	})
-	s.queued.Add(-(cr.camp.Instances - returned))
+	}
+	if s.state != nil {
+		// With durable state armed, every campaign checkpoints under its
+		// server ID: completed cells survive a crash or a
+		// checkpoint-and-stop drain, and the resumed run's report is
+		// byte-identical to an uninterrupted one (the PR 4 guarantee).
+		// Resume is always on — a fresh ID has no manifest (an empty
+		// checkpoint), a restarted one continues where its predecessor
+		// stopped.
+		cfg.Checkpoint = s.state.checkpointPath(cr.id)
+		cfg.Resume = true
+	}
+	returned := int64(0)
+	cfg.OnCell = func(p campaign.Progress) {
+		// Serial with respect to itself (the runner delivers cell
+		// completions on one goroutine), concurrent with admission
+		// decisions.
+		delta := p.InstancesDone - returned
+		s.release(cr.tb, delta)
+		if p.CellKey != "" {
+			// Fresh cells feed the completion-rate EWMA; the initial
+			// restored-checkpoint notification is bookkeeping, not
+			// throughput.
+			s.completed.Add(delta)
+		}
+		returned = p.InstancesDone
+		cr.cellsDone.Store(int64(p.CellsDone))
+		cr.instancesDone.Store(p.InstancesDone)
+	}
+	// Without durable state, Close drains campaigns to completion
+	// exactly as before (stopCtx is never cancelled); with it, Close
+	// cancels and the run stops at the next cell boundary.
+	rep, err := cr.camp.Run(s.stopCtx, cfg)
+	s.release(cr.tb, cr.camp.Instances-returned)
+	if err != nil && s.state != nil && s.stopCtx.Err() != nil && errors.Is(err, context.Canceled) {
+		// Interrupted by the drain, not failed: completed cells are in
+		// the checkpoint, the record stays "admitted", and the next boot
+		// on this state dir resumes the run. The campaign goes back to
+		// "queued" for any status read racing the shutdown.
+		cr.state.Store(int32(stateQueued))
+		close(cr.done)
+		return
+	}
 	outcome := "ok"
 	if err != nil {
 		cr.errMu.Lock()
@@ -202,27 +283,38 @@ func (s *Server) runCampaign(cr *campaignRun) {
 		cr.state.Store(int32(stateDone))
 		s.mCampCompleted.Inc()
 	}
+	if s.state != nil {
+		status := recDone
+		if err != nil {
+			status = recFailed
+		}
+		final := cr.snapshot()
+		// As with jobs: a failed write leaves "admitted", and the next
+		// boot resumes from the checkpoint to the same deterministic
+		// report.
+		if werr := s.state.saveCampaign(&campaignRecord{
+			ID: cr.id, Created: cr.created, Corr: cr.corr, Tenant: cr.tenant,
+			Spec: cr.camp.Spec, Status: status, Final: &final,
+		}); werr == nil {
+			// The checkpoint has served its purpose once the terminal
+			// record is durable; eviction would remove it anyway.
+			os.Remove(s.state.checkpointPath(cr.id)) //nolint:errcheck
+		}
+	}
 	s.journal.Append(obslog.KindCampaignDone, cr.id, cr.corr, obslog.Labels{Detail: outcome})
 	close(cr.done)
 }
 
-// evictCampaignsLocked trims the campaign table to MaxJobsKept, oldest
-// finished first. Unfinished campaigns are never evicted.
+// evictCampaignsLocked trims the campaign table to MaxJobsKept via the
+// shared finished-first eviction helper; an evicted campaign's durable
+// record and checkpoint are forgotten with it. Unfinished campaigns are
+// never evicted.
 func (s *Server) evictCampaignsLocked() {
-	for len(s.campaigns) > s.cfg.MaxJobsKept {
-		evicted := false
-		for i, id := range s.corder {
-			if cr, ok := s.campaigns[id]; ok && cr.finished() {
-				delete(s.campaigns, id)
-				s.corder = append(s.corder[:i], s.corder[i+1:]...)
-				evicted = true
-				break
-			}
+	s.corder = evictFinished(s.campaigns, s.corder, s.cfg.MaxJobsKept, &s.cevictSkip, func(id string) {
+		if s.state != nil {
+			s.state.removeCampaign(id)
 		}
-		if !evicted {
-			return
-		}
-	}
+	})
 }
 
 // lookupCampaign returns the campaign or writes a 404.

@@ -1,0 +1,57 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"leanconsensus"
+	"leanconsensus/internal/server"
+)
+
+// TestJournalExemptionMatchesCleanedPaths pins the Handler's
+// observability exemption against path variants: a poller hitting
+// //v1/events, /metrics/, or /healthz/ is the same poller as the
+// canonical spelling and must not journal server.request footprints
+// into the ring, while real API paths still do.
+func TestJournalExemptionMatchesCleanedPaths(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+	h := srv.Handler()
+
+	// The /v1/events requests carry ?since= so they take the one-shot
+	// query mode rather than blocking as live SSE follows; the exemption
+	// match is on the path alone either way.
+	exempt := []string{
+		"/v1/events?since=0", "//v1/events?since=0", "/v1/events/?since=0", "/v1//events?since=0",
+		"/metrics", "/metrics/", "//metrics",
+		"/healthz", "/healthz/", "/v1/../healthz",
+	}
+	for _, p := range exempt {
+		req := httptest.NewRequest(http.MethodGet, p, nil)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	// Positive control: a registry read is not exempt.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/models", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "//v1/models", nil))
+
+	page, err := client.QueryEvents(context.Background(), leanconsensus.EventQuery{Kind: "server.request"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models int
+	for _, e := range page.Events {
+		for _, frag := range []string{"events", "metrics", "healthz"} {
+			if strings.Contains(e.Labels.Detail, frag) {
+				t.Errorf("observability read journaled its own footprint: %+v", e)
+			}
+		}
+		if strings.Contains(e.Labels.Detail, "/v1/models") {
+			models++
+		}
+	}
+	if models != 2 {
+		t.Errorf("saw %d /v1/models request events, want 2 (exemption overshoots)", models)
+	}
+}

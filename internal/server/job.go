@@ -57,14 +57,34 @@ type specRun struct {
 type job struct {
 	id      string
 	created time.Time
-	corr    string // X-Lean-Correlation: cross-process parent of the job's root events
+	corr    string  // X-Lean-Correlation: cross-process parent of the job's root events
+	tenant  string  // X-Lean-Tenant: the admission bucket the batch counts against
+	tb      *tenant // the bucket itself, for reservation returns
 	specs   []*specRun
+
+	// submit is the original request body (durable state only): it is
+	// what the job's "admitted" record stores, and what a successor
+	// process re-decodes to re-run interrupted work.
+	submit []byte
+	// restored, when non-nil, is a terminal snapshot loaded from the
+	// state store after a restart; it is served verbatim.
+	restored *JobStatus
 
 	state atomic.Int32
 	errMu sync.Mutex
 	err   error
 
 	done chan struct{} // closed when the job finishes (done or failed)
+}
+
+// totalInstances sums the batch's instance counts — the size of its
+// admission reservation.
+func (j *job) totalInstances() int64 {
+	var t int64
+	for _, sr := range j.specs {
+		t += int64(sr.job.Instances)
+	}
+	return t
 }
 
 // newJob builds the bookkeeping for one admitted batch.
@@ -96,12 +116,18 @@ func (j *job) finished() bool {
 	return st == stateDone || st == stateFailed
 }
 
-// snapshot assembles the wire status from the live counters.
+// snapshot assembles the wire status from the live counters. A job
+// restored from a terminal state record serves its stored snapshot
+// verbatim — the record is the history.
 func (j *job) snapshot() JobStatus {
+	if j.restored != nil {
+		return *j.restored
+	}
 	st := JobStatus{
 		ID:      j.id,
 		Status:  j.statusName(),
 		Created: j.created,
+		Tenant:  j.tenant,
 		Specs:   make([]SpecStatus, len(j.specs)),
 	}
 	j.errMu.Lock()
@@ -135,7 +161,16 @@ func (j *job) snapshot() JobStatus {
 // instance returns its unit to the admission gate.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.stopCtx.Done():
+		// Checkpoint-and-stop drain (durable state armed): the job never
+		// started, its record is still "admitted", and the successor
+		// process re-runs it — hand back the reservation and leave.
+		s.release(j.tb, j.totalInstances())
+		close(j.done)
+		return
+	}
 	defer func() { <-s.sem }()
 
 	j.state.Store(int32(stateRunning))
@@ -145,7 +180,7 @@ func (s *Server) runJob(j *job) {
 
 	var failed error
 	for _, sr := range j.specs {
-		if err := s.runSpec(j.id, sr); err != nil && failed == nil {
+		if err := s.runSpec(j, sr); err != nil && failed == nil {
 			failed = err
 		}
 	}
@@ -161,6 +196,20 @@ func (s *Server) runJob(j *job) {
 		j.state.Store(int32(stateDone))
 		s.mCompleted.Inc()
 	}
+	if s.state != nil {
+		status := recDone
+		if failed != nil {
+			status = recFailed
+		}
+		final := j.snapshot()
+		// A failed record write leaves the record "admitted": the next
+		// boot re-runs the job and, results being deterministic, serves
+		// the same outcome — so the error needs no further handling.
+		s.state.saveJob(&jobRecord{ //nolint:errcheck
+			ID: j.id, Created: j.created, Corr: j.corr, Tenant: j.tenant,
+			Submit: j.submit, Status: status, Final: &final,
+		})
+	}
 	s.journal.Append(obslog.KindJobDone, j.id, j.corr, obslog.Labels{Detail: outcome})
 	close(j.done)
 }
@@ -169,7 +218,7 @@ func (s *Server) runJob(j *job) {
 // its SpecResult. The workload derivation — keys "key-%08d", proposal
 // bits from the seed's "load" stream — matches cmd/leanarena exactly, so
 // a job replays byte-identically against the CLI's deterministic report.
-func (s *Server) runSpec(jobID string, sr *specRun) error {
+func (s *Server) runSpec(j *job, sr *specRun) error {
 	jb := sr.job
 	am := arena.NewMetrics(s.reg, "model", jb.ModelName, "dist", jb.DistName, "adversary", jb.AdvName)
 	var tc *arena.TraceConfig
@@ -187,7 +236,7 @@ func (s *Server) runSpec(jobID string, sr *specRun) error {
 		Seed:      jb.Seed,
 		Metrics:   am,
 		Journal:   s.journal,
-		Owner:     jobID,
+		Owner:     j.id,
 		OnServe: func(r arena.Result) {
 			if r.Shard >= 0 && r.Shard < len(sr.perShard) {
 				sr.perShard[r.Shard].Add(1)
@@ -196,7 +245,7 @@ func (s *Server) runSpec(jobID string, sr *specRun) error {
 		},
 	})
 	if err != nil {
-		s.queued.Add(-int64(jb.Instances))
+		s.release(j.tb, int64(jb.Instances))
 		return fmt.Errorf("server: job spec (model=%s): %v", jb.ModelName, err)
 	}
 
@@ -224,7 +273,7 @@ func (s *Server) runSpec(jobID string, sr *specRun) error {
 				res.MaxRound = r.LastRound
 			}
 		}
-		s.queued.Add(-1)
+		s.complete(j.tb, 1)
 	}
 
 	// The submission window bounds memory: at most the arena's queue
@@ -255,7 +304,7 @@ func (s *Server) runSpec(jobID string, sr *specRun) error {
 			// flight, and surface the fault. Once the ring has wrapped,
 			// slot i%window was already folded above, so only the window-1
 			// slots after it are outstanding.
-			s.queued.Add(-int64(jb.Instances - i))
+			s.release(j.tb, int64(jb.Instances-i))
 			lo := 0
 			if i >= window {
 				lo = i - window + 1

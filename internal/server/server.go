@@ -24,9 +24,13 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"path"
 	"runtime"
 	"sort"
 	"strconv"
@@ -111,6 +115,21 @@ type Config struct {
 	// JournalStore tunes the segment store (rotation size, retention);
 	// zero values select the store defaults. Ignored without JournalDir.
 	JournalStore store.Options
+	// StateDir, when non-empty, arms durable service state: every
+	// admitted job and campaign is persisted as an atomic record under
+	// this directory (see internal/server/state.go), ID sequences
+	// continue across restarts, finished work is servable again after a
+	// restart, and interrupted work re-runs — campaigns resuming from
+	// their per-ID checkpoint manifest, byte-identical to an
+	// uninterrupted run. With StateDir set, Close becomes a
+	// checkpoint-and-stop for campaigns instead of a full drain: they
+	// stop at the next cell boundary and the successor process resumes
+	// them.
+	StateDir string
+	// TenantShare is each tenant's guaranteed fraction of HighWater
+	// under fair admission (default DefaultTenantShare); must be in
+	// (0, 1]. See reserve for the admission rules.
+	TenantShare float64
 }
 
 // Server is the HTTP consensus service. Create one with New, mount
@@ -120,18 +139,40 @@ type Server struct {
 	reg *metrics.Registry
 	mux *http.ServeMux
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string // creation order, for eviction
-	seq       uint64
-	campaigns map[string]*campaignRun
-	corder    []string // campaign creation order, for eviction
-	cseq      uint64
-	closed    bool
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string // creation order, for eviction
+	evictSkip  int      // eviction scan frontier into order
+	seq        uint64
+	campaigns  map[string]*campaignRun
+	corder     []string // campaign creation order, for eviction
+	cevictSkip int      // eviction scan frontier into corder
+	cseq       uint64
+	closed     bool
 
 	wg     sync.WaitGroup // running jobs and campaigns
 	sem    chan struct{}  // bounds concurrently executing jobs/campaigns
 	queued atomic.Int64   // instances admitted but not yet finished
+
+	admitMu  sync.Mutex // serializes the admission decision (reserve)
+	tenantMu sync.Mutex
+	tenants  map[string]*tenant
+
+	completed atomic.Int64 // instances finished, feeding the rate EWMA
+	rate      rateEWMA
+
+	state *stateStore // durable service state; nil when StateDir is off
+	// stopCtx is cancelled by Close when durable state is armed: running
+	// campaigns stop at the next cell boundary (checkpoint-and-stop) and
+	// queued work is handed to the successor process instead of drained.
+	stopCtx context.Context
+	stopFn  context.CancelFunc
+
+	gcMu   sync.Mutex // TTL cache over the stop-the-world MemStats read
+	gcAt   time.Time
+	gcVal  float64
+	gcNow  func() time.Time // injectable for tests
+	gcRead func() float64
 
 	mAccepted  *metrics.Counter
 	mRejected  *metrics.Counter
@@ -179,9 +220,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxJobsKept == 0 {
 		cfg.MaxJobsKept = DefaultMaxJobsKept
 	}
+	if cfg.TenantShare == 0 {
+		cfg.TenantShare = DefaultTenantShare
+	}
 	if cfg.Shards < 0 || cfg.Workers < 0 || cfg.HighWater < 0 ||
 		cfg.MaxBatch < 0 || cfg.MaxConcurrentJobs < 0 || cfg.MaxJobsKept < 1 {
 		return nil, fmt.Errorf("server: negative configuration")
+	}
+	if cfg.TenantShare < 0 || cfg.TenantShare > 1 {
+		return nil, fmt.Errorf("server: tenant share %v outside (0, 1]", cfg.TenantShare)
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.NewRegistry()
@@ -191,8 +238,14 @@ func New(cfg Config) (*Server, error) {
 		reg:       cfg.Registry,
 		jobs:      make(map[string]*job),
 		campaigns: make(map[string]*campaignRun),
+		tenants:   make(map[string]*tenant),
 		sem:       make(chan struct{}, cfg.MaxConcurrentJobs),
+		gcNow:     time.Now,
+		gcRead:    gcPauseP99Ms,
 	}
+	s.rate.now = time.Now
+	s.rate.rate = initialRate
+	s.stopCtx, s.stopFn = context.WithCancel(context.Background())
 	const jobsTotal = "leanconsensus_jobs_total"
 	s.mAccepted = s.reg.Counter(jobsTotal+metrics.Labels("event", "accepted"), "job batches by lifecycle event")
 	s.mRejected = s.reg.Counter(jobsTotal+metrics.Labels("event", "rejected"), "job batches by lifecycle event")
@@ -213,6 +266,18 @@ func New(cfg Config) (*Server, error) {
 	bi := buildinfo.Read()
 	s.reg.Gauge("leanconsensus_build_info"+metrics.Labels("version", bi.Version, "revision", bi.Revision),
 		"constant 1; the labels identify the running build").Set(1)
+
+	// Durable state restores before the journal store arms: the restored
+	// tables and continued ID sequences must exist before any replayed
+	// history is followed or any resumed work journals new events.
+	var rerunJobs []*job
+	var rerunCampaigns []*campaignRun
+	if cfg.StateDir != "" {
+		var err error
+		if rerunJobs, rerunCampaigns, err = s.armState(); err != nil {
+			return nil, err
+		}
+	}
 
 	s.journal = cfg.Journal
 	if s.journal == nil {
@@ -239,6 +304,26 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	// Interrupted work re-runs last, once the journal is armed: the
+	// previous process admitted it (its job.admit is already durable
+	// history), so it re-enters the gate unconditionally rather than
+	// through reserve, and its start/resume/done events continue the
+	// replayed chain.
+	for _, j := range rerunJobs {
+		j.tb = s.tenantFor(j.tenant)
+		s.queued.Add(j.totalInstances())
+		j.tb.queued.Add(j.totalInstances())
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+	for _, cr := range rerunCampaigns {
+		cr.tb = s.tenantFor(cr.tenant)
+		s.queued.Add(cr.camp.Instances)
+		cr.tb.queued.Add(cr.camp.Instances)
+		s.wg.Add(1)
+		go s.runCampaign(cr)
+	}
 	return s, nil
 }
 
@@ -249,7 +334,10 @@ func New(cfg Config) (*Server, error) {
 // footprints.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
+		// Match the exemptions against the canonical cleaned path: a
+		// poller hitting //v1/events or /metrics/ is the same poller,
+		// and must not journal its own footprints into the ring.
+		switch path.Clean("/" + r.URL.Path) {
 		case "/v1/events", "/metrics", "/healthz":
 			s.mux.ServeHTTP(w, r)
 			return
@@ -344,13 +432,21 @@ func (s *Server) QueuedInstances() int64 { return s.queued.Load() }
 // Close stops admitting jobs and drains: it returns once every accepted
 // job has run to completion and — when durable journaling is armed —
 // the persistence follower has flushed the tail of the event stream to
-// disk. It is idempotent and safe to call concurrently with in-flight
-// requests.
+// disk. With durable state armed, campaigns are not drained to
+// completion: Close cancels them at the next cell boundary, their
+// checkpoints and still-"admitted" records survive, and the next boot
+// on the same state dir resumes them — that is the zero-lost-work
+// restart handoff. It is idempotent and safe to call concurrently with
+// in-flight requests.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	if s.state != nil {
+		s.stopFn()
+	}
 	s.wg.Wait()
+	s.stopFn()
 	if s.follower != nil {
 		s.follower.Stop()
 	}
@@ -406,7 +502,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	batch, err := DecodeSubmit(http.MaxBytesReader(w, r.Body, 1<<20), s.cfg.MaxBatch)
+	ten, err := tenantFrom(r)
+	if err != nil {
+		s.mRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The body is buffered before decoding: with durable state armed it
+	// becomes the record's stored submit, re-decoded through this same
+	// path if a crash forces a re-run.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.mRejected.Inc()
+		writeError(w, http.StatusBadRequest, "server: bad request body: %v", err)
+		return
+	}
+	batch, err := DecodeSubmit(bytes.NewReader(body), s.cfg.MaxBatch)
 	if err != nil {
 		s.mRejected.Inc()
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -417,10 +528,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for _, jb := range batch.Jobs {
 		total += int64(jb.Instances)
 	}
-	if cur, ok := s.reserve(total); !ok {
+	tb := s.tenantFor(ten)
+	if cur, ok := s.reserve(tb, total); !ok {
 		s.mRejected.Inc()
-		s.journal.Append(obslog.KindJobShed, "", corr, obslog.Labels{Count: total, Detail: "job"})
-		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter(cur), 10))
+		s.journal.Append(obslog.KindJobShed, "", corr,
+			obslog.Labels{Count: total, Tenant: ten, Detail: "job"})
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfter(cur), 10))
 		writeError(w, http.StatusTooManyRequests,
 			"server: %d instances queued (high-water %d); retry later", cur, s.cfg.HighWater)
 		return
@@ -429,13 +542,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.queued.Add(-total)
+		s.release(tb, total)
 		s.mRejected.Inc()
 		writeError(w, http.StatusServiceUnavailable, "server: draining, not accepting jobs")
 		return
 	}
 	s.seq++
 	j := newJob(fmt.Sprintf("j-%06d", s.seq), batch, s.cfg.Shards, corr)
+	j.tenant, j.tb = ten, tb
+	if s.state != nil {
+		// Persist the admission before it is acknowledged: the durable ID
+		// contract means a 202'd ID must resolve after any restart. A
+		// record that cannot be written is an admission that never
+		// happened.
+		j.submit = body
+		err := s.state.saveJob(&jobRecord{
+			ID: j.id, Created: j.created, Corr: corr, Tenant: ten,
+			Submit: body, Status: recAdmitted,
+		})
+		if err == nil {
+			err = s.state.saveSeqs(s.seq, s.cseq)
+		}
+		if err != nil {
+			s.seq--
+			s.mu.Unlock()
+			s.release(tb, total)
+			s.mRejected.Inc()
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
@@ -445,7 +581,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mAccepted.Inc()
 	// A single-spec batch (the common case) gets its workload axes on the
 	// admit event; multi-spec batches carry them per spec via metrics.
-	admit := obslog.Labels{Count: total}
+	admit := obslog.Labels{Count: total, Tenant: ten}
 	if len(batch.Jobs) == 1 {
 		jb := batch.Jobs[0]
 		admit.Model, admit.Dist, admit.Adversary, admit.N = jb.ModelName, jb.DistName, jb.AdvName, jb.N
@@ -462,52 +598,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// reserve is the admission gate shared by jobs and campaigns: shed
-// rather than buffer. The reservation must be atomic with the check, or
-// two racing POSTs could both slip under the mark; CompareAndSwap keeps
-// the whole gate lock-free. A submission arriving at an empty queue is
-// always admitted, so one legal request can never be unschedulable. On
-// rejection it reports the observed backlog for the Retry-After hint.
-func (s *Server) reserve(total int64) (observed int64, ok bool) {
-	for {
-		cur := s.queued.Load()
-		if cur > 0 && cur+total > s.cfg.HighWater {
-			return cur, false
-		}
-		if s.queued.CompareAndSwap(cur, cur+total) {
-			return cur + total, true
-		}
-	}
-}
-
-// retryAfter estimates seconds until the backlog clears, assuming the
-// pool's rough steady-state throughput; clients treat it as a hint.
-func retryAfter(queued int64) int64 {
-	const assumedRate = 50_000 // decisions/sec, the PR 1 load-test figure
-	secs := queued/assumedRate + 1
-	if secs > 60 {
-		secs = 60
-	}
-	return secs
-}
-
-// evictLocked trims the job table to MaxJobsKept, oldest finished first.
-// Unfinished jobs are never evicted.
+// evictLocked trims the job table to MaxJobsKept via the shared
+// finished-first eviction helper; an evicted job's durable record is
+// forgotten with it. Unfinished jobs are never evicted.
 func (s *Server) evictLocked() {
-	for len(s.jobs) > s.cfg.MaxJobsKept {
-		evicted := false
-		for i, id := range s.order {
-			if j, ok := s.jobs[id]; ok && j.finished() {
-				delete(s.jobs, id)
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
-				break
-			}
+	s.order = evictFinished(s.jobs, s.order, s.cfg.MaxJobsKept, &s.evictSkip, func(id string) {
+		if s.state != nil {
+			s.state.removeJob(id)
 		}
-		if !evicted {
-			return // everything live; let the table run long
-		}
-	}
+	})
 }
 
 // lookup returns the job or writes a 404.
@@ -605,6 +704,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	s.tenantMu.Lock()
+	tenants := 0
+	for name, t := range s.tenants {
+		if name != "" && t.queued.Load() > 0 {
+			tenants++
+		}
+	}
+	s.tenantMu.Unlock()
 	status, code := "ok", http.StatusOK
 	if closed {
 		status, code = "draining", http.StatusServiceUnavailable
@@ -619,10 +726,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:            live,
 		Campaigns:       liveCampaigns,
 		QueueDepth:      depth,
+		Tenants:         tenants,
 		Goroutines:      runtime.NumGoroutine(),
-		GCPauseP99Ms:    gcPauseP99Ms(),
+		GCPauseP99Ms:    s.cachedGCPauseP99Ms(),
 		JournalDropped:  s.JournalDropped(),
 	})
+}
+
+// gcPauseTTL bounds how often /healthz pays for a ReadMemStats.
+const gcPauseTTL = 2 * time.Second
+
+// cachedGCPauseP99Ms serves the GC-pause vital from a short TTL cache:
+// runtime.ReadMemStats is a stop-the-world read, so a tight poll loop
+// (leantop at a fast refresh) would otherwise induce the very pauses it
+// is trying to measure.
+func (s *Server) cachedGCPauseP99Ms() float64 {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	now := s.gcNow()
+	if s.gcAt.IsZero() || now.Sub(s.gcAt) >= gcPauseTTL {
+		s.gcVal = s.gcRead()
+		s.gcAt = now
+	}
+	return s.gcVal
 }
 
 // gcPauseP99Ms reports the 99th-percentile stop-the-world GC pause, in

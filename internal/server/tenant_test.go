@@ -1,0 +1,234 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"leanconsensus"
+	"leanconsensus/internal/server"
+)
+
+// submitGated submits one gated-model batch for a tenant and returns
+// the job ID; a nil error means the batch was admitted.
+func submitGated(ctx context.Context, client *leanconsensus.Client, tenant string, instances int) (string, error) {
+	return client.SubmitJobs(ctx, leanconsensus.JobSpec{
+		Model: "slowtest", N: 2, Instances: instances, Seed: 1, Tenant: tenant,
+	})
+}
+
+// TestTenantFairAdmission drives the fair-admission rules end to end
+// with two tenants against a 1000-instance high-water mark and the
+// default 0.5 share:
+//
+//   - tenant A fills past its share through spillover (empty queue
+//     admits),
+//   - A is then shed at the global mark,
+//   - tenant B is still admitted: first its empty-bucket batch, then up
+//     to its guaranteed share, even though A has the global queue past
+//     the mark,
+//   - B past its share is shed, and A stays shed.
+func TestTenantFairAdmission(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1, HighWater: 1000})
+	ctx := context.Background()
+	release := gateSlowModel(t)
+
+	var admitted []string
+	mustAdmit := func(tenant string, instances int) {
+		t.Helper()
+		id, err := submitGated(ctx, client, tenant, instances)
+		if err != nil {
+			t.Fatalf("tenant %s: %d instances rejected: %v", tenant, instances, err)
+		}
+		admitted = append(admitted, id)
+	}
+	mustShed := func(tenant string, instances int) {
+		t.Helper()
+		_, err := submitGated(ctx, client, tenant, instances)
+		var oe *leanconsensus.OverloadedError
+		if !errors.As(err, &oe) {
+			t.Fatalf("tenant %s: %d instances got %v, want 429", tenant, instances, err)
+		}
+		if oe.RetryAfter <= 0 {
+			t.Fatalf("429 without a Retry-After hint: %+v", oe)
+		}
+	}
+
+	mustAdmit("a", 900) // empty queue: spillover far past a's 500 share
+	mustShed("a", 200)  // 900+200 over the global mark, a over its share
+	mustAdmit("b", 300) // b's bucket is empty: guaranteed first batch
+	mustAdmit("b", 200) // 300+200 = b's exact share of 500
+	mustShed("b", 100)  // past b's share, and the global mark
+	mustShed("a", 50)   // a stays shed: over share, over the mark
+
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, text, `leanconsensus_tenant_queued_instances{tenant="a"}`); got != 900 {
+		t.Errorf("tenant a backlog gauge = %v, want 900", got)
+	}
+	if got := metricValue(t, text, `leanconsensus_tenant_queued_instances{tenant="b"}`); got != 500 {
+		t.Errorf("tenant b backlog gauge = %v, want 500", got)
+	}
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tenants != 2 {
+		t.Errorf("health tenants = %d, want 2", h.Tenants)
+	}
+
+	// Shed events carry the tenant label for leantop.
+	page, err := client.QueryEvents(ctx, leanconsensus.EventQuery{Kind: "job.shed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sheds := map[string]int{}
+	for _, e := range page.Events {
+		sheds[e.Labels.Tenant]++
+	}
+	if sheds["a"] != 2 || sheds["b"] != 1 {
+		t.Errorf("shed events by tenant = %v, want a:2 b:1", sheds)
+	}
+
+	// Drain everything: every reservation returns, both buckets and the
+	// global gauge land exactly on zero.
+	release()
+	for _, id := range admitted {
+		if _, err := client.WaitJob(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text, err = client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sample := range []string{
+		"leanconsensus_queued_instances",
+		`leanconsensus_tenant_queued_instances{tenant="a"}`,
+		`leanconsensus_tenant_queued_instances{tenant="b"}`,
+	} {
+		if got := metricValue(t, text, sample); got != 0 {
+			t.Errorf("%s = %v after drain, want 0", sample, got)
+		}
+	}
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Errorf("queued instances = %d after drain, want 0", q)
+	}
+
+	// Tenant labels reached the admitted work's status bodies.
+	st, err := client.Job(ctx, admitted[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "a" {
+		t.Errorf("job status tenant = %q, want a", st.Tenant)
+	}
+}
+
+// TestTenantHeaderValidation: oversized and control-character tenant
+// names are 400s on both submission endpoints, exactly like correlation
+// IDs.
+func TestTenantHeaderValidation(t *testing.T) {
+	srv, _ := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+	for _, tc := range []struct {
+		path, body string
+	}{
+		{"/v1/jobs", `{"jobs":[{"n":2,"instances":1}]}`},
+		{"/v1/campaigns", `{"ns":[2],"reps":1}`},
+	} {
+		for _, bad := range []string{strings.Repeat("x", 65), "evil\x00tenant", "tab\ttenant"} {
+			req := httptest.NewRequest(http.MethodPost, tc.path, bytes.NewReader([]byte(tc.body)))
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Lean-Tenant", bad)
+			rw := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rw, req)
+			if rw.Code != http.StatusBadRequest {
+				t.Errorf("%s with tenant %q: got %d, want 400", tc.path, bad, rw.Code)
+			}
+		}
+	}
+}
+
+// TestReservationReturnsOnEveryPath audits the queued-instance gauge
+// across the non-completion exits from the admission gate: a shed
+// submission reserves nothing, a submission caught by a draining server
+// returns its reservation before the 503, and campaign completion
+// returns the whole grid. After each, the gauge is exactly where it
+// started.
+func TestReservationReturnsOnEveryPath(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("shed", func(t *testing.T) {
+		srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1, HighWater: 10})
+		release := gateSlowModel(t)
+		id, err := submitGated(ctx, client, "", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := submitGated(ctx, client, "", 8); err == nil {
+			t.Fatal("second batch past the mark admitted")
+		}
+		if q := srv.QueuedInstances(); q != 8 {
+			t.Fatalf("shed changed the reservation: %d, want 8", q)
+		}
+		release()
+		if _, err := client.WaitJob(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if q := srv.QueuedInstances(); q != 0 {
+			t.Errorf("queued = %d after drain, want 0", q)
+		}
+	})
+
+	t.Run("closed", func(t *testing.T) {
+		srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+		srv.Close()
+		_, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{N: 2, Instances: 5, Tenant: "late"})
+		var ae *leanconsensus.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("submit on a draining server: %v, want 503", err)
+		}
+		if _, err := client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{Ns: []int{2}, Reps: 1, Tenant: "late"}); err == nil {
+			t.Fatal("campaign admitted on a draining server")
+		}
+		if q := srv.QueuedInstances(); q != 0 {
+			t.Errorf("draining-server rejection leaked %d reserved instances", q)
+		}
+		text, err := client.Metrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := metricValue(t, text, `leanconsensus_tenant_queued_instances{tenant="late"}`); got != 0 {
+			t.Errorf("tenant bucket leaked %v reserved instances", got)
+		}
+	})
+
+	t.Run("campaign", func(t *testing.T) {
+		srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1})
+		cid, err := client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{
+			Ns: []int{2}, Seeds: []uint64{1, 2}, Reps: 5, Tenant: "sweep",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.WaitCampaign(ctx, cid); err != nil {
+			t.Fatal(err)
+		}
+		if q := srv.QueuedInstances(); q != 0 {
+			t.Errorf("campaign completion left %d reserved", q)
+		}
+		text, err := client.Metrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := metricValue(t, text, `leanconsensus_tenant_queued_instances{tenant="sweep"}`); got != 0 {
+			t.Errorf("campaign tenant bucket = %v after completion, want 0", got)
+		}
+	})
+}

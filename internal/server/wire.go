@@ -42,6 +42,7 @@ type JobStatus struct {
 	ID      string       `json:"id"`
 	Status  string       `json:"status"` // queued | running | done | failed
 	Created time.Time    `json:"created"`
+	Tenant  string       `json:"tenant,omitempty"`
 	Specs   []SpecStatus `json:"specs"`
 	Error   string       `json:"error,omitempty"`
 }
@@ -153,6 +154,7 @@ type healthResponse struct {
 	Jobs            int     `json:"jobs"`
 	Campaigns       int     `json:"campaigns"`
 	QueueDepth      int     `json:"queueDepth"`
+	Tenants         int     `json:"tenants,omitempty"`
 	Goroutines      int     `json:"goroutines"`
 	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
 	JournalDropped  uint64  `json:"journalDropped,omitempty"`
