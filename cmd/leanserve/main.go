@@ -7,7 +7,7 @@
 //	leanserve [-addr 127.0.0.1:8080] [-shards 8] [-workers 2]
 //	          [-highwater 262144] [-maxbatch 64]
 //	          [-maxjobs N]  (default GOMAXPROCS/2)
-//	          [-state-dir DIR] [-tenant-share 0.5]
+//	          [-state-dir DIR] [-tenant-share 0.5] [-max-tenants 64]
 //	          [-journal-dir DIR] [-debug-addr ADDR] [-list] [-version]
 //
 // -state-dir makes the service state durable: every admitted job and
@@ -33,6 +33,11 @@
 // header are bucketed, each tenant is guaranteed -tenant-share of the
 // high-water mark (unused share spills over to whoever needs it), and
 // leanconsensus_tenant_queued_instances says who owns the backlog.
+// The header is unauthenticated, so both sides of the gate are
+// bounded: the global backlog never exceeds the high-water mark plus
+// one guaranteed share regardless of how many tenant names arrive, and
+// at most -max-tenants named buckets (and gauges) are ever created —
+// names past the cap are accounted in the unnamed default bucket.
 //
 // -debug-addr serves net/http/pprof (CPU and heap profiles, goroutine
 // dumps, execution traces) on a separate listener, so profiling stays
@@ -107,6 +112,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxjobs := fs.Int("maxjobs", 0, "maximum concurrently executing jobs (default GOMAXPROCS/2)")
 	stateDir := fs.String("state-dir", "", "persist admitted jobs/campaigns and resume them across restarts (off when empty)")
 	tenantShare := fs.Float64("tenant-share", 0, "guaranteed per-tenant fraction of the high-water mark (default 0.5)")
+	maxTenants := fs.Int("max-tenants", 0, "maximum named tenant buckets; further names share the default bucket (default 64)")
 	journalDir := fs.String("journal-dir", "", "persist the operations journal to segments in this directory (off when empty)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra listener (off when empty)")
 	list := fs.Bool("list", false, "list execution models and distributions, then exit")
@@ -132,6 +138,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		JournalDir:        *journalDir,
 		StateDir:          *stateDir,
 		TenantShare:       *tenantShare,
+		MaxTenants:        *maxTenants,
 	})
 	if err != nil {
 		return err

@@ -29,6 +29,13 @@ const maxTenantLen = 64
 // high-water mark when Config.TenantShare is unset.
 const DefaultTenantShare = 0.5
 
+// DefaultMaxTenants bounds the named tenant buckets when
+// Config.MaxTenants is unset. The header is unauthenticated free-form
+// input, so the bucket set (and its per-tenant gauges) must stay
+// bounded no matter what names arrive; past the cap, new names fold
+// into the unnamed default bucket.
+const DefaultMaxTenants = 64
+
 // tenantFrom extracts and validates the X-Lean-Tenant header: empty
 // when absent, a 400-worthy error when malformed.
 func tenantFrom(r *http.Request) (string, error) {
@@ -56,15 +63,25 @@ type tenant struct {
 }
 
 // tenantFor returns the named bucket, creating it — and, for named
-// tenants, registering its backlog gauge — on first use.
+// tenants, registering its backlog gauge — on first use. The named set
+// is capped at Config.MaxTenants: past the cap a new name folds into
+// the unnamed default bucket, so attacker-minted names cannot grow the
+// map or the /metrics cardinality without bound. Only admitted work
+// reaches this function (reserve peeks without creating), so rejected
+// requests allocate nothing.
 func (s *Server) tenantFor(name string) *tenant {
 	s.tenantMu.Lock()
 	defer s.tenantMu.Unlock()
 	t := s.tenants[name]
+	if t == nil && name != "" && s.namedTenants >= s.cfg.MaxTenants {
+		name = ""
+		t = s.tenants[name]
+	}
 	if t == nil {
 		t = &tenant{name: name}
 		s.tenants[name] = t
 		if name != "" {
+			s.namedTenants++
 			s.reg.GaugeFunc("leanconsensus_tenant_queued_instances"+metrics.Labels("tenant", name),
 				"instances admitted under this tenant but not yet finished", t.queued.Load)
 		}
@@ -72,47 +89,82 @@ func (s *Server) tenantFor(name string) *tenant {
 	return t
 }
 
+// peekTenant returns the bucket a submission under name would count
+// against, without creating anything: nil when the name is unseen and
+// the cap still has room (a fresh bucket would start empty), the
+// default bucket when the named set is already at its cap (overflow
+// names share the default bucket's accounting, so they cannot claim an
+// empty-bucket guarantee the bucket they'd land in doesn't have).
+func (s *Server) peekTenant(name string) *tenant {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if t := s.tenants[name]; t != nil {
+		return t
+	}
+	if name != "" && s.namedTenants >= s.cfg.MaxTenants {
+		return s.tenants[""]
+	}
+	return nil
+}
+
 // reserve is the admission gate shared by jobs and campaigns: shed
-// rather than buffer. A submission is admitted when any of these holds,
-// checked in order:
+// rather than buffer. A submission under the named tenant is admitted
+// when any of these holds, checked in order:
 //
 //  1. The global queue is empty — one legal batch is never
 //     unschedulable.
-//  2. The tenant has nothing queued — the per-tenant mirror of rule 1,
-//     which is what guarantees a tenant its first batch even while
-//     another tenant has filled the global mark (fair admission's whole
+//  2. The tenant has nothing queued, and the reservation fits under
+//     HighWater + share — the per-tenant mirror of rule 1, which is
+//     what guarantees a tenant its first batch even while another
+//     tenant has filled the global mark (fair admission's whole
 //     point).
 //  3. The reservation fits the tenant's guaranteed share,
-//     TenantShare × HighWater — admitted even when spillover from other
-//     tenants has pushed the global queue past the mark.
+//     TenantShare × HighWater, and fits under HighWater + share —
+//     admitted even when spillover from other tenants has pushed the
+//     global queue to the mark.
 //  4. The reservation fits under the global high-water mark — unused
 //     share is anyone's headroom (spillover).
 //
 // With all traffic in one bucket rules 2–3 collapse into 1 and 4, so an
-// untenanted service admits exactly as it always has. The global
-// backlog stays bounded by HighWater plus one guaranteed share per
-// tenant admitted through rules 2–3.
+// untenanted service admits exactly as it always has. Rules 2–3 carry
+// the HighWater + share bound because the tenant header is
+// unauthenticated: without it, a client minting a fresh name per
+// request would ride rule 2 past any backlog (every new bucket is
+// empty), defeating the shed gate entirely. With it, the global
+// backlog is hard-bounded by HighWater plus one guaranteed share, no
+// matter how many names arrive — while a genuinely new tenant still
+// gets its first batch past a queue another tenant saturated.
 //
-// The decision runs under admitMu so the two counters are read
-// consistently; returns stay lock-free atomic decrements. On rejection
-// it reports the observed backlog for the Retry-After hint.
-func (s *Server) reserve(tb *tenant, total int64) (observed int64, ok bool) {
+// The tenant bucket is looked up, not created: only an admitted
+// reservation allocates one (tenantFor), so rejected requests leave no
+// bucket and no gauge behind. The decision runs under admitMu so the
+// two counters are read consistently; returns stay lock-free atomic
+// decrements. On rejection it reports the observed backlog for the
+// Retry-After hint.
+func (s *Server) reserve(name string, total int64) (tb *tenant, observed int64, ok bool) {
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 	cur := s.queued.Load()
-	tq := tb.queued.Load()
+	tb = s.peekTenant(name)
+	var tq int64
+	if tb != nil {
+		tq = tb.queued.Load()
+	}
 	share := int64(float64(s.cfg.HighWater) * s.cfg.TenantShare)
 	switch {
 	case cur <= 0:
-	case tq <= 0:
-	case tq+total <= share:
+	case tq <= 0 && cur+total <= s.cfg.HighWater+share:
+	case tq+total <= share && cur+total <= s.cfg.HighWater+share:
 	case cur+total <= s.cfg.HighWater:
 	default:
-		return cur, false
+		return nil, cur, false
+	}
+	if tb == nil {
+		tb = s.tenantFor(name)
 	}
 	s.queued.Add(total)
 	tb.queued.Add(total)
-	return cur + total, true
+	return tb, cur + total, true
 }
 
 // release returns n reserved instances to the gate without counting

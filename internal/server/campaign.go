@@ -124,8 +124,8 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	tb := s.tenantFor(ten)
-	if cur, ok := s.reserve(tb, camp.Instances); !ok {
+	tb, cur, ok := s.reserve(ten, camp.Instances)
+	if !ok {
 		s.mCampRejected.Inc()
 		s.journal.Append(obslog.KindJobShed, "", corr,
 			obslog.Labels{Count: camp.Instances, Tenant: ten, Detail: "campaign"})
@@ -165,6 +165,10 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 			err = s.state.saveSeqs(s.seq, s.cseq)
 		}
 		if err != nil {
+			// Roll back the record too: an orphaned "admitted" file would
+			// resume at the next boot as a campaign the client was told
+			// never existed.
+			s.state.removeCampaign(cr.id)
 			s.cseq--
 			s.mu.Unlock()
 			s.release(tb, camp.Instances)
@@ -288,21 +292,34 @@ func (s *Server) runCampaign(cr *campaignRun) {
 		if err != nil {
 			status = recFailed
 		}
-		final := cr.snapshot()
-		// As with jobs: a failed write leaves "admitted", and the next
-		// boot resumes from the checkpoint to the same deterministic
-		// report.
-		if werr := s.state.saveCampaign(&campaignRecord{
-			ID: cr.id, Created: cr.created, Corr: cr.corr, Tenant: cr.tenant,
-			Spec: cr.camp.Spec, Status: status, Final: &final,
-		}); werr == nil {
-			// The checkpoint has served its purpose once the terminal
-			// record is durable; eviction would remove it anyway.
-			os.Remove(s.state.checkpointPath(cr.id)) //nolint:errcheck
-		}
+		s.saveCampaignTerminal(cr, status)
 	}
 	s.journal.Append(obslog.KindCampaignDone, cr.id, cr.corr, obslog.Labels{Detail: outcome})
 	close(cr.done)
+}
+
+// saveCampaignTerminal persists cr's terminal record, under s.mu and
+// only while cr is still the table's entry — the campaign mirror of
+// saveJobTerminal: the run is already in a terminal state, so an
+// unguarded write here could race evictCampaignsLocked and recreate a
+// record (and leave a checkpoint) eviction just removed. As with jobs,
+// a failed write leaves "admitted", and the next boot resumes from the
+// checkpoint to the same deterministic report.
+func (s *Server) saveCampaignTerminal(cr *campaignRun, status string) {
+	final := cr.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.campaigns[cr.id] != cr {
+		return
+	}
+	if werr := s.state.saveCampaign(&campaignRecord{
+		ID: cr.id, Created: cr.created, Corr: cr.corr, Tenant: cr.tenant,
+		Spec: cr.camp.Spec, Status: status, Final: &final,
+	}); werr == nil {
+		// The checkpoint has served its purpose once the terminal
+		// record is durable; eviction would remove it anyway.
+		os.Remove(s.state.checkpointPath(cr.id)) //nolint:errcheck
+	}
 }
 
 // evictCampaignsLocked trims the campaign table to MaxJobsKept via the

@@ -201,17 +201,35 @@ func (s *Server) runJob(j *job) {
 		if failed != nil {
 			status = recFailed
 		}
-		final := j.snapshot()
-		// A failed record write leaves the record "admitted": the next
-		// boot re-runs the job and, results being deterministic, serves
-		// the same outcome — so the error needs no further handling.
-		s.state.saveJob(&jobRecord{ //nolint:errcheck
-			ID: j.id, Created: j.created, Corr: j.corr, Tenant: j.tenant,
-			Submit: j.submit, Status: status, Final: &final,
-		})
+		s.saveJobTerminal(j, status)
 	}
 	s.journal.Append(obslog.KindJobDone, j.id, j.corr, obslog.Labels{Detail: outcome})
 	close(j.done)
+}
+
+// saveJobTerminal persists j's terminal record, under s.mu and only
+// while j is still the table's entry: the job is already in a terminal
+// state, so a concurrent evictLocked may have deleted the entry and
+// removed its record file, and an unguarded write here would recreate
+// the file — resurrecting the evicted ID at the next boot, with disk
+// and table disagreeing. Holding s.mu orders the two: either the save
+// lands first and eviction removes it, or eviction wins and the save
+// is skipped.
+//
+// A failed record write leaves the record "admitted": the next boot
+// re-runs the job and, results being deterministic, serves the same
+// outcome — so the error needs no further handling.
+func (s *Server) saveJobTerminal(j *job, status string) {
+	final := j.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[j.id] != j {
+		return
+	}
+	s.state.saveJob(&jobRecord{ //nolint:errcheck
+		ID: j.id, Created: j.created, Corr: j.corr, Tenant: j.tenant,
+		Submit: j.submit, Status: status, Final: &final,
+	})
 }
 
 // runSpec serves one spec on a fresh arena and folds the results into

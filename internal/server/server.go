@@ -130,6 +130,12 @@ type Config struct {
 	// under fair admission (default DefaultTenantShare); must be in
 	// (0, 1]. See reserve for the admission rules.
 	TenantShare float64
+	// MaxTenants caps the named tenant buckets (default
+	// DefaultMaxTenants). X-Lean-Tenant is unauthenticated input, so the
+	// bucket set and its per-tenant gauges must stay bounded: names past
+	// the cap are admitted into the unnamed default bucket instead of
+	// allocating new ones.
+	MaxTenants int
 }
 
 // Server is the HTTP consensus service. Create one with New, mount
@@ -154,9 +160,10 @@ type Server struct {
 	sem    chan struct{}  // bounds concurrently executing jobs/campaigns
 	queued atomic.Int64   // instances admitted but not yet finished
 
-	admitMu  sync.Mutex // serializes the admission decision (reserve)
-	tenantMu sync.Mutex
-	tenants  map[string]*tenant
+	admitMu      sync.Mutex // serializes the admission decision (reserve)
+	tenantMu     sync.Mutex
+	tenants      map[string]*tenant
+	namedTenants int // named buckets created, capped at cfg.MaxTenants
 
 	completed atomic.Int64 // instances finished, feeding the rate EWMA
 	rate      rateEWMA
@@ -223,8 +230,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TenantShare == 0 {
 		cfg.TenantShare = DefaultTenantShare
 	}
+	if cfg.MaxTenants == 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
 	if cfg.Shards < 0 || cfg.Workers < 0 || cfg.HighWater < 0 ||
-		cfg.MaxBatch < 0 || cfg.MaxConcurrentJobs < 0 || cfg.MaxJobsKept < 1 {
+		cfg.MaxBatch < 0 || cfg.MaxConcurrentJobs < 0 || cfg.MaxJobsKept < 1 ||
+		cfg.MaxTenants < 0 {
 		return nil, fmt.Errorf("server: negative configuration")
 	}
 	if cfg.TenantShare < 0 || cfg.TenantShare > 1 {
@@ -528,8 +539,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for _, jb := range batch.Jobs {
 		total += int64(jb.Instances)
 	}
-	tb := s.tenantFor(ten)
-	if cur, ok := s.reserve(tb, total); !ok {
+	tb, cur, ok := s.reserve(ten, total)
+	if !ok {
 		s.mRejected.Inc()
 		s.journal.Append(obslog.KindJobShed, "", corr,
 			obslog.Labels{Count: total, Tenant: ten, Detail: "job"})
@@ -564,6 +575,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			err = s.state.saveSeqs(s.seq, s.cseq)
 		}
 		if err != nil {
+			// Roll back everything the failed admission touched — the
+			// record too: an orphaned "admitted" file would re-run at the
+			// next boot as a job the client was told never existed.
+			s.state.removeJob(j.id)
 			s.seq--
 			s.mu.Unlock()
 			s.release(tb, total)

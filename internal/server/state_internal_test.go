@@ -1,0 +1,54 @@
+package server
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"leanconsensus/internal/campaign"
+)
+
+// TestTerminalSaveSkipsEvictedEntries pins the ordering between
+// eviction and terminal persistence: a runner persisting a terminal
+// record races evictLocked, which may already have deleted the table
+// entry and removed its record file. The guarded save must notice the
+// entry is gone and write nothing — recreating the file would
+// resurrect the evicted ID at the next boot, with disk and the
+// in-memory table disagreeing.
+func TestTerminalSaveSkipsEvictedEntries(t *testing.T) {
+	st, err := openStateStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{
+		state:     st,
+		jobs:      map[string]*job{},
+		campaigns: map[string]*campaignRun{},
+	}
+
+	j := &job{id: "j-000001", created: time.Now(), done: make(chan struct{})}
+	j.state.Store(int32(stateDone))
+	// Evicted (not in the table): the save must be a no-op.
+	s.saveJobTerminal(j, recDone)
+	if _, err := os.Stat(st.jobPath(j.id)); !os.IsNotExist(err) {
+		t.Fatalf("terminal save recreated an evicted job record (stat: %v)", err)
+	}
+	// Live: the save lands.
+	s.jobs[j.id] = j
+	s.saveJobTerminal(j, recDone)
+	if _, err := os.Stat(st.jobPath(j.id)); err != nil {
+		t.Fatalf("terminal save skipped a live job: %v", err)
+	}
+
+	cr := &campaignRun{id: "c-000001", created: time.Now(), camp: &campaign.Campaign{}, done: make(chan struct{})}
+	cr.state.Store(int32(stateDone))
+	s.saveCampaignTerminal(cr, recDone)
+	if _, err := os.Stat(st.campaignPath(cr.id)); !os.IsNotExist(err) {
+		t.Fatalf("terminal save recreated an evicted campaign record (stat: %v)", err)
+	}
+	s.campaigns[cr.id] = cr
+	s.saveCampaignTerminal(cr, recDone)
+	if _, err := os.Stat(st.campaignPath(cr.id)); err != nil {
+		t.Fatalf("terminal save skipped a live campaign: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -276,6 +277,59 @@ func TestStateInterruptedJobRerunsAtBoot(t *testing.T) {
 	}
 	if id != "j-000006" {
 		t.Errorf("next ID after restored seq 5 = %s, want j-000006", id)
+	}
+	if _, err := client.WaitJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateAdmissionRollbackRemovesRecord: when the seqs write fails
+// after the admission record was already written, the 500's rollback
+// must undo the record too — an orphaned "admitted" file would re-run
+// at the next boot as work the client was told was never admitted.
+func TestStateAdmissionRollbackRemovesRecord(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	srv, client, _ := newStateServer(t, dir, server.Config{})
+
+	// A directory where seqs.json belongs fails the atomic write's
+	// rename, after the job/campaign record was written successfully.
+	if err := os.Mkdir(filepath.Join(dir, "seqs.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var ae *leanconsensus.APIError
+	_, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{N: 2, Instances: 5, Seed: 1})
+	if !errors.As(err, &ae) || ae.StatusCode != 500 {
+		t.Fatalf("job submit with a failing seqs write: %v, want 500", err)
+	}
+	_, err = client.SubmitCampaign(ctx, leanconsensus.CampaignSpec{Ns: []int{2}, Reps: 1})
+	if !errors.As(err, &ae) || ae.StatusCode != 500 {
+		t.Fatalf("campaign submit with a failing seqs write: %v, want 500", err)
+	}
+	for _, sub := range []string{"jobs", "campaigns"} {
+		recs, err := filepath.Glob(filepath.Join(dir, sub, "*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Errorf("rolled-back admission left %s records on disk: %v", sub, recs)
+		}
+	}
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Errorf("rolled-back admissions left %d instances reserved", q)
+	}
+
+	// With the fault cleared, the rolled-back sequence numbers are
+	// re-minted from scratch: the failed admissions never happened.
+	if err := os.Remove(filepath.Join(dir, "seqs.json")); err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.SubmitJobs(ctx, leanconsensus.JobSpec{N: 2, Instances: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j-000001" {
+		t.Errorf("first successful admission minted %s, want j-000001", id)
 	}
 	if _, err := client.WaitJob(ctx, id); err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -128,6 +129,157 @@ func TestTenantFairAdmission(t *testing.T) {
 	}
 	if st.Tenant != "a" {
 		t.Errorf("job status tenant = %q, want a", st.Tenant)
+	}
+}
+
+// TestFreshTenantNamesCannotBypassHighWater pins the gate's hard bound
+// against tenant minting: X-Lean-Tenant is unauthenticated free-form
+// input, so a client sending every submission under a fresh name must
+// not ride the empty-bucket rule past the shed gate. The global
+// backlog stays bounded by HighWater + one guaranteed share no matter
+// how many names arrive.
+func TestFreshTenantNamesCannotBypassHighWater(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1, HighWater: 100})
+	ctx := context.Background()
+	release := gateSlowModel(t)
+
+	// bound = HighWater + TenantShare·HighWater = 150.
+	const bound = 150
+	var admitted []string
+	sheds := 0
+	for i := 0; i < 20; i++ {
+		id, err := submitGated(ctx, client, fmt.Sprintf("mint-%d", i), 40)
+		if err != nil {
+			var oe *leanconsensus.OverloadedError
+			if !errors.As(err, &oe) {
+				t.Fatalf("fresh tenant %d: %v, want admit or 429", i, err)
+			}
+			sheds++
+			continue
+		}
+		admitted = append(admitted, id)
+	}
+	if sheds == 0 {
+		t.Fatal("20 fresh-tenant batches all admitted: the high-water gate was bypassed")
+	}
+	if q := srv.QueuedInstances(); q > bound {
+		t.Fatalf("fresh tenant names pushed the backlog to %d, bound %d", q, bound)
+	}
+
+	release()
+	for _, id := range admitted {
+		if _, err := client.WaitJob(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Errorf("queued = %d after drain, want 0", q)
+	}
+}
+
+// TestRejectedSubmissionAllocatesNoTenant: a shed request must leave no
+// trace of its attacker-chosen tenant name — no bucket (health count)
+// and no per-tenant gauge (/metrics cardinality). Buckets are created
+// only when a reservation is actually admitted.
+func TestRejectedSubmissionAllocatesNoTenant(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1, HighWater: 10})
+	ctx := context.Background()
+	release := gateSlowModel(t)
+
+	id, err := submitGated(ctx, client, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cur+total = 20 over the 15 bound for a fresh bucket: shed.
+	if _, err := submitGated(ctx, client, "mallory", 10); err == nil {
+		t.Fatal("fresh-tenant batch past the bound admitted")
+	}
+
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, `tenant="mallory"`) {
+		t.Error("rejected submission registered a tenant gauge")
+	}
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tenants != 0 {
+		t.Errorf("health tenants = %d after a rejected submission, want 0", h.Tenants)
+	}
+
+	release()
+	if _, err := client.WaitJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Errorf("queued = %d after drain, want 0", q)
+	}
+}
+
+// TestTenantCapFoldsIntoDefault: past Config.MaxTenants, new names are
+// admitted into the unnamed default bucket instead of allocating more
+// buckets and gauges — bounded memory and metric cardinality under
+// attacker-controlled names, with reservations still returning exactly.
+func TestTenantCapFoldsIntoDefault(t *testing.T) {
+	srv, client := newTestServer(t, server.Config{Shards: 2, Workers: 1, HighWater: 1000, MaxTenants: 2})
+	ctx := context.Background()
+	release := gateSlowModel(t)
+
+	var admitted []string
+	for _, ten := range []string{"a", "b", "c"} {
+		id, err := submitGated(ctx, client, ten, 5)
+		if err != nil {
+			t.Fatalf("tenant %s rejected: %v", ten, err)
+		}
+		admitted = append(admitted, id)
+	}
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ten := range []string{"a", "b"} {
+		sample := `leanconsensus_tenant_queued_instances{tenant="` + ten + `"}`
+		if got := metricValue(t, text, sample); got != 5 {
+			t.Errorf("%s = %v, want 5", sample, got)
+		}
+	}
+	if strings.Contains(text, `tenant="c"`) {
+		t.Error("name past the tenant cap got its own gauge")
+	}
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tenants != 2 {
+		t.Errorf("health tenants = %d, want the 2 capped buckets", h.Tenants)
+	}
+	// The folded reservation still counts globally: 3×5 queued.
+	if q := srv.QueuedInstances(); q != 15 {
+		t.Fatalf("queued = %d, want 15", q)
+	}
+
+	// Drain: the folded bucket's returns balance too.
+	release()
+	for _, id := range admitted {
+		if _, err := client.WaitJob(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := srv.QueuedInstances(); q != 0 {
+		t.Errorf("queued = %d after drain, want 0", q)
+	}
+	text, err = client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ten := range []string{"a", "b"} {
+		sample := `leanconsensus_tenant_queued_instances{tenant="` + ten + `"}`
+		if got := metricValue(t, text, sample); got != 0 {
+			t.Errorf("%s = %v after drain, want 0", sample, got)
+		}
 	}
 }
 
